@@ -1,0 +1,47 @@
+//! Error type shared by the baseline classifiers.
+
+use std::fmt;
+
+/// Errors produced by the baseline time series classifiers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// The training set was empty or inconsistent.
+    InvalidTrainingData(String),
+    /// The classifier was asked to predict before being fitted.
+    NotFitted,
+    /// An error bubbled up from the time series substrate.
+    Series(String),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::InvalidTrainingData(msg) => {
+                write!(f, "invalid training data: {msg}")
+            }
+            BaselineError::NotFitted => write!(f, "classifier has not been fitted"),
+            BaselineError::Series(msg) => write!(f, "time series error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<tsg_ts::TsError> for BaselineError {
+    fn from(e: tsg_ts::TsError) -> Self {
+        BaselineError::Series(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        assert!(BaselineError::NotFitted.to_string().contains("fitted"));
+        let e: BaselineError = tsg_ts::TsError::EmptySeries.into();
+        assert!(matches!(e, BaselineError::Series(_)));
+        assert!(BaselineError::InvalidTrainingData("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,338 @@
+//! Learning Shapelets (Grabocka et al., KDD 2014).
+//!
+//! Instead of searching for shapelets, LS *learns* them: `K` shapelets of a
+//! few lengths are initialised from segment centroids and then optimised
+//! jointly with a logistic classification model by gradient descent. The
+//! per-series features are soft-minimum distances between the series and
+//! every shapelet, which keeps the objective differentiable.
+//!
+//! This implementation follows the original formulation with a softmax
+//! (multi-class) output layer and full-batch gradient descent. Its cost is
+//! dominated by the `series × shapelet × position` distance evaluations per
+//! iteration, which is why LS is the slowest of the paper's baselines.
+
+use crate::error::BaselineError;
+use crate::traits::TscClassifier;
+use crate::Result;
+use tsg_ts::preprocess::znormalize;
+use tsg_ts::{Dataset, TimeSeries};
+
+/// Hyper-parameters for [`LearningShapelets`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LearningShapeletsParams {
+    /// Number of shapelets learned per length.
+    pub shapelets_per_length: usize,
+    /// Shapelet lengths as fractions of the series length.
+    pub length_fractions: [f64; 2],
+    /// Gradient descent iterations.
+    pub n_iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// L2 regularisation on the logistic weights.
+    pub l2: f64,
+    /// Soft-minimum sharpness (`alpha` in the paper, negative inside the
+    /// exponent; larger magnitude approximates the hard minimum better).
+    pub alpha: f64,
+}
+
+impl Default for LearningShapeletsParams {
+    fn default() -> Self {
+        LearningShapeletsParams {
+            shapelets_per_length: 4,
+            length_fractions: [0.125, 0.25],
+            n_iterations: 120,
+            learning_rate: 0.1,
+            l2: 1e-3,
+            alpha: -10.0,
+        }
+    }
+}
+
+/// Learning Shapelets classifier.
+#[derive(Debug, Clone)]
+pub struct LearningShapelets {
+    params: LearningShapeletsParams,
+    shapelets: Vec<Vec<f64>>,
+    /// `weights[class][shapelet]`, bias last.
+    weights: Vec<Vec<f64>>,
+    n_classes: usize,
+}
+
+impl LearningShapelets {
+    /// Creates an unfitted classifier.
+    pub fn new(params: LearningShapeletsParams) -> Self {
+        LearningShapelets {
+            params,
+            shapelets: Vec::new(),
+            weights: Vec::new(),
+            n_classes: 0,
+        }
+    }
+
+    /// The learned shapelets (available after fitting).
+    pub fn shapelets(&self) -> &[Vec<f64>] {
+        &self.shapelets
+    }
+
+    /// Hard minimum distance feature (used at prediction time).
+    fn min_distance(series: &[f64], shapelet: &[f64]) -> f64 {
+        let m = shapelet.len();
+        if series.len() < m || m == 0 {
+            return 0.0;
+        }
+        let mut best = f64::INFINITY;
+        for start in 0..=(series.len() - m) {
+            let mut d = 0.0;
+            for (k, &sv) in shapelet.iter().enumerate() {
+                let diff = series[start + k] - sv;
+                d += diff * diff;
+            }
+            best = best.min(d / m as f64);
+        }
+        best
+    }
+
+    fn softmax(logits: &[f64]) -> Vec<f64> {
+        let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = logits.iter().map(|v| (v - max).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        exps.into_iter().map(|e| e / sum.max(1e-300)).collect()
+    }
+
+    fn features(&self, series: &[f64]) -> Vec<f64> {
+        self.shapelets
+            .iter()
+            .map(|s| Self::min_distance(series, s))
+            .collect()
+    }
+
+    fn logits(&self, features: &[f64]) -> Vec<f64> {
+        self.weights
+            .iter()
+            .map(|w| {
+                w[..w.len() - 1]
+                    .iter()
+                    .zip(features.iter())
+                    .map(|(wi, xi)| wi * xi)
+                    .sum::<f64>()
+                    + w[w.len() - 1]
+            })
+            .collect()
+    }
+}
+
+impl TscClassifier for LearningShapelets {
+    fn name(&self) -> String {
+        "LearningShapelets".to_string()
+    }
+
+    fn fit(&mut self, train: &Dataset) -> Result<()> {
+        if train.is_empty() {
+            return Err(BaselineError::InvalidTrainingData("empty training set".into()));
+        }
+        let labels = train
+            .labels_required()
+            .map_err(|e| BaselineError::InvalidTrainingData(e.to_string()))?;
+        let series: Vec<Vec<f64>> = train
+            .series()
+            .iter()
+            .map(|s| znormalize(s.values()))
+            .collect();
+        let n = series.len();
+        let min_len = series.iter().map(|s| s.len()).min().unwrap_or(0);
+        if min_len < 8 {
+            return Err(BaselineError::InvalidTrainingData(
+                "series too short for shapelet learning".into(),
+            ));
+        }
+        self.n_classes = labels.iter().copied().max().unwrap_or(0) + 1;
+
+        // --- initialise shapelets from segment means --------------------
+        self.shapelets.clear();
+        for &fraction in &self.params.length_fractions {
+            let len = ((min_len as f64 * fraction).round() as usize).clamp(4, min_len - 1);
+            for k in 0..self.params.shapelets_per_length {
+                // average the k-th segment across a strided subset of series
+                let mut acc = vec![0.0f64; len];
+                let mut count = 0.0f64;
+                for (i, s) in series.iter().enumerate().filter(|(i, _)| i % (k + 1) == 0) {
+                    let start = (i * 31 + k * 17) % (s.len() - len);
+                    for (j, a) in acc.iter_mut().enumerate() {
+                        *a += s[start + j];
+                    }
+                    count += 1.0;
+                }
+                for a in &mut acc {
+                    *a /= count.max(1.0);
+                }
+                self.shapelets.push(znormalize(&acc));
+            }
+        }
+        let n_shapelets = self.shapelets.len();
+        self.weights = vec![vec![0.0; n_shapelets + 1]; self.n_classes];
+
+        // --- joint gradient descent --------------------------------------
+        let alpha = self.params.alpha;
+        for _iter in 0..self.params.n_iterations {
+            // forward pass: soft-min distances, logits, probabilities
+            let mut grad_w = vec![vec![0.0f64; n_shapelets + 1]; self.n_classes];
+            let mut grad_s: Vec<Vec<f64>> =
+                self.shapelets.iter().map(|s| vec![0.0; s.len()]).collect();
+            for (i, s) in series.iter().enumerate() {
+                // soft-min features and the per-position soft weights needed
+                // for the shapelet gradient
+                let mut features = vec![0.0f64; n_shapelets];
+                let mut position_weights: Vec<Vec<f64>> = Vec::with_capacity(n_shapelets);
+                let mut window_dists: Vec<Vec<f64>> = Vec::with_capacity(n_shapelets);
+                for (k, shapelet) in self.shapelets.iter().enumerate() {
+                    let m = shapelet.len();
+                    let n_pos = s.len() - m + 1;
+                    let mut dists = Vec::with_capacity(n_pos);
+                    for start in 0..n_pos {
+                        let mut d = 0.0;
+                        for (j, &sv) in shapelet.iter().enumerate() {
+                            let diff = s[start + j] - sv;
+                            d += diff * diff;
+                        }
+                        dists.push(d / m as f64);
+                    }
+                    // soft minimum with log-sum-exp stabilisation
+                    let min_d = dists.iter().cloned().fold(f64::INFINITY, f64::min);
+                    let weights: Vec<f64> = dists.iter().map(|d| (alpha * (d - min_d)).exp()).collect();
+                    let wsum: f64 = weights.iter().sum();
+                    let soft_min: f64 = dists
+                        .iter()
+                        .zip(weights.iter())
+                        .map(|(d, w)| d * w)
+                        .sum::<f64>()
+                        / wsum.max(1e-300);
+                    features[k] = soft_min;
+                    position_weights.push(weights.iter().map(|w| w / wsum.max(1e-300)).collect());
+                    window_dists.push(dists);
+                }
+                let logits = self.logits(&features);
+                let probs = Self::softmax(&logits);
+                // gradients
+                for class in 0..self.n_classes {
+                    let delta = probs[class] - if labels[i] == class { 1.0 } else { 0.0 };
+                    for k in 0..n_shapelets {
+                        grad_w[class][k] += delta * features[k];
+                    }
+                    grad_w[class][n_shapelets] += delta;
+                    // chain rule into the shapelets
+                    for (k, shapelet) in self.shapelets.iter().enumerate() {
+                        let w_ck = self.weights[class][k];
+                        if w_ck == 0.0 && _iter == 0 {
+                            continue; // first iteration: classifier weights are zero
+                        }
+                        let m = shapelet.len();
+                        for (start, &pos_w) in position_weights[k].iter().enumerate() {
+                            if pos_w < 1e-6 {
+                                continue;
+                            }
+                            for j in 0..m {
+                                let diff = shapelet[j] - s[start + j];
+                                grad_s[k][j] += delta * w_ck * pos_w * 2.0 * diff / m as f64;
+                            }
+                        }
+                    }
+                }
+            }
+            let lr = self.params.learning_rate / n as f64;
+            for class in 0..self.n_classes {
+                for k in 0..=n_shapelets {
+                    let reg = if k < n_shapelets {
+                        self.params.l2 * self.weights[class][k]
+                    } else {
+                        0.0
+                    };
+                    self.weights[class][k] -= lr * grad_w[class][k] + reg;
+                }
+            }
+            for (k, g) in grad_s.iter().enumerate() {
+                for (j, gj) in g.iter().enumerate() {
+                    self.shapelets[k][j] -= lr * gj;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn predict_series(&self, series: &TimeSeries) -> Result<usize> {
+        if self.weights.is_empty() {
+            return Err(BaselineError::NotFitted);
+        }
+        let z = znormalize(series.values());
+        let features = self.features(&z);
+        let logits = self.logits(&features);
+        let mut best = 0usize;
+        for (i, &v) in logits.iter().enumerate() {
+            if v > logits[best] {
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use tsg_ts::generators;
+
+    fn dataset(n_per_class: usize, seed: u64) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut d = Dataset::new("ls");
+        for i in 0..n_per_class * 2 {
+            let label = i % 2;
+            let background = generators::gaussian_noise(&mut rng, 80, 0.2);
+            let pattern = if label == 0 {
+                generators::bump_pattern(16)
+            } else {
+                generators::sawtooth_pattern(16)
+            };
+            let values = generators::inject_pattern(&mut rng, background, &pattern, 4.0);
+            d.push(TimeSeries::with_label(values, label));
+        }
+        d
+    }
+
+    #[test]
+    fn learns_discriminative_shapelets() {
+        let train = dataset(12, 1);
+        let test = dataset(10, 2);
+        let mut ls = LearningShapelets::new(LearningShapeletsParams {
+            n_iterations: 80,
+            ..Default::default()
+        });
+        ls.fit(&train).unwrap();
+        assert!(!ls.shapelets().is_empty());
+        let err = ls.error_rate(&test).unwrap();
+        assert!(err < 0.45, "error {err}");
+    }
+
+    #[test]
+    fn min_distance_basics() {
+        let shapelet = vec![1.0, 2.0, 1.0];
+        let series = vec![0.0, 0.0, 1.0, 2.0, 1.0, 0.0];
+        assert!(LearningShapelets::min_distance(&series, &shapelet) < 1e-12);
+        assert_eq!(LearningShapelets::min_distance(&[1.0], &shapelet), 0.0);
+    }
+
+    #[test]
+    fn rejects_too_short_series() {
+        let mut d = Dataset::new("short");
+        d.push(TimeSeries::with_label(vec![0.0; 4], 0));
+        d.push(TimeSeries::with_label(vec![1.0; 4], 1));
+        let mut ls = LearningShapelets::new(LearningShapeletsParams::default());
+        assert!(ls.fit(&d).is_err());
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        let ls = LearningShapelets::new(LearningShapeletsParams::default());
+        assert!(ls.predict_series(&TimeSeries::new(vec![0.0; 32])).is_err());
+    }
+}

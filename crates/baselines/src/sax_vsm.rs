@@ -1,0 +1,226 @@
+//! SAX-VSM (Senin & Malinchik, 2013).
+//!
+//! Each class is represented by a tf-idf weight vector over the bag of SAX
+//! words produced by sliding a window across all of its training series; a
+//! test series is assigned to the class whose weight vector has the highest
+//! cosine similarity with the series' term-frequency vector.
+
+use crate::error::BaselineError;
+use crate::traits::TscClassifier;
+use crate::Result;
+use std::collections::HashMap;
+use tsg_ts::sax::{sax_words_sliding, SaxParams};
+use tsg_ts::{Dataset, TimeSeries};
+
+/// Hyper-parameters for [`SaxVsm`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaxVsmParams {
+    /// Sliding window length as a fraction of the series length.
+    pub window_fraction: f64,
+    /// SAX alphabet size.
+    pub alphabet_size: usize,
+    /// SAX word length (PAA segments per window).
+    pub word_length: usize,
+}
+
+impl Default for SaxVsmParams {
+    fn default() -> Self {
+        SaxVsmParams {
+            window_fraction: 0.25,
+            alphabet_size: 4,
+            word_length: 6,
+        }
+    }
+}
+
+/// SAX-VSM classifier.
+#[derive(Debug, Clone)]
+pub struct SaxVsm {
+    params: SaxVsmParams,
+    /// tf-idf weight vector per class: word → weight.
+    class_weights: Vec<HashMap<String, f64>>,
+    window: usize,
+    sax: SaxParams,
+}
+
+impl SaxVsm {
+    /// Creates an unfitted classifier.
+    pub fn new(params: SaxVsmParams) -> Self {
+        SaxVsm {
+            params,
+            class_weights: Vec::new(),
+            window: 0,
+            sax: SaxParams::default(),
+        }
+    }
+
+    fn bag_for_series(&self, series: &TimeSeries) -> Result<HashMap<String, f64>> {
+        let mut bag: HashMap<String, f64> = HashMap::new();
+        let values = series.values();
+        if values.len() < self.window || self.window == 0 {
+            // degenerate: whole series as a single word
+            let word = tsg_ts::sax::sax_word(
+                values,
+                SaxParams::new(self.sax.alphabet_size, self.sax.word_length.min(values.len()))
+                    .map_err(BaselineError::from)?,
+            )?;
+            *bag.entry(word).or_insert(0.0) += 1.0;
+            return Ok(bag);
+        }
+        for word in sax_words_sliding(values, self.window, self.sax)? {
+            *bag.entry(word).or_insert(0.0) += 1.0;
+        }
+        Ok(bag)
+    }
+
+    fn cosine(a: &HashMap<String, f64>, b: &HashMap<String, f64>) -> f64 {
+        let mut dot = 0.0;
+        for (word, &wa) in a {
+            if let Some(&wb) = b.get(word) {
+                dot += wa * wb;
+            }
+        }
+        let na: f64 = a.values().map(|v| v * v).sum::<f64>().sqrt();
+        let nb: f64 = b.values().map(|v| v * v).sum::<f64>().sqrt();
+        if na <= 0.0 || nb <= 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+}
+
+impl TscClassifier for SaxVsm {
+    fn name(&self) -> String {
+        "SAX-VSM".to_string()
+    }
+
+    fn fit(&mut self, train: &Dataset) -> Result<()> {
+        if train.is_empty() {
+            return Err(BaselineError::InvalidTrainingData("empty training set".into()));
+        }
+        let labels = train
+            .labels_required()
+            .map_err(|e| BaselineError::InvalidTrainingData(e.to_string()))?;
+        let n_classes = labels.iter().copied().max().unwrap_or(0) + 1;
+        let max_len = train.max_length();
+        self.window = ((max_len as f64 * self.params.window_fraction).round() as usize)
+            .clamp(self.params.word_length.max(4), max_len.max(1));
+        self.sax = SaxParams::new(self.params.alphabet_size, self.params.word_length)
+            .map_err(BaselineError::from)?;
+
+        // per-class term frequencies
+        let mut class_tf: Vec<HashMap<String, f64>> = vec![HashMap::new(); n_classes];
+        for (series, &label) in train.series().iter().zip(labels.iter()) {
+            let bag = self.bag_for_series(series)?;
+            let target = &mut class_tf[label];
+            for (word, count) in bag {
+                *target.entry(word).or_insert(0.0) += count;
+            }
+        }
+        // document frequency over classes
+        let mut df: HashMap<String, usize> = HashMap::new();
+        for tf in &class_tf {
+            for word in tf.keys() {
+                *df.entry(word.clone()).or_insert(0) += 1;
+            }
+        }
+        // tf-idf: (1 + log tf) * log(1 + N / df)
+        let n_docs = n_classes as f64;
+        self.class_weights = class_tf
+            .into_iter()
+            .map(|tf| {
+                tf.into_iter()
+                    .map(|(word, count)| {
+                        let idf = (1.0 + n_docs / df[&word] as f64).ln();
+                        let weight = (1.0 + count.ln().max(0.0)) * idf;
+                        (word, weight)
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(())
+    }
+
+    fn predict_series(&self, series: &TimeSeries) -> Result<usize> {
+        if self.class_weights.is_empty() {
+            return Err(BaselineError::NotFitted);
+        }
+        let bag = self.bag_for_series(series)?;
+        let mut best = 0usize;
+        let mut best_sim = f64::NEG_INFINITY;
+        for (class, weights) in self.class_weights.iter().enumerate() {
+            let sim = Self::cosine(&bag, weights);
+            if sim > best_sim {
+                best_sim = sim;
+                best = class;
+            }
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use tsg_ts::generators;
+
+    fn pattern_dataset(n_per_class: usize, seed: u64) -> Dataset {
+        // class 0 contains a recurring sharp sawtooth pattern, class 1 a
+        // smooth bump, at random positions
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut d = Dataset::new("patterns");
+        for i in 0..n_per_class * 2 {
+            let label = i % 2;
+            let background = generators::gaussian_noise(&mut rng, 128, 0.2);
+            let pattern = if label == 0 {
+                generators::sawtooth_pattern(24)
+            } else {
+                generators::bump_pattern(24)
+            };
+            let values = generators::inject_pattern(&mut rng, background, &pattern, 3.0);
+            d.push(TimeSeries::with_label(values, label));
+        }
+        d
+    }
+
+    #[test]
+    fn classifies_local_patterns() {
+        let train = pattern_dataset(15, 1);
+        let test = pattern_dataset(10, 2);
+        let mut clf = SaxVsm::new(SaxVsmParams::default());
+        clf.fit(&train).unwrap();
+        let err = clf.error_rate(&test).unwrap();
+        assert!(err < 0.4, "error {err}");
+        assert_eq!(clf.name(), "SAX-VSM");
+    }
+
+    #[test]
+    fn handles_short_series_gracefully() {
+        let mut d = Dataset::new("short");
+        for i in 0..8 {
+            d.push(TimeSeries::with_label(
+                (0..12).map(|k| ((k + i) as f64 * 0.7).sin()).collect(),
+                i % 2,
+            ));
+        }
+        let mut clf = SaxVsm::new(SaxVsmParams {
+            window_fraction: 0.5,
+            alphabet_size: 3,
+            word_length: 4,
+        });
+        clf.fit(&d).unwrap();
+        let pred = clf.predict(&d).unwrap();
+        assert_eq!(pred.len(), 8);
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        let clf = SaxVsm::new(SaxVsmParams::default());
+        assert!(clf.predict_series(&TimeSeries::new(vec![0.0; 32])).is_err());
+        let mut clf = SaxVsm::new(SaxVsmParams::default());
+        assert!(clf.fit(&Dataset::new("empty")).is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks for the classifier substrate: gradient
+//! boosting, random forest and SVM training on an MVG-sized feature matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tsg_ml::forest::{RandomForest, RandomForestParams};
+use tsg_ml::gbt::{GradientBoosting, GradientBoostingParams};
+use tsg_ml::svm::{SvmClassifier, SvmKernel, SvmParams};
+use tsg_ml::traits::Classifier;
+use tsg_ml::FeatureMatrix;
+
+/// A deterministic pseudo-random feature matrix shaped like a typical MVG
+/// extraction (120 instances × 240 features, 3 classes).
+fn dataset() -> (FeatureMatrix, Vec<usize>) {
+    let n_rows = 120usize;
+    let n_cols = 240usize;
+    let mut state = 99u64;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / (u32::MAX as f64)
+    };
+    let mut rows = Vec::with_capacity(n_rows);
+    let mut labels = Vec::with_capacity(n_rows);
+    for i in 0..n_rows {
+        let class = i % 3;
+        let mut row = Vec::with_capacity(n_cols);
+        for j in 0..n_cols {
+            let signal = if j % 3 == class { 0.5 } else { 0.0 };
+            row.push(signal + 0.3 * next());
+        }
+        rows.push(row);
+        labels.push(class);
+    }
+    (FeatureMatrix::from_rows(&rows).unwrap(), labels)
+}
+
+fn bench_classifiers(c: &mut Criterion) {
+    let (x, y) = dataset();
+    let mut group = c.benchmark_group("classifier_training");
+    group.sample_size(10);
+    group.bench_function("gradient_boosting_120x240", |b| {
+        b.iter(|| {
+            let mut gbt = GradientBoosting::new(GradientBoostingParams {
+                n_estimators: 20,
+                max_depth: 4,
+                subsample: 0.5,
+                colsample_bytree: 0.5,
+                ..Default::default()
+            });
+            gbt.fit(std::hint::black_box(&x), std::hint::black_box(&y)).unwrap();
+        })
+    });
+    group.bench_function("random_forest_120x240", |b| {
+        b.iter(|| {
+            let mut rf = RandomForest::new(RandomForestParams {
+                n_estimators: 30,
+                max_depth: 10,
+                ..Default::default()
+            });
+            rf.fit(std::hint::black_box(&x), std::hint::black_box(&y)).unwrap();
+        })
+    });
+    group.bench_function("svm_rbf_120x240", |b| {
+        b.iter(|| {
+            let mut svm = SvmClassifier::new(SvmParams {
+                c: 1.0,
+                kernel: SvmKernel::Rbf { gamma: 0.5 },
+                ..Default::default()
+            });
+            svm.fit(std::hint::black_box(&x), std::hint::black_box(&y)).unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classifiers);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion micro-benchmarks for the distance substrate used by the 1NN
+//! baselines: Euclidean, full DTW, banded DTW and the LB_Keogh lower bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tsg_ts::distance::{dtw, dtw_windowed, euclidean, lb_keogh};
+use tsg_ts::generators;
+
+fn pair(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    (
+        generators::sine_wave(&mut rng, n, n as f64 / 7.0, 1.0, 0.0, 0.2),
+        generators::sine_wave(&mut rng, n, n as f64 / 7.5, 1.0, 0.5, 0.2),
+    )
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distances");
+    group.sample_size(30);
+    for &n in &[128usize, 512] {
+        let (a, b) = pair(n);
+        group.bench_with_input(BenchmarkId::new("euclidean", n), &n, |bench, _| {
+            bench.iter(|| euclidean(std::hint::black_box(&a), std::hint::black_box(&b)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("dtw_full", n), &n, |bench, _| {
+            bench.iter(|| dtw(std::hint::black_box(&a), std::hint::black_box(&b)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("dtw_band10", n), &n, |bench, _| {
+            bench.iter(|| dtw_windowed(std::hint::black_box(&a), std::hint::black_box(&b), 0.1).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("lb_keogh", n), &n, |bench, _| {
+            bench.iter(|| lb_keogh(std::hint::black_box(&a), std::hint::black_box(&b), n / 10).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distances);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks for the MVG feature extraction pipeline
+//! (Algorithm 1): per-series extraction under the UVG and MVG
+//! configurations, and whole-dataset extraction with the parallel map.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tsg_core::{extract_dataset_features, extract_series_features, FeatureConfig};
+use tsg_ts::{generators, Dataset, TimeSeries};
+
+fn make_series(n: usize) -> TimeSeries {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    TimeSeries::with_label(generators::ecg_like(&mut rng, n, n / 8, 2.0, false, 0.05), 0)
+}
+
+fn make_dataset(n_instances: usize, length: usize) -> Dataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let mut d = Dataset::new("bench");
+    for i in 0..n_instances {
+        d.push(TimeSeries::with_label(
+            generators::harmonic_mixture(&mut rng, length, &[(24.0, 1.0)], 0.4),
+            i % 2,
+        ));
+    }
+    d
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("series_feature_extraction");
+    group.sample_size(15);
+    for &n in &[128usize, 512] {
+        let series = make_series(n);
+        group.bench_with_input(BenchmarkId::new("uvg", n), &series, |b, s| {
+            b.iter(|| extract_series_features(std::hint::black_box(s), &FeatureConfig::uvg()))
+        });
+        group.bench_with_input(BenchmarkId::new("mvg", n), &series, |b, s| {
+            b.iter(|| extract_series_features(std::hint::black_box(s), &FeatureConfig::mvg()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("dataset_feature_extraction");
+    group.sample_size(10);
+    let dataset = make_dataset(32, 256);
+    for &threads in &[1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("mvg_32x256", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| extract_dataset_features(std::hint::black_box(&dataset), &FeatureConfig::mvg(), t))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

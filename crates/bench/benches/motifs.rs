@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks for graphlet counting and the other graph
+//! statistics (the PGD-style counter versus brute force, k-core,
+//! assortativity).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tsg_graph::assortativity::degree_assortativity;
+use tsg_graph::kcore::max_coreness;
+use tsg_graph::motifs::{count_motifs, count_motifs_bruteforce};
+use tsg_graph::visibility::visibility_graph;
+use tsg_ts::generators;
+
+fn graph(n: usize) -> tsg_graph::Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let values = generators::fractional_noise(&mut rng, n, 0.6);
+    visibility_graph(&values)
+}
+
+fn bench_motifs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("motif_counting");
+    group.sample_size(15);
+    for &n in &[128usize, 512, 1024] {
+        let g = graph(n);
+        group.bench_with_input(BenchmarkId::new("pgd_style", n), &g, |b, g| {
+            b.iter(|| count_motifs(std::hint::black_box(g)))
+        });
+    }
+    // brute force only at a size where it terminates quickly
+    let small = graph(48);
+    group.bench_function("bruteforce_48", |b| {
+        b.iter(|| count_motifs_bruteforce(std::hint::black_box(&small)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("graph_statistics");
+    group.sample_size(20);
+    let g = graph(1024);
+    group.bench_function("kcore_1024", |b| b.iter(|| max_coreness(std::hint::black_box(&g))));
+    group.bench_function("assortativity_1024", |b| {
+        b.iter(|| degree_assortativity(std::hint::black_box(&g)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_motifs);
+criterion_main!(benches);

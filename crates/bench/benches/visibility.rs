@@ -1,0 +1,35 @@
+//! Criterion micro-benchmarks for visibility graph construction
+//! (section 4.5: VG construction is O(n log n) with the divide-and-conquer
+//! builder, HVG is O(n)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tsg_graph::visibility::{horizontal_visibility_graph, visibility_graph, visibility_graph_naive};
+use tsg_ts::generators;
+
+fn series(n: usize) -> Vec<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    generators::harmonic_mixture(&mut rng, n, &[(n as f64 / 8.0, 1.0), (n as f64 / 31.0, 0.4)], 0.3)
+}
+
+fn bench_visibility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("visibility_graph");
+    group.sample_size(20);
+    for &n in &[128usize, 512, 2048] {
+        let values = series(n);
+        group.bench_with_input(BenchmarkId::new("vg_divide_conquer", n), &values, |b, v| {
+            b.iter(|| visibility_graph(std::hint::black_box(v)))
+        });
+        group.bench_with_input(BenchmarkId::new("vg_naive", n), &values, |b, v| {
+            b.iter(|| visibility_graph_naive(std::hint::black_box(v)))
+        });
+        group.bench_with_input(BenchmarkId::new("hvg", n), &values, |b, v| {
+            b.iter(|| horizontal_visibility_graph(std::hint::black_box(v)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_visibility);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Figure 2: box plots of the size-4 motif probability distributions per
+//! class on the ArrowHead training set.
+
+use tsg_bench::RunOptions;
+use tsg_core::motif_groups::motif_probability_distribution;
+use tsg_datasets::archive::generate_scaled;
+use tsg_eval::{BoxplotSummary, Table};
+use tsg_graph::motifs::{count_motifs, Motif};
+use tsg_graph::visibility::visibility_graph;
+
+fn main() {
+    let options = RunOptions::from_args();
+    let spec = tsg_datasets::archive::spec_by_name("ArrowHead").expect("ArrowHead in catalogue");
+    let (train, _) = generate_scaled(spec, options.archive);
+    println!(
+        "Figure 2: motif probability distributions per class, ArrowHead training set ({} instances)\n",
+        train.len()
+    );
+
+    // per-class, per-motif probability samples (size-4 motifs only, as in the figure)
+    let motifs_connected = [
+        Motif::Clique4,
+        Motif::ChordalCycle4,
+        Motif::TailedTriangle4,
+        Motif::Cycle4,
+        Motif::Star4,
+        Motif::Path4,
+    ];
+    let motifs_disconnected = [
+        Motif::NodeTriangle4,
+        Motif::NodeStar4,
+        Motif::TwoEdges4,
+        Motif::OneEdge4,
+        Motif::Independent4,
+    ];
+    let n_classes = train.n_classes();
+    // probabilities indexed [class][motif_position] -> Vec of samples
+    let mut samples: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); 17]; n_classes];
+    for series in train.series() {
+        let label = series.label().expect("labeled training data");
+        let graph = visibility_graph(series.values());
+        let counts = count_motifs(&graph);
+        let mpd = motif_probability_distribution(&counts);
+        for (j, p) in mpd.iter().enumerate() {
+            samples[label][j].push(*p);
+        }
+    }
+    // the MPD layout: indices 6..12 are the connected 4-motifs, 12..17 the disconnected ones
+    let mut csv = String::from("class,motif,min,q1,median,q3,max,mean\n");
+    for (title, motifs, offset) in [
+        ("Connected Motifs", &motifs_connected[..], 6usize),
+        ("Disconnected Motifs", &motifs_disconnected[..], 12usize),
+    ] {
+        println!("{title}");
+        let mut table = Table::new(&["class", "motif", "min", "q1", "median", "q3", "max"]);
+        for class in 0..n_classes {
+            for (k, motif) in motifs.iter().enumerate() {
+                let values = &samples[class][offset + k];
+                let summary = BoxplotSummary::compute(
+                    format!("class {} {}", class + 1, motif.paper_id()),
+                    values,
+                );
+                table.add_row(vec![
+                    format!("{}", class + 1),
+                    motif.paper_id().to_string(),
+                    format!("{:.4}", summary.min),
+                    format!("{:.4}", summary.q1),
+                    format!("{:.4}", summary.median),
+                    format!("{:.4}", summary.q3),
+                    format!("{:.4}", summary.max),
+                ]);
+                csv.push_str(&format!(
+                    "{},{},{},{},{},{},{},{}\n",
+                    class + 1,
+                    motif.paper_id(),
+                    summary.min,
+                    summary.q1,
+                    summary.median,
+                    summary.q3,
+                    summary.max,
+                    summary.mean
+                ));
+            }
+        }
+        println!("{}", table.to_aligned());
+    }
+    if options.figures {
+        options.write_artefact("fig2_motif_distributions.csv", &csv);
+    }
+    println!(
+        "\nAs in the paper, the per-class distributions overlap substantially —\n\
+         motif probabilities alone are not enough, motivating the extra graph\n\
+         statistics and the multiscale representation (heuristics 1 and 3)."
+    );
+}

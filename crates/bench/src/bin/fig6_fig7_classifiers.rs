@@ -1,0 +1,189 @@
+//! Figures 6 and 7: critical-difference comparisons of classifier families
+//! on MVG features.
+//!
+//! Figure 6 compares single classifiers (XGBoost-style boosting, Random
+//! Forest, SVM). Figure 7 compares stacked generalization restricted to one
+//! family at a time against stacking across all three families.
+
+use tsg_bench::experiments::load_dataset;
+use tsg_bench::RunOptions;
+use tsg_core::{extract_dataset_features, FeatureConfig};
+use tsg_eval::tables::fmt3;
+use tsg_eval::{nemenyi_critical_difference, Table};
+use tsg_ml::forest::{RandomForest, RandomForestParams};
+use tsg_ml::gbt::{GradientBoosting, GradientBoostingParams};
+use tsg_ml::metrics::error_rate;
+use tsg_ml::scaling::MinMaxScaler;
+use tsg_ml::stacking::{StackingEnsemble, StackingParams};
+use tsg_ml::svm::{SvmClassifier, SvmKernel, SvmParams};
+use tsg_ml::traits::Classifier;
+
+fn boosting_candidates(seed: u64) -> Vec<(String, GradientBoostingParams)> {
+    [(0.1, 30usize, 4usize), (0.2, 40, 4), (0.3, 60, 6)]
+        .iter()
+        .map(|&(lr, n, d)| {
+            (
+                format!("xgb(lr={lr},n={n},d={d})"),
+                GradientBoostingParams {
+                    n_estimators: n,
+                    learning_rate: lr,
+                    max_depth: d,
+                    subsample: 0.5,
+                    colsample_bytree: 0.5,
+                    seed,
+                    ..Default::default()
+                },
+            )
+        })
+        .collect()
+}
+
+fn forest_candidates(seed: u64) -> Vec<(String, RandomForestParams)> {
+    [(40usize, 8usize), (80, 12), (120, 16)]
+        .iter()
+        .map(|&(n, d)| {
+            (
+                format!("rf(n={n},d={d})"),
+                RandomForestParams {
+                    n_estimators: n,
+                    max_depth: d,
+                    seed,
+                    ..Default::default()
+                },
+            )
+        })
+        .collect()
+}
+
+fn svm_candidates(seed: u64) -> Vec<(String, SvmParams)> {
+    [(1.0, 1.0), (10.0, 0.5), (5.0, 2.0)]
+        .iter()
+        .map(|&(c, gamma)| {
+            (
+                format!("svm(C={c},g={gamma})"),
+                SvmParams {
+                    c,
+                    kernel: SvmKernel::Rbf { gamma },
+                    seed,
+                    ..Default::default()
+                },
+            )
+        })
+        .collect()
+}
+
+fn fit_and_score(model: &mut dyn Classifier, x_train: &tsg_ml::FeatureMatrix, y_train: &[usize], x_test: &tsg_ml::FeatureMatrix, y_test: &[usize]) -> f64 {
+    model.fit(x_train, y_train).expect("training failed");
+    let pred = model.predict(x_test).expect("prediction failed");
+    error_rate(y_test, &pred)
+}
+
+fn stacking_for_family(family: &str, seed: u64) -> StackingEnsemble {
+    let mut ens = StackingEnsemble::new(StackingParams {
+        top_k: 2,
+        cv_folds: 3,
+        seed,
+    });
+    if family == "XGBoost" || family == "All" {
+        for (name, params) in boosting_candidates(seed) {
+            ens.add_candidate(name, Box::new(move || Box::new(GradientBoosting::new(params)) as Box<dyn Classifier>));
+        }
+    }
+    if family == "RF" || family == "All" {
+        for (name, params) in forest_candidates(seed) {
+            ens.add_candidate(name, Box::new(move || Box::new(RandomForest::new(params)) as Box<dyn Classifier>));
+        }
+    }
+    if family == "SVM" || family == "All" {
+        for (name, params) in svm_candidates(seed) {
+            ens.add_candidate(name, Box::new(move || Box::new(SvmClassifier::new(params)) as Box<dyn Classifier>));
+        }
+    }
+    ens
+}
+
+fn main() {
+    let mut options = RunOptions::from_args();
+    // stacking multiplies training cost; default to a leaner selection unless
+    // the user explicitly chose datasets
+    if options.dataset_filter.is_empty() && options.max_datasets == 0 {
+        options.max_datasets = 12;
+    }
+    let specs = options.selected_specs();
+    println!(
+        "Figures 6 & 7: classifier families and stacked generalization on MVG features ({} datasets)\n",
+        specs.len()
+    );
+
+    let single_methods = ["MVG (XGBoost)", "MVG (RF)", "MVG (SVM)"];
+    let stacking_methods = ["XGBoost", "RF", "SVM", "All"];
+    let mut single_errors: Vec<Vec<f64>> = Vec::new();
+    let mut stack_errors: Vec<Vec<f64>> = Vec::new();
+    let mut single_table = Table::new(&["Dataset", "XGBoost", "RF", "SVM"]);
+    let mut stack_table = Table::new(&["Dataset", "stack XGBoost", "stack RF", "stack SVM", "stack All"]);
+
+    for spec in &specs {
+        let (train, test) = load_dataset(spec, &options);
+        let y_train = train.labels_required().expect("labeled data");
+        let y_test = test.labels_required().expect("labeled data");
+        let features = FeatureConfig::mvg();
+        let (x_train_raw, _) = extract_dataset_features(&train, &features, tsg_core::parallel::default_threads());
+        let (x_test_raw, _) = extract_dataset_features(&test, &features, tsg_core::parallel::default_threads());
+        let (scaler, x_train) = MinMaxScaler::fit_transform(&x_train_raw).expect("scaling");
+        let x_test = scaler.transform(&x_test_raw).expect("scaling");
+
+        // --- Figure 6: single classifiers --------------------------------
+        let mut xgb = GradientBoosting::new(boosting_candidates(options.seed)[1].1);
+        let mut rf = RandomForest::new(forest_candidates(options.seed)[1].1);
+        let mut svm = SvmClassifier::new(svm_candidates(options.seed)[1].1);
+        let row = vec![
+            fit_and_score(&mut xgb, &x_train, &y_train, &x_test, &y_test),
+            fit_and_score(&mut rf, &x_train, &y_train, &x_test, &y_test),
+            fit_and_score(&mut svm, &x_train, &y_train, &x_test, &y_test),
+        ];
+        single_table.add_row({
+            let mut cells = vec![spec.name.to_string()];
+            cells.extend(row.iter().map(|e| fmt3(*e)));
+            cells
+        });
+        single_errors.push(row);
+
+        // --- Figure 7: stacking per family vs all families ----------------
+        let mut row = Vec::new();
+        for family in stacking_methods {
+            let mut ens = stacking_for_family(family, options.seed);
+            row.push(fit_and_score(&mut ens, &x_train, &y_train, &x_test, &y_test));
+        }
+        stack_table.add_row({
+            let mut cells = vec![spec.name.to_string()];
+            cells.extend(row.iter().map(|e| fmt3(*e)));
+            cells
+        });
+        stack_errors.push(row);
+        println!("  finished {}", spec.name);
+    }
+
+    println!("\nPer-dataset error rates (single classifiers, Figure 6):");
+    println!("{}", single_table.to_aligned());
+    let cd6 = nemenyi_critical_difference(&single_errors, &single_methods);
+    println!("{}", cd6.render());
+
+    println!("Per-dataset error rates (stacked generalization, Figure 7):");
+    println!("{}", stack_table.to_aligned());
+    let stack_labels = ["stack XGBoost", "stack RF", "stack SVM", "stack All"];
+    let cd7 = nemenyi_critical_difference(&stack_errors, &stack_labels);
+    println!("{}", cd7.render());
+
+    if options.figures {
+        options.write_artefact("fig6_single_classifiers.csv", &single_table.to_csv());
+        options.write_artefact("fig7_stacking.csv", &stack_table.to_csv());
+        options.write_artefact(
+            "fig6_fig7_critical_difference.json",
+            &serde_json::to_string_pretty(&serde_json::json!({
+                "fig6": {"methods": single_methods, "ranks": cd6.average_ranks, "cd": cd6.cd},
+                "fig7": {"methods": stack_labels, "ranks": cd7.average_ranks, "cd": cd7.cd},
+            }))
+            .expect("json"),
+        );
+    }
+}

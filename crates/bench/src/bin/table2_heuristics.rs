@@ -1,0 +1,144 @@
+//! Table 2 + Figures 3, 4, 5: heuristic validation.
+//!
+//! For every dataset the binary evaluates the 1NN-Euclidean and 1NN-DTW
+//! baselines plus the seven feature configurations A–G of the paper
+//! (HVG/VG × MPDs/All at a single scale, then UVG / AMVG / MVG with all
+//! graph kinds and features), each classified with gradient boosting. It
+//! reports the per-dataset error rates, win counts and Wilcoxon p-values of
+//! the paper's comparison rows, and writes the scatter-plot series behind
+//! Figures 3, 4 and 5.
+
+use tsg_baselines::{NnClassifier, NnDistance};
+use tsg_bench::experiments::{
+    load_dataset, mvg_fixed_config, run_baseline, run_mvg, table2_configurations,
+};
+use tsg_bench::RunOptions;
+use tsg_eval::tables::fmt3;
+use tsg_eval::{wilcoxon_signed_rank, ScatterComparison, Table};
+
+fn main() {
+    let options = RunOptions::from_args();
+    let specs = options.selected_specs();
+    let configs = table2_configurations();
+    println!(
+        "Table 2: heuristic validation over {} datasets (budget: ≤{} train, ≤{} test, length ≤{})\n",
+        specs.len(),
+        options.archive.max_train.min(99999),
+        options.archive.max_test.min(99999),
+        options.archive.max_length.min(99999),
+    );
+
+    let mut header: Vec<&str> = vec!["Dataset", "#Cls", "#Train", "#Test", "Dim", "1NN-ED", "1NN-DTW"];
+    let config_labels: Vec<String> = configs.iter().map(|(c, _)| c.to_string()).collect();
+    for label in &config_labels {
+        header.push(Box::leak(label.clone().into_boxed_str()));
+    }
+    let mut table = Table::new(&header);
+
+    // per-method error vectors across datasets (columns: ED, DTW, A..G)
+    let n_methods = 2 + configs.len();
+    let mut errors: Vec<Vec<f64>> = vec![Vec::new(); n_methods];
+    let mut dataset_names: Vec<String> = Vec::new();
+
+    for spec in &specs {
+        let (train, test) = load_dataset(spec, &options);
+        let mut row = vec![
+            spec.name.to_string(),
+            spec.n_classes.to_string(),
+            train.len().to_string(),
+            test.len().to_string(),
+            train.max_length().to_string(),
+        ];
+        // 1NN baselines
+        let mut ed = NnClassifier::new(NnDistance::Euclidean);
+        let ed_result = run_baseline(&mut ed, &train, &test);
+        let mut dtw = NnClassifier::new(NnDistance::Dtw {
+            window_fraction: Some(0.1),
+        });
+        let dtw_result = run_baseline(&mut dtw, &train, &test);
+        errors[0].push(ed_result.error_rate);
+        errors[1].push(dtw_result.error_rate);
+        row.push(fmt3(ed_result.error_rate));
+        row.push(fmt3(dtw_result.error_rate));
+        // configurations A..G
+        for (i, (letter, features)) in configs.iter().enumerate() {
+            let config = mvg_fixed_config(features.clone(), options.seed);
+            let result = run_mvg(&letter.to_string(), config, &train, &test);
+            errors[2 + i].push(result.error_rate);
+            row.push(fmt3(result.error_rate));
+        }
+        dataset_names.push(spec.name.to_string());
+        table.add_row(row);
+        println!("  finished {}", spec.name);
+    }
+
+    println!("\n{}", table.to_aligned());
+
+    // ---- the paper's comparison rows ------------------------------------
+    // (comparison column, baseline column) pairs as in the bottom of Table 2
+    let method_names: Vec<String> = {
+        let mut v = vec!["1NN-ED".to_string(), "1NN-DTW".to_string()];
+        v.extend(configs.iter().map(|(c, f)| format!("{c} ({})", f.label())));
+        v
+    };
+    let comparisons: Vec<(usize, usize)> = vec![
+        (0, 8), // 1NN-ED vs G
+        (1, 8), // 1NN-DTW vs G
+        (2, 3), // A vs B
+        (3, 5), // B vs D
+        (4, 5), // C vs D
+        (5, 6), // D vs E
+        (6, 7), // E vs F
+        (6, 8), // E vs G
+        (7, 8), // F vs G
+    ];
+    let mut cmp_table = Table::new(&["comparison", "wins (right)", "ties", "losses", "Wilcoxon p"]);
+    for (left, right) in &comparisons {
+        let comparison = ScatterComparison::new(
+            method_names[*left].clone(),
+            method_names[*right].clone(),
+            dataset_names.clone(),
+            errors[*left].clone(),
+            errors[*right].clone(),
+        );
+        let wl = comparison.win_loss();
+        let p = wilcoxon_signed_rank(&errors[*left], &errors[*right])
+            .map(|r| format!("{:.4}", r.p_value))
+            .unwrap_or_else(|| "n/a".to_string());
+        cmp_table.add_row(vec![
+            format!("{} vs {}", method_names[*left], method_names[*right]),
+            wl.wins.to_string(),
+            wl.ties.to_string(),
+            wl.losses.to_string(),
+            p,
+        ]);
+    }
+    println!("{}", cmp_table.to_aligned());
+
+    // ---- figure artefacts -------------------------------------------------
+    if options.figures {
+        let figure_pairs: Vec<(&str, usize, usize)> = vec![
+            ("fig3_hvg_mpds_vs_all.csv", 2, 3),
+            ("fig3_vg_mpds_vs_all.csv", 4, 5),
+            ("fig4_hvg_vs_vg.csv", 3, 5),
+            ("fig4_hvg_vs_uvg.csv", 3, 6),
+            ("fig4_vg_vs_uvg.csv", 5, 6),
+            ("fig5_uvg_vs_amvg.csv", 6, 7),
+            ("fig5_amvg_vs_mvg.csv", 7, 8),
+            ("fig5_uvg_vs_mvg.csv", 6, 8),
+        ];
+        for (file, left, right) in figure_pairs {
+            let comparison = ScatterComparison::new(
+                method_names[left].clone(),
+                method_names[right].clone(),
+                dataset_names.clone(),
+                errors[left].clone(),
+                errors[right].clone(),
+            );
+            options.write_artefact(file, &comparison.to_csv());
+            println!("{}", comparison.render_ascii(24));
+        }
+        // full table as CSV
+        options.write_artefact("table2_error_rates.csv", &table.to_csv());
+    }
+}

@@ -1,0 +1,119 @@
+//! Table 3 + Figures 8, 9: accuracy and runtime versus the five
+//! state-of-the-art baselines (1NN-ED, 1NN-DTW, Learning Shapelets, Fast
+//! Shapelets, SAX-VSM).
+
+use tsg_bench::experiments::{load_dataset, mvg_fixed_config, run_baseline, run_mvg, table3_baselines};
+use tsg_bench::RunOptions;
+use tsg_core::FeatureConfig;
+use tsg_eval::tables::fmt3;
+use tsg_eval::{wilcoxon_signed_rank, ScatterComparison, Table};
+
+fn main() {
+    let options = RunOptions::from_args();
+    let specs = options.selected_specs();
+    println!(
+        "Table 3: error rates and runtimes vs five baselines over {} datasets\n",
+        specs.len()
+    );
+
+    let baseline_names: Vec<String> = table3_baselines(options.seed).iter().map(|b| b.name()).collect();
+    let mut header: Vec<String> = vec!["Dataset".into()];
+    header.extend(baseline_names.iter().cloned());
+    header.push("MVG".into());
+    header.push("MVG FE (s)".into());
+    header.push("MVG Clf (s)".into());
+    header.push("MVG total (s)".into());
+    header.push("FS (s)".into());
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(&header_refs);
+
+    let n_methods = baseline_names.len() + 1; // + MVG
+    let mut errors: Vec<Vec<f64>> = vec![Vec::new(); n_methods];
+    let mut mvg_runtime: Vec<f64> = Vec::new();
+    let mut fs_runtime: Vec<f64> = Vec::new();
+    let mut dataset_names: Vec<String> = Vec::new();
+
+    for spec in &specs {
+        let (train, test) = load_dataset(spec, &options);
+        let mut row = vec![spec.name.to_string()];
+        let mut fs_seconds = 0.0;
+        for (b, mut baseline) in table3_baselines(options.seed).into_iter().enumerate() {
+            let result = run_baseline(baseline.as_mut(), &train, &test);
+            if result.method.contains("FastShapelets") {
+                fs_seconds = result.total_seconds();
+            }
+            errors[b].push(result.error_rate);
+            row.push(fmt3(result.error_rate));
+        }
+        let mvg = run_mvg(
+            "MVG",
+            mvg_fixed_config(FeatureConfig::mvg(), options.seed),
+            &train,
+            &test,
+        );
+        errors[n_methods - 1].push(mvg.error_rate);
+        row.push(fmt3(mvg.error_rate));
+        row.push(format!("{:.2}", mvg.feature_seconds));
+        row.push(format!("{:.2}", mvg.classify_seconds));
+        row.push(format!("{:.2}", mvg.total_seconds()));
+        row.push(format!("{:.2}", fs_seconds));
+        mvg_runtime.push(mvg.total_seconds());
+        fs_runtime.push(fs_seconds);
+        dataset_names.push(spec.name.to_string());
+        table.add_row(row);
+        println!("  finished {}", spec.name);
+    }
+    println!("\n{}", table.to_aligned());
+
+    // ---- win counts and Wilcoxon tests against MVG -----------------------
+    let mvg_errors = errors[n_methods - 1].clone();
+    let mut summary = Table::new(&["method", "MVG wins", "ties", "MVG losses", "Wilcoxon p"]);
+    for (b, name) in baseline_names.iter().enumerate() {
+        let comparison = ScatterComparison::new(
+            name.clone(),
+            "MVG",
+            dataset_names.clone(),
+            errors[b].clone(),
+            mvg_errors.clone(),
+        );
+        let wl = comparison.win_loss();
+        let p = wilcoxon_signed_rank(&errors[b], &mvg_errors)
+            .map(|r| format!("{:.4}", r.p_value))
+            .unwrap_or_else(|| "n/a".to_string());
+        summary.add_row(vec![
+            name.clone(),
+            wl.wins.to_string(),
+            wl.ties.to_string(),
+            wl.losses.to_string(),
+            p,
+        ]);
+        if options.figures {
+            let file = format!(
+                "fig8_{}_vs_mvg.csv",
+                name.to_lowercase().replace(['-', ' ', '('], "_").replace(')', "")
+            );
+            options.write_artefact(&file, &comparison.to_csv());
+        }
+    }
+    println!("{}", summary.to_aligned());
+    println!(
+        "total MVG runtime: {:.1}s, total FastShapelets runtime: {:.1}s ({}x)",
+        mvg_runtime.iter().sum::<f64>(),
+        fs_runtime.iter().sum::<f64>(),
+        (fs_runtime.iter().sum::<f64>() / mvg_runtime.iter().sum::<f64>().max(1e-9)).round()
+    );
+
+    // ---- Figure 9: runtime scatter (log10 seconds) ------------------------
+    if options.figures {
+        let runtime_scatter = ScatterComparison::new(
+            "FS log10(s)",
+            "MVG log10(s)",
+            dataset_names.clone(),
+            fs_runtime.iter().map(|s| s.max(1e-3).log10()).collect(),
+            mvg_runtime.iter().map(|s| s.max(1e-3).log10()).collect(),
+        );
+        options.write_artefact("fig9_runtime_fs_vs_mvg.csv", &runtime_scatter.to_csv());
+        println!("{}", runtime_scatter.render_ascii(24));
+        options.write_artefact("table3_results.csv", &table.to_csv());
+    }
+}

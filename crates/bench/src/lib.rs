@@ -1,0 +1,199 @@
+//! # tsg-bench — experiment harness
+//!
+//! Shared plumbing for the per-table / per-figure experiment binaries under
+//! `src/bin/` and the criterion micro-benchmarks under `benches/`.
+//!
+//! Each binary regenerates one artefact of the paper's evaluation section:
+//!
+//! | binary | paper artefact |
+//! |--------|----------------|
+//! | `table1_motifs` | Table 1 (motif taxonomy) |
+//! | `fig2_motif_distributions` | Figure 2 (per-class motif box plots, ArrowHead) |
+//! | `table2_heuristics` | Table 2 + Figures 3, 4, 5 (heuristic ablations) |
+//! | `fig6_fig7_classifiers` | Figures 6, 7 (critical-difference diagrams) |
+//! | `table3_benchmark` | Table 3 + Figures 8, 9 (accuracy and runtime vs baselines) |
+//! | `fig10_importance` | Figure 10 (top feature importances, FordA) |
+//!
+//! All binaries accept `--quick` (tiny budget, minutes), default to a
+//! *reduced* budget (bounded instance counts and lengths) and accept
+//! `--full` for paper-scale dataset sizes. Results are printed as aligned
+//! text tables and written as CSV/JSON artefacts under `target/experiments/`.
+
+use std::path::PathBuf;
+use tsg_datasets::archive::ArchiveOptions;
+
+pub mod experiments;
+
+/// Command-line options shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Dataset size budget.
+    pub archive: ArchiveOptions,
+    /// Restrict the run to datasets whose name contains one of these
+    /// substrings (empty = all datasets).
+    pub dataset_filter: Vec<String>,
+    /// How many datasets to include at most (0 = all).
+    pub max_datasets: usize,
+    /// Emit per-figure CSV artefacts as well as the tables.
+    pub figures: bool,
+    /// Output directory for artefacts.
+    pub output_dir: PathBuf,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            archive: ArchiveOptions::bounded(60, 512, 7),
+            dataset_filter: Vec::new(),
+            max_datasets: 0,
+            figures: true,
+            output_dir: PathBuf::from("target/experiments"),
+            seed: 7,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Parses the common flags from `std::env::args`.
+    ///
+    /// Supported flags: `--quick`, `--full`, `--datasets a,b,c`,
+    /// `--max-datasets N`, `--seed N`, `--no-figures`, `--out DIR`.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::from_arg_slice(&args)
+    }
+
+    /// Parses flags from an explicit slice (testable).
+    pub fn from_arg_slice(args: &[String]) -> Self {
+        let mut options = RunOptions::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => {
+                    options.archive = ArchiveOptions::bounded(24, 192, options.seed);
+                    if options.max_datasets == 0 {
+                        options.max_datasets = 8;
+                    }
+                }
+                "--full" => {
+                    options.archive = ArchiveOptions::full(options.seed);
+                }
+                "--no-figures" => options.figures = false,
+                "--datasets" => {
+                    if let Some(v) = args.get(i + 1) {
+                        options.dataset_filter =
+                            v.split(',').map(|s| s.trim().to_string()).collect();
+                        i += 1;
+                    }
+                }
+                "--max-datasets" => {
+                    if let Some(v) = args.get(i + 1) {
+                        options.max_datasets = v.parse().unwrap_or(0);
+                        i += 1;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = args.get(i + 1) {
+                        options.seed = v.parse().unwrap_or(7);
+                        options.archive.seed = options.seed;
+                        i += 1;
+                    }
+                }
+                "--out" => {
+                    if let Some(v) = args.get(i + 1) {
+                        options.output_dir = PathBuf::from(v);
+                        i += 1;
+                    }
+                }
+                other => {
+                    eprintln!("ignoring unknown flag `{other}`");
+                }
+            }
+            i += 1;
+        }
+        options
+    }
+
+    /// The dataset specs selected by the filter / cap.
+    pub fn selected_specs(&self) -> Vec<&'static tsg_datasets::DatasetSpec> {
+        let mut specs: Vec<&'static tsg_datasets::DatasetSpec> = tsg_datasets::ALL_DATASETS
+            .iter()
+            .filter(|spec| {
+                self.dataset_filter.is_empty()
+                    || self
+                        .dataset_filter
+                        .iter()
+                        .any(|f| spec.name.to_lowercase().contains(&f.to_lowercase()))
+            })
+            .collect();
+        if self.max_datasets > 0 && specs.len() > self.max_datasets {
+            specs.truncate(self.max_datasets);
+        }
+        specs
+    }
+
+    /// Ensures the output directory exists and returns the path of an
+    /// artefact file inside it.
+    pub fn artefact_path(&self, name: &str) -> PathBuf {
+        std::fs::create_dir_all(&self.output_dir).ok();
+        self.output_dir.join(name)
+    }
+
+    /// Writes an artefact file and logs its location.
+    pub fn write_artefact(&self, name: &str, content: &str) {
+        let path = self.artefact_path(name);
+        match std::fs::write(&path, content) {
+            Ok(()) => println!("  wrote {}", path.display()),
+            Err(e) => eprintln!("  failed to write {}: {e}", path.display()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_select_all_datasets() {
+        let options = RunOptions::default();
+        assert_eq!(options.selected_specs().len(), 39);
+    }
+
+    #[test]
+    fn flags_are_parsed() {
+        let args: Vec<String> = [
+            "--quick",
+            "--datasets",
+            "beetle,wine",
+            "--seed",
+            "13",
+            "--no-figures",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let options = RunOptions::from_arg_slice(&args);
+        assert!(!options.figures);
+        assert_eq!(options.seed, 13);
+        let specs = options.selected_specs();
+        assert_eq!(specs.len(), 2);
+        assert!(specs.iter().any(|s| s.name == "BeetleFly"));
+        assert!(specs.iter().any(|s| s.name == "Wine"));
+    }
+
+    #[test]
+    fn max_datasets_caps_selection() {
+        let args: Vec<String> = ["--max-datasets", "5"].iter().map(|s| s.to_string()).collect();
+        let options = RunOptions::from_arg_slice(&args);
+        assert_eq!(options.selected_specs().len(), 5);
+    }
+
+    #[test]
+    fn unknown_flags_are_ignored() {
+        let args: Vec<String> = ["--bogus", "--full"].iter().map(|s| s.to_string()).collect();
+        let options = RunOptions::from_arg_slice(&args);
+        assert_eq!(options.archive.max_train, usize::MAX);
+    }
+}

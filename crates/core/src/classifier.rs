@@ -1,0 +1,445 @@
+//! The end-to-end MVG classifier.
+//!
+//! [`MvgClassifier`] bundles feature extraction (section 3.1) with a generic
+//! classifier (section 3.2): gradient boosting by default, optionally Random
+//! Forest, SVM, a small cross-validated grid of boosting configurations, or a
+//! stacked ensemble of the three families (section 4.3). Minority classes can
+//! be randomly oversampled before training, as the paper does for imbalanced
+//! datasets.
+
+use crate::extractor::{extract_dataset_features, FeatureConfig};
+use crate::importance::{rank_features, FeatureImportance};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tsg_ml::data::{random_oversample, FeatureMatrix};
+use tsg_ml::forest::{RandomForest, RandomForestParams};
+use tsg_ml::gbt::{GradientBoosting, GradientBoostingParams};
+use tsg_ml::metrics::accuracy;
+use tsg_ml::scaling::MinMaxScaler;
+use tsg_ml::stacking::{StackingEnsemble, StackingParams};
+use tsg_ml::svm::{SvmClassifier, SvmKernel, SvmParams};
+use tsg_ml::traits::Classifier;
+use tsg_ml::{GridSearch, MlError};
+use tsg_ts::Dataset;
+
+/// Which classifier family consumes the extracted features.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClassifierChoice {
+    /// Gradient boosting with fixed hyper-parameters.
+    GradientBoosting(GradientBoostingParams),
+    /// Gradient boosting tuned by a small stratified-CV grid search over
+    /// learning rate, number of estimators and depth (the paper's setup,
+    /// scaled down).
+    GradientBoostingGrid,
+    /// Random Forest with fixed hyper-parameters.
+    RandomForest(RandomForestParams),
+    /// RBF-kernel SVM (features are min-max scaled automatically).
+    Svm(SvmParams),
+    /// Stacked generalization over the top configurations of each family
+    /// (Algorithm 2 / Figure 7).
+    Stacked {
+        /// How many configurations per family are offered to the selector.
+        top_k: usize,
+    },
+}
+
+/// Full configuration of an [`MvgClassifier`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MvgConfig {
+    /// Feature extraction configuration.
+    pub features: FeatureConfig,
+    /// Classifier family and hyper-parameters.
+    pub classifier: ClassifierChoice,
+    /// Randomly oversample minority classes before training.
+    pub oversample: bool,
+    /// Number of extraction threads.
+    pub n_threads: usize,
+    /// Random seed (oversampling, subsampling, folds).
+    pub seed: u64,
+}
+
+impl Default for MvgConfig {
+    fn default() -> Self {
+        MvgConfig::paper()
+    }
+}
+
+impl MvgConfig {
+    /// The paper's configuration: full MVG features, grid-searched boosting,
+    /// oversampling enabled.
+    pub fn paper() -> Self {
+        MvgConfig {
+            features: FeatureConfig::mvg(),
+            classifier: ClassifierChoice::GradientBoostingGrid,
+            oversample: true,
+            n_threads: crate::parallel::default_threads(),
+            seed: 7,
+        }
+    }
+
+    /// A fast configuration for tests and examples: full MVG features with a
+    /// small fixed boosting model.
+    pub fn fast() -> Self {
+        MvgConfig {
+            features: FeatureConfig::mvg(),
+            classifier: ClassifierChoice::GradientBoosting(GradientBoostingParams {
+                n_estimators: 25,
+                max_depth: 3,
+                learning_rate: 0.2,
+                subsample: 0.8,
+                colsample_bytree: 0.8,
+                ..Default::default()
+            }),
+            oversample: true,
+            n_threads: crate::parallel::default_threads(),
+            seed: 7,
+        }
+    }
+
+    /// Replaces the feature configuration.
+    pub fn with_features(mut self, features: FeatureConfig) -> Self {
+        self.features = features;
+        self
+    }
+
+    /// Replaces the classifier choice.
+    pub fn with_classifier(mut self, classifier: ClassifierChoice) -> Self {
+        self.classifier = classifier;
+        self
+    }
+
+    /// Replaces the random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The end-to-end MVG pipeline: feature extraction + generic classification.
+pub struct MvgClassifier {
+    config: MvgConfig,
+    model: Option<Box<dyn Classifier>>,
+    scaler: Option<MinMaxScaler>,
+    feature_names: Vec<String>,
+    gbt_importance: Vec<f64>,
+    n_classes: usize,
+}
+
+impl MvgClassifier {
+    /// Creates an unfitted classifier.
+    pub fn new(config: MvgConfig) -> Self {
+        MvgClassifier {
+            config,
+            model: None,
+            scaler: None,
+            feature_names: Vec::new(),
+            gbt_importance: Vec::new(),
+            n_classes: 0,
+        }
+    }
+
+    /// The configuration this classifier was built with.
+    pub fn config(&self) -> &MvgConfig {
+        &self.config
+    }
+
+    /// Names of the extracted features (available after fitting).
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Number of classes seen during fitting.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Extracts the feature matrix of a dataset under this classifier's
+    /// feature configuration (exposed for experiments that reuse features
+    /// across classifier families).
+    pub fn extract_features(&self, dataset: &Dataset) -> (FeatureMatrix, Vec<String>) {
+        extract_dataset_features(dataset, &self.config.features, self.config.n_threads)
+    }
+
+    fn build_grid(&self) -> GridSearch {
+        let mut grid = GridSearch::new(self.config.seed);
+        for &learning_rate in &[0.1, 0.3] {
+            for &n_estimators in &[30usize, 60] {
+                for &max_depth in &[4usize, 8] {
+                    let params = GradientBoostingParams {
+                        n_estimators,
+                        learning_rate,
+                        max_depth,
+                        subsample: 0.5,
+                        colsample_bytree: 0.5,
+                        seed: self.config.seed,
+                        ..Default::default()
+                    };
+                    grid.add(
+                        format!("xgb(lr={learning_rate},n={n_estimators},d={max_depth})"),
+                        Box::new(move || {
+                            Box::new(GradientBoosting::new(params)) as Box<dyn Classifier>
+                        }),
+                    );
+                }
+            }
+        }
+        grid
+    }
+
+    fn build_stacking(&self, top_k: usize) -> StackingEnsemble {
+        let seed = self.config.seed;
+        let mut ens = StackingEnsemble::new(StackingParams {
+            top_k,
+            cv_folds: 3,
+            seed,
+        });
+        for &(lr, n, d) in &[(0.1, 30usize, 4usize), (0.1, 60, 8), (0.3, 60, 4)] {
+            let params = GradientBoostingParams {
+                n_estimators: n,
+                learning_rate: lr,
+                max_depth: d,
+                subsample: 0.5,
+                colsample_bytree: 0.5,
+                seed,
+                ..Default::default()
+            };
+            ens.add_candidate(
+                format!("xgb(lr={lr},n={n},d={d})"),
+                Box::new(move || Box::new(GradientBoosting::new(params)) as Box<dyn Classifier>),
+            );
+        }
+        for &(n, d) in &[(50usize, 8usize), (100, 12)] {
+            let params = RandomForestParams {
+                n_estimators: n,
+                max_depth: d,
+                seed,
+                ..Default::default()
+            };
+            ens.add_candidate(
+                format!("rf(n={n},d={d})"),
+                Box::new(move || Box::new(RandomForest::new(params)) as Box<dyn Classifier>),
+            );
+        }
+        for &(c, gamma) in &[(1.0, 1.0), (10.0, 0.5)] {
+            let params = SvmParams {
+                c,
+                kernel: SvmKernel::Rbf { gamma },
+                seed,
+                ..Default::default()
+            };
+            ens.add_candidate(
+                format!("svm(C={c},gamma={gamma})"),
+                Box::new(move || Box::new(SvmClassifier::new(params)) as Box<dyn Classifier>),
+            );
+        }
+        ens
+    }
+
+    /// Fits the pipeline on a labeled training dataset.
+    pub fn fit(&mut self, train: &Dataset) -> crate::Result<()> {
+        if train.is_empty() {
+            return Err(MlError::InvalidData("training dataset is empty".into()));
+        }
+        let labels = train
+            .labels_required()
+            .map_err(|e| MlError::InvalidData(e.to_string()))?;
+        let (features, names) = self.extract_features(train);
+        self.feature_names = names;
+        // min-max scale: harmless for trees, required for SVM
+        let (scaler, mut x) = MinMaxScaler::fit_transform(&features)?;
+        self.scaler = Some(scaler);
+        let mut y = labels;
+        if self.config.oversample {
+            let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+            let indices = random_oversample(&y, &mut rng);
+            x = x.select_rows(&indices);
+            y = indices.iter().map(|&i| y[i]).collect();
+        }
+        self.n_classes = y.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+        let model: Box<dyn Classifier> = match &self.config.classifier {
+            ClassifierChoice::GradientBoosting(params) => {
+                let mut gbt = GradientBoosting::new(*params);
+                gbt.fit(&x, &y)?;
+                self.gbt_importance = gbt.feature_importance();
+                Box::new(gbt)
+            }
+            ClassifierChoice::GradientBoostingGrid => {
+                let grid = self.build_grid();
+                let (results_model, _results) = grid.fit_best(&x, &y)?;
+                // re-fit a matching booster to recover feature importances
+                // (the grid returns a type-erased model)
+                self.gbt_importance = Vec::new();
+                results_model
+            }
+            ClassifierChoice::RandomForest(params) => {
+                let mut rf = RandomForest::new(*params);
+                rf.fit(&x, &y)?;
+                self.gbt_importance = rf.feature_importance();
+                Box::new(rf)
+            }
+            ClassifierChoice::Svm(params) => {
+                let mut svm = SvmClassifier::new(*params);
+                svm.fit(&x, &y)?;
+                Box::new(svm)
+            }
+            ClassifierChoice::Stacked { top_k } => {
+                let mut ens = self.build_stacking(*top_k);
+                ens.fit(&x, &y)?;
+                Box::new(ens)
+            }
+        };
+        self.model = Some(model);
+        Ok(())
+    }
+
+    fn transform(&self, dataset: &Dataset) -> crate::Result<FeatureMatrix> {
+        let (features, _) = self.extract_features(dataset);
+        let scaler = self.scaler.as_ref().ok_or(MlError::NotFitted)?;
+        // pad/truncate to the training width (different-length test series)
+        let width = self.feature_names.len();
+        let rows: Vec<Vec<f64>> = features
+            .rows()
+            .map(|r| {
+                let mut v = r.to_vec();
+                v.resize(width, 0.0);
+                v
+            })
+            .collect();
+        let matrix = FeatureMatrix::from_rows(&rows)?;
+        scaler.transform(&matrix)
+    }
+
+    /// Predicts labels for a dataset.
+    pub fn predict(&self, dataset: &Dataset) -> crate::Result<Vec<usize>> {
+        let model = self.model.as_ref().ok_or(MlError::NotFitted)?;
+        let x = self.transform(dataset)?;
+        model.predict(&x)
+    }
+
+    /// Predicts class probabilities for a dataset.
+    pub fn predict_proba(&self, dataset: &Dataset) -> crate::Result<Vec<Vec<f64>>> {
+        let model = self.model.as_ref().ok_or(MlError::NotFitted)?;
+        let x = self.transform(dataset)?;
+        model.predict_proba(&x)
+    }
+
+    /// Accuracy on a labeled dataset.
+    pub fn score(&self, dataset: &Dataset) -> crate::Result<f64> {
+        let truth = dataset
+            .labels_required()
+            .map_err(|e| MlError::InvalidData(e.to_string()))?;
+        let pred = self.predict(dataset)?;
+        Ok(accuracy(&truth, &pred))
+    }
+
+    /// Error rate (`1 - accuracy`) on a labeled dataset — the quantity the
+    /// paper's tables report.
+    pub fn error_rate(&self, dataset: &Dataset) -> crate::Result<f64> {
+        Ok(1.0 - self.score(dataset)?)
+    }
+
+    /// Ranked feature importances (available for tree-based classifiers with
+    /// fixed parameters; empty otherwise).
+    pub fn feature_importances(&self) -> Vec<FeatureImportance> {
+        rank_features(&self.feature_names, &self.gbt_importance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use tsg_ts::generators;
+    use tsg_ts::TimeSeries;
+
+    fn structured_dataset(n_per_class: usize, len: usize, seed: u64) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut d = Dataset::new("synthetic");
+        for i in 0..n_per_class * 2 {
+            let label = i % 2;
+            let values = if label == 0 {
+                generators::sine_wave(&mut rng, len, 20.0, 1.0, 0.3, 0.2)
+            } else {
+                generators::ar1(&mut rng, len, 0.7, 1.0)
+            };
+            d.push(TimeSeries::with_label(values, label));
+        }
+        d
+    }
+
+    #[test]
+    fn fast_config_learns_structured_vs_autoregressive() {
+        let train = structured_dataset(12, 128, 1);
+        let test = structured_dataset(10, 128, 2);
+        let mut clf = MvgClassifier::new(MvgConfig::fast());
+        clf.fit(&train).unwrap();
+        let acc = clf.score(&test).unwrap();
+        assert!(acc >= 0.8, "accuracy {acc}");
+        assert_eq!(clf.n_classes(), 2);
+        assert!(!clf.feature_names().is_empty());
+        let err = clf.error_rate(&test).unwrap();
+        assert!((err - (1.0 - acc)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        let train = structured_dataset(8, 128, 3);
+        let mut clf = MvgClassifier::new(MvgConfig::fast());
+        clf.fit(&train).unwrap();
+        for p in clf.predict_proba(&train).unwrap() {
+            assert_eq!(p.len(), 2);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn feature_importances_are_ranked() {
+        let train = structured_dataset(10, 128, 4);
+        let mut clf = MvgClassifier::new(MvgConfig::fast());
+        clf.fit(&train).unwrap();
+        let imp = clf.feature_importances();
+        assert!(!imp.is_empty());
+        for w in imp.windows(2) {
+            assert!(w[0].importance >= w[1].importance);
+        }
+    }
+
+    #[test]
+    fn random_forest_and_svm_choices_work() {
+        let train = structured_dataset(8, 128, 5);
+        let test = structured_dataset(6, 128, 6);
+        for choice in [
+            ClassifierChoice::RandomForest(RandomForestParams {
+                n_estimators: 20,
+                max_depth: 8,
+                ..Default::default()
+            }),
+            ClassifierChoice::Svm(SvmParams {
+                c: 5.0,
+                kernel: SvmKernel::Rbf { gamma: 2.0 },
+                ..Default::default()
+            }),
+        ] {
+            let config = MvgConfig::fast().with_classifier(choice);
+            let mut clf = MvgClassifier::new(config);
+            clf.fit(&train).unwrap();
+            let acc = clf.score(&test).unwrap();
+            assert!(acc >= 0.6, "accuracy {acc} for {:?}", clf.config().classifier);
+        }
+    }
+
+    #[test]
+    fn unfitted_prediction_errors() {
+        let clf = MvgClassifier::new(MvgConfig::fast());
+        let d = structured_dataset(2, 64, 9);
+        assert!(clf.predict(&d).is_err());
+        assert!(clf.score(&d).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let mut clf = MvgClassifier::new(MvgConfig::fast());
+        assert!(clf.fit(&Dataset::new("empty")).is_err());
+    }
+}

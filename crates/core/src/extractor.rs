@@ -1,0 +1,331 @@
+//! Algorithm 1: building MVGs and extracting statistical features.
+//!
+//! A [`FeatureConfig`] pins down one point in the paper's design space —
+//! which graph kinds (VG / HVG / both), which scales (UVG / AMVG / MVG) and
+//! whether the scalar statistics accompany the motif probability
+//! distributions. [`extract_series_features`] turns one series into a flat
+//! feature vector under that configuration and
+//! [`extract_dataset_features`] maps a whole dataset into a
+//! [`FeatureMatrix`] (in parallel), producing the input of the generic
+//! classifiers.
+
+use crate::graph_features::{block_len, graph_feature_block, graph_feature_names};
+use crate::parallel::parallel_map;
+use crate::representation::{ScaleMode, SeriesGraphs};
+use serde::{Deserialize, Serialize};
+use tsg_graph::visibility::VisibilityKind;
+use tsg_ml::data::FeatureMatrix;
+use tsg_ts::multiscale::MultiscaleOptions;
+use tsg_ts::preprocess::detrend;
+use tsg_ts::{Dataset, TimeSeries};
+
+/// Configuration of the feature extraction stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureConfig {
+    /// Which visibility criteria to build graphs with.
+    pub kinds: Vec<VisibilityKind>,
+    /// Which scales to include (UVG / AMVG / MVG).
+    pub scale_mode: ScaleMode,
+    /// Whether density/coreness/assortativity/degree statistics are appended
+    /// to the motif probability distributions.
+    pub include_other_stats: bool,
+    /// Multiscale cascade options (`τ`).
+    pub multiscale: MultiscaleOptions,
+    /// Remove the least-squares linear trend before graph construction
+    /// (visibility graphs do not handle monotone trends well, §2.1).
+    pub detrend: bool,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig::mvg()
+    }
+}
+
+impl FeatureConfig {
+    /// The paper's full configuration (column G of Table 2): VG + HVG, all
+    /// scales, all features.
+    pub fn mvg() -> Self {
+        FeatureConfig {
+            kinds: vec![VisibilityKind::Natural, VisibilityKind::Horizontal],
+            scale_mode: ScaleMode::FullMultiscale,
+            include_other_stats: true,
+            multiscale: MultiscaleOptions::default(),
+            detrend: false,
+        }
+    }
+
+    /// Column E of Table 2: VG + HVG on the original scale only.
+    pub fn uvg() -> Self {
+        FeatureConfig {
+            scale_mode: ScaleMode::Uniscale,
+            ..FeatureConfig::mvg()
+        }
+    }
+
+    /// Column F of Table 2: VG + HVG on the approximated scales only.
+    pub fn amvg() -> Self {
+        FeatureConfig {
+            scale_mode: ScaleMode::ApproximatedMultiscale,
+            ..FeatureConfig::mvg()
+        }
+    }
+
+    /// A single-kind uniscale configuration (columns A–D of Table 2).
+    pub fn uniscale_single(kind: VisibilityKind, include_other_stats: bool) -> Self {
+        FeatureConfig {
+            kinds: vec![kind],
+            scale_mode: ScaleMode::Uniscale,
+            include_other_stats,
+            multiscale: MultiscaleOptions::default(),
+            detrend: false,
+        }
+    }
+
+    /// Short label used in experiment tables (e.g. `"MVG VG+HVG All"`).
+    pub fn label(&self) -> String {
+        let kinds = self
+            .kinds
+            .iter()
+            .map(|k| k.short_name())
+            .collect::<Vec<_>>()
+            .join("+");
+        let features = if self.include_other_stats { "All" } else { "MPDs" };
+        format!("{} {} {}", self.scale_mode.short_name(), kinds, features)
+    }
+
+    /// Number of scales the configuration produces for a series of length
+    /// `len`.
+    pub fn n_scales_for_length(&self, len: usize) -> usize {
+        let mut halvings = 0usize;
+        let mut current = len;
+        while current / 2 > self.multiscale.tau && current >= 2 && halvings < self.multiscale.max_scales
+        {
+            current /= 2;
+            halvings += 1;
+        }
+        match self.scale_mode {
+            ScaleMode::Uniscale => 1,
+            ScaleMode::ApproximatedMultiscale => halvings.max(1),
+            ScaleMode::FullMultiscale => 1 + halvings,
+        }
+    }
+
+    /// Number of features produced for a series of length `len`.
+    pub fn n_features_for_length(&self, len: usize) -> usize {
+        self.n_scales_for_length(len) * self.kinds.len() * block_len(self.include_other_stats)
+    }
+
+    /// Feature names for a series of length `len`, e.g. `T0 HVG P(M44)` or
+    /// `T2 VG assortativity` — the naming used in Figure 10.
+    pub fn feature_names_for_length(&self, len: usize) -> Vec<String> {
+        let scales: Vec<usize> = match self.scale_mode {
+            ScaleMode::Uniscale => vec![0],
+            ScaleMode::ApproximatedMultiscale => {
+                let n = self.n_scales_for_length(len);
+                // when the series is too short to downscale we fall back to T0
+                let halvings_possible = {
+                    let mut h = 0usize;
+                    let mut cur = len;
+                    while cur / 2 > self.multiscale.tau && cur >= 2 && h < self.multiscale.max_scales {
+                        cur /= 2;
+                        h += 1;
+                    }
+                    h
+                };
+                if halvings_possible == 0 {
+                    vec![0]
+                } else {
+                    (1..=n).collect()
+                }
+            }
+            ScaleMode::FullMultiscale => (0..self.n_scales_for_length(len)).collect(),
+        };
+        let block_names = graph_feature_names(self.include_other_stats);
+        let mut out = Vec::new();
+        for scale in scales {
+            for kind in &self.kinds {
+                for name in &block_names {
+                    out.push(format!("T{} {} {}", scale, kind.short_name(), name));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Extracts the feature vector of one series under `config` (Algorithm 1).
+pub fn extract_series_features(series: &TimeSeries, config: &FeatureConfig) -> Vec<f64> {
+    let prepared;
+    let series = if config.detrend {
+        prepared = TimeSeries::new(detrend(series.values()));
+        &prepared
+    } else {
+        series
+    };
+    let graphs = SeriesGraphs::build(series, &config.kinds, config.scale_mode, config.multiscale);
+    let mut features =
+        Vec::with_capacity(graphs.len() * block_len(config.include_other_stats));
+    for sg in &graphs.graphs {
+        features.extend(graph_feature_block(&sg.graph, config.include_other_stats));
+    }
+    features
+}
+
+/// Extracts features for every series of a dataset, in parallel, and returns
+/// the feature matrix together with the matching feature names.
+///
+/// Rows are padded with zeros (or truncated) to the width implied by the
+/// longest series in the dataset, so datasets with slightly varying lengths
+/// still produce a rectangular matrix.
+pub fn extract_dataset_features(
+    dataset: &Dataset,
+    config: &FeatureConfig,
+    n_threads: usize,
+) -> (FeatureMatrix, Vec<String>) {
+    let max_len = dataset.max_length();
+    let names = config.feature_names_for_length(max_len);
+    let width = names.len();
+    let rows: Vec<Vec<f64>> = parallel_map(dataset.series(), n_threads, |series| {
+        let mut f = extract_series_features(series, config);
+        f.resize(width, 0.0);
+        f
+    });
+    let matrix = FeatureMatrix::from_rows(&rows).expect("uniform feature rows");
+    (matrix, names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsg_ts::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn toy_dataset(n_per_class: usize, len: usize) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut d = Dataset::new("toy");
+        for i in 0..n_per_class * 2 {
+            let label = i % 2;
+            let values = if label == 0 {
+                generators::sine_wave(&mut rng, len, 16.0, 1.0, 0.0, 0.1)
+            } else {
+                generators::gaussian_noise(&mut rng, len, 1.0)
+            };
+            d.push(TimeSeries::with_label(values, label));
+        }
+        d
+    }
+
+    #[test]
+    fn feature_vector_matches_names_for_all_configs() {
+        let series = TimeSeries::new(
+            (0..256).map(|i| ((i as f64) * 0.17).sin()).collect(),
+        );
+        let configs = [
+            FeatureConfig::mvg(),
+            FeatureConfig::uvg(),
+            FeatureConfig::amvg(),
+            FeatureConfig::uniscale_single(VisibilityKind::Horizontal, false),
+            FeatureConfig::uniscale_single(VisibilityKind::Natural, true),
+        ];
+        for config in configs {
+            let features = extract_series_features(&series, &config);
+            let names = config.feature_names_for_length(series.len());
+            assert_eq!(
+                features.len(),
+                names.len(),
+                "mismatch for config {}",
+                config.label()
+            );
+            assert_eq!(features.len(), config.n_features_for_length(series.len()));
+            assert!(features.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(FeatureConfig::mvg().label(), "MVG VG+HVG All");
+        assert_eq!(FeatureConfig::uvg().label(), "UVG VG+HVG All");
+        assert_eq!(
+            FeatureConfig::uniscale_single(VisibilityKind::Horizontal, false).label(),
+            "UVG HVG MPDs"
+        );
+    }
+
+    #[test]
+    fn mvg_has_more_features_than_uvg() {
+        let len = 512;
+        assert!(
+            FeatureConfig::mvg().n_features_for_length(len)
+                > FeatureConfig::uvg().n_features_for_length(len)
+        );
+        assert_eq!(
+            FeatureConfig::mvg().n_features_for_length(len),
+            FeatureConfig::uvg().n_features_for_length(len)
+                + FeatureConfig::amvg().n_features_for_length(len)
+        );
+    }
+
+    #[test]
+    fn dataset_extraction_shapes() {
+        let d = toy_dataset(5, 128);
+        let config = FeatureConfig::mvg();
+        let (x, names) = extract_dataset_features(&d, &config, 2);
+        assert_eq!(x.n_rows(), d.len());
+        assert_eq!(x.n_cols(), names.len());
+        assert!(x.rows().all(|r| r.iter().all(|v| v.is_finite())));
+    }
+
+    #[test]
+    fn extraction_is_deterministic_and_thread_count_invariant() {
+        let d = toy_dataset(4, 128);
+        let config = FeatureConfig::mvg();
+        let (x1, _) = extract_dataset_features(&d, &config, 1);
+        let (x4, _) = extract_dataset_features(&d, &config, 4);
+        assert_eq!(x1, x4);
+    }
+
+    #[test]
+    fn features_distinguish_structured_from_noise() {
+        // mean absolute difference of class-wise feature means should be
+        // clearly positive: the whole premise of the method
+        let d = toy_dataset(8, 128);
+        let (x, _) = extract_dataset_features(&d, &FeatureConfig::uvg(), 2);
+        let labels = d.labels_required().unwrap();
+        let n_cols = x.n_cols();
+        let mut mean0 = vec![0.0; n_cols];
+        let mut mean1 = vec![0.0; n_cols];
+        let (mut c0, mut c1) = (0.0, 0.0);
+        for (i, &l) in labels.iter().enumerate() {
+            let target = if l == 0 { (&mut mean0, &mut c0) } else { (&mut mean1, &mut c1) };
+            for (j, v) in x.row(i).iter().enumerate() {
+                target.0[j] += v;
+            }
+            *target.1 += 1.0;
+        }
+        let diff: f64 = mean0
+            .iter()
+            .zip(mean1.iter())
+            .map(|(a, b)| (a / c0 - b / c1).abs())
+            .sum();
+        assert!(diff > 0.1, "feature means barely differ: {diff}");
+    }
+
+    #[test]
+    fn detrend_option_changes_features_of_trending_series() {
+        let trending = TimeSeries::new(
+            (0..256)
+                .map(|i| 0.05 * i as f64 + ((i as f64) * 0.3).sin())
+                .collect(),
+        );
+        let plain = FeatureConfig::uvg();
+        let detrended = FeatureConfig {
+            detrend: true,
+            ..FeatureConfig::uvg()
+        };
+        let f_plain = extract_series_features(&trending, &plain);
+        let f_detr = extract_series_features(&trending, &detrended);
+        assert_ne!(f_plain, f_detr);
+    }
+}

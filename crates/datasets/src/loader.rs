@@ -1,0 +1,101 @@
+//! Loading real UCR archive files when they are available.
+//!
+//! If a directory containing the UCR text format is supplied (one
+//! sub-directory per dataset with `<Name>_TRAIN` / `<Name>_TEST` files, or
+//! flat files named that way), the loader reads it; otherwise callers fall
+//! back to the synthetic archive. This lets the reproduction run unchanged
+//! against the real benchmark data when licensing permits.
+
+use std::path::{Path, PathBuf};
+use tsg_ts::io::read_ucr_file;
+use tsg_ts::Dataset;
+
+/// Locates the `_TRAIN`/`_TEST` pair for `name` under `root`, trying both the
+/// nested (`root/Name/Name_TRAIN`) and flat (`root/Name_TRAIN`) layouts, with
+/// and without `.txt`/`.tsv` extensions.
+pub fn find_ucr_pair(root: &Path, name: &str) -> Option<(PathBuf, PathBuf)> {
+    let candidates = |suffix: &str| -> Vec<PathBuf> {
+        let mut v = Vec::new();
+        for ext in ["", ".txt", ".tsv", ".csv"] {
+            v.push(root.join(name).join(format!("{name}_{suffix}{ext}")));
+            v.push(root.join(format!("{name}_{suffix}{ext}")));
+        }
+        v
+    };
+    let train = candidates("TRAIN").into_iter().find(|p| p.exists())?;
+    let test = candidates("TEST").into_iter().find(|p| p.exists())?;
+    Some((train, test))
+}
+
+/// Loads the `(train, test)` pair for a dataset from a UCR-format directory.
+pub fn load_ucr_pair(root: &Path, name: &str) -> Option<(Dataset, Dataset)> {
+    let (train_path, test_path) = find_ucr_pair(root, name)?;
+    let mut train = read_ucr_file(&train_path).ok()?;
+    let mut test = read_ucr_file(&test_path).ok()?;
+    train.name = format!("{name}_TRAIN");
+    test.name = format!("{name}_TEST");
+    Some((train, test))
+}
+
+/// Loads a dataset from `root` when available, otherwise synthesises it from
+/// the archive catalogue.
+pub fn load_or_generate(
+    root: Option<&Path>,
+    name: &str,
+    options: crate::archive::ArchiveOptions,
+) -> Result<(Dataset, Dataset), String> {
+    if let Some(root) = root {
+        if let Some(pair) = load_ucr_pair(root, name) {
+            return Ok(pair);
+        }
+    }
+    crate::archive::generate_by_name_scaled(name, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archive::ArchiveOptions;
+    use tsg_ts::io::write_ucr_file;
+    use tsg_ts::TimeSeries;
+
+    fn write_toy_archive(dir: &Path) {
+        std::fs::create_dir_all(dir.join("Toy")).unwrap();
+        let mut train = Dataset::new("Toy_TRAIN");
+        train.push(TimeSeries::with_label(vec![0.0, 1.0, 2.0], 0));
+        train.push(TimeSeries::with_label(vec![2.0, 1.0, 0.0], 1));
+        let mut test = Dataset::new("Toy_TEST");
+        test.push(TimeSeries::with_label(vec![0.1, 1.1, 2.1], 0));
+        write_ucr_file(&train, dir.join("Toy").join("Toy_TRAIN")).unwrap();
+        write_ucr_file(&test, dir.join("Toy").join("Toy_TEST")).unwrap();
+    }
+
+    #[test]
+    fn loads_nested_layout() {
+        let dir = std::env::temp_dir().join("tsg_datasets_loader_test");
+        std::fs::remove_dir_all(&dir).ok();
+        write_toy_archive(&dir);
+        let (train, test) = load_ucr_pair(&dir, "Toy").unwrap();
+        assert_eq!(train.len(), 2);
+        assert_eq!(test.len(), 1);
+        assert_eq!(train.name, "Toy_TRAIN");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_files_return_none() {
+        let dir = std::env::temp_dir().join("tsg_datasets_loader_missing");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(load_ucr_pair(&dir, "Nothing").is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_or_generate_falls_back_to_synthetic() {
+        let (train, test) =
+            load_or_generate(None, "BeetleFly", ArchiveOptions::bounded(10, 64, 1)).unwrap();
+        assert!(!train.is_empty());
+        assert!(!test.is_empty());
+        assert!(load_or_generate(None, "Unknown", ArchiveOptions::bounded(10, 64, 1)).is_err());
+    }
+}

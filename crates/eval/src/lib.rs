@@ -1,0 +1,34 @@
+//! # tsg-eval — evaluation statistics and reporting
+//!
+//! The statistical machinery behind the paper's experiment section:
+//!
+//! * [`wilcoxon`] — the Wilcoxon signed-rank test used to compare error
+//!   rates of two methods across datasets (Table 2 and Table 3 p-values).
+//! * [`friedman_nemenyi`] — the Friedman test plus the Nemenyi post-hoc
+//!   critical difference used by the critical-difference diagrams of
+//!   Figures 6 and 7.
+//! * [`ranks`] — average ranking with tie handling.
+//! * [`scatter`] — pairwise error-rate scatter data with win/tie/loss counts
+//!   (Figures 3, 4, 5, 8 and 9) and an ASCII rendering.
+//! * [`boxplot`] — five-number summaries for the motif-distribution box
+//!   plots of Figure 2.
+//! * [`tables`] — plain-text / Markdown table formatting for the experiment
+//!   binaries.
+//! * [`timing`] — a tiny stopwatch used to record feature-extraction and
+//!   training runtimes (Table 3, Figure 9).
+
+pub mod boxplot;
+pub mod friedman_nemenyi;
+pub mod ranks;
+pub mod scatter;
+pub mod tables;
+pub mod timing;
+pub mod wilcoxon;
+
+pub use boxplot::BoxplotSummary;
+pub use friedman_nemenyi::{friedman_test, nemenyi_critical_difference, CriticalDifference};
+pub use ranks::average_ranks;
+pub use scatter::{ScatterComparison, WinLoss};
+pub use tables::Table;
+pub use timing::Stopwatch;
+pub use wilcoxon::wilcoxon_signed_rank;

@@ -1,0 +1,70 @@
+//! Average ranks across datasets (lower error rate → better rank 1).
+
+/// Computes the rank of each value within one dataset row (rank 1 = smallest
+/// value), averaging ranks over ties.
+pub fn rank_row(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && (values[order[j + 1]] - values[order[i]]).abs() < 1e-12 {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Average rank per method over a `datasets × methods` error-rate matrix.
+/// Rank 1 is the most accurate method.
+pub fn average_ranks(error_rates: &[Vec<f64>]) -> Vec<f64> {
+    if error_rates.is_empty() {
+        return Vec::new();
+    }
+    let k = error_rates[0].len();
+    let mut sums = vec![0.0; k];
+    for row in error_rates {
+        assert_eq!(row.len(), k, "ragged error-rate matrix");
+        for (j, r) in rank_row(row).into_iter().enumerate() {
+            sums[j] += r;
+        }
+    }
+    sums.into_iter().map(|s| s / error_rates.len() as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_ranking() {
+        assert_eq!(rank_row(&[0.3, 0.1, 0.2]), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn tied_values_share_average_rank() {
+        assert_eq!(rank_row(&[0.2, 0.1, 0.2]), vec![2.5, 1.0, 2.5]);
+        assert_eq!(rank_row(&[0.5, 0.5, 0.5]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn average_ranks_over_matrix() {
+        let errors = vec![
+            vec![0.1, 0.2, 0.3], // method 0 best
+            vec![0.1, 0.2, 0.3],
+            vec![0.3, 0.2, 0.1], // method 2 best
+        ];
+        let ranks = average_ranks(&errors);
+        assert_eq!(ranks.len(), 3);
+        assert!((ranks[0] - (1.0 + 1.0 + 3.0) / 3.0).abs() < 1e-12);
+        assert!((ranks[1] - 2.0).abs() < 1e-12);
+        assert!(average_ranks(&[]).is_empty());
+    }
+}

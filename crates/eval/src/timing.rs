@@ -1,0 +1,77 @@
+//! Wall-clock timing for the runtime columns of Table 3 and Figure 9.
+
+use std::time::Instant;
+
+/// A stopwatch that accumulates named phases (e.g. feature extraction vs
+/// training) and reports seconds.
+#[derive(Debug, Clone)]
+pub struct Stopwatch {
+    phases: Vec<(String, f64)>,
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Stopwatch {
+    /// Creates an empty stopwatch.
+    pub fn new() -> Self {
+        Stopwatch { phases: Vec::new() }
+    }
+
+    /// Times a closure and records it under `phase`; returns the closure's
+    /// result.
+    pub fn time<T>(&mut self, phase: impl Into<String>, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.phases.push((phase.into(), start.elapsed().as_secs_f64()));
+        out
+    }
+
+    /// Seconds recorded for a phase (summed over repeated phases of the same
+    /// name); 0 when the phase never ran.
+    pub fn seconds(&self, phase: &str) -> f64 {
+        self.phases
+            .iter()
+            .filter(|(name, _)| name == phase)
+            .map(|(_, s)| s)
+            .sum()
+    }
+
+    /// Total seconds across all phases.
+    pub fn total(&self) -> f64 {
+        self.phases.iter().map(|(_, s)| s).sum()
+    }
+
+    /// All `(phase, seconds)` records in insertion order.
+    pub fn phases(&self) -> &[(String, f64)] {
+        &self.phases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_phases_and_totals() {
+        let mut sw = Stopwatch::new();
+        let x = sw.time("fe", || {
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(x > 0);
+        sw.time("clf", || std::thread::sleep(std::time::Duration::from_millis(5)));
+        sw.time("clf", || std::thread::sleep(std::time::Duration::from_millis(5)));
+        assert!(sw.seconds("fe") >= 0.0);
+        assert!(sw.seconds("clf") >= 0.009);
+        assert_eq!(sw.seconds("missing"), 0.0);
+        assert!((sw.total() - (sw.seconds("fe") + sw.seconds("clf"))).abs() < 1e-12);
+        assert_eq!(sw.phases().len(), 3);
+    }
+}

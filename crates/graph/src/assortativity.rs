@@ -1,0 +1,124 @@
+//! Degree assortativity.
+//!
+//! The assortativity coefficient (equation 4 of the paper, following Newman)
+//! is the Pearson correlation of the degrees at either end of an edge. For
+//! undirected graphs each edge contributes both orientations, which is the
+//! convention used by networkx/igraph and reproduced here so feature values
+//! are comparable with the paper's pipeline.
+
+use crate::graph::Graph;
+
+/// Degree assortativity coefficient in `[-1, 1]`.
+///
+/// Returns `0.0` for degenerate graphs (fewer than 2 edges, or when all
+/// endpoint degrees are equal so the correlation is undefined), matching the
+/// "no preference" interpretation used when feeding the value to a
+/// classifier.
+pub fn degree_assortativity(graph: &Graph) -> f64 {
+    if graph.n_edges() < 2 {
+        return 0.0;
+    }
+    // Pearson correlation over directed edge endpoint excess degrees.
+    // Using the standard simplification: for each undirected edge (u, v) with
+    // degrees j = deg(u), k = deg(v):
+    //   r = [ M1 * sum(jk) - (sum(½(j+k)))² ] / [ M1 * sum(½(j²+k²)) - (sum(½(j+k)))² ]
+    // where M1 = 1/m and sums run over undirected edges.
+    let m = graph.n_edges() as f64;
+    let mut sum_jk = 0.0;
+    let mut sum_half = 0.0;
+    let mut sum_sq_half = 0.0;
+    for (u, v) in graph.edges() {
+        let j = graph.degree(u) as f64;
+        let k = graph.degree(v) as f64;
+        sum_jk += j * k;
+        sum_half += 0.5 * (j + k);
+        sum_sq_half += 0.5 * (j * j + k * k);
+    }
+    let num = sum_jk / m - (sum_half / m).powi(2);
+    let den = sum_sq_half / m - (sum_half / m).powi(2);
+    if den.abs() < 1e-12 {
+        0.0
+    } else {
+        (num / den).clamp(-1.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_graph_is_disassortative() {
+        // hub connected to leaves: high-degree vertex always pairs with
+        // degree-1 vertices → strongly negative assortativity
+        let g = Graph::from_edges(6, [(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        let r = degree_assortativity(&g);
+        assert!(r < -0.99, "star should be maximally disassortative, got {r}");
+    }
+
+    #[test]
+    fn regular_graph_is_degenerate_zero() {
+        // cycle: every vertex has degree 2 → correlation undefined → 0
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(degree_assortativity(&g), 0.0);
+    }
+
+    #[test]
+    fn clique_is_degenerate_zero() {
+        let mut edges = Vec::new();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+            }
+        }
+        let g = Graph::from_edges(5, edges);
+        assert_eq!(degree_assortativity(&g), 0.0);
+    }
+
+    #[test]
+    fn assortative_example() {
+        // two cliques of size 4 joined by a single edge between them plus two
+        // pendant chains: high-degree vertices tend to connect to high-degree
+        // vertices, pendants to pendants
+        let mut edges = vec![];
+        for i in 0..4usize {
+            for j in (i + 1)..4 {
+                edges.push((i, j));
+            }
+        }
+        for i in 4..8usize {
+            for j in (i + 1)..8 {
+                edges.push((i, j));
+            }
+        }
+        edges.push((0, 4));
+        // pendant path
+        edges.push((8, 9));
+        let g = Graph::from_edges(10, edges);
+        let r = degree_assortativity(&g);
+        assert!(r > 0.0, "community structure should be assortative, got {r}");
+    }
+
+    #[test]
+    fn path_graph_value_matches_reference() {
+        // P4: degrees 1,2,2,1; edges (1,2),(2,2),(2,1)
+        // networkx gives r = -0.5 for the path on 4 vertices
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let r = degree_assortativity(&g);
+        assert!((r + 0.5).abs() < 1e-9, "expected -0.5, got {r}");
+    }
+
+    #[test]
+    fn degenerate_graphs_are_zero() {
+        assert_eq!(degree_assortativity(&Graph::new(0)), 0.0);
+        assert_eq!(degree_assortativity(&Graph::new(3)), 0.0);
+        assert_eq!(degree_assortativity(&Graph::from_edges(2, [(0, 1)])), 0.0);
+    }
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        let g = Graph::from_edges(7, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (0, 3), (2, 5)]);
+        let r = degree_assortativity(&g);
+        assert!((-1.0..=1.0).contains(&r));
+    }
+}

@@ -1,0 +1,239 @@
+//! A compact undirected simple graph.
+//!
+//! Vertices are dense `0..n` indices (visibility graphs have one vertex per
+//! time step). Adjacency is stored as sorted neighbor lists, which gives
+//! `O(log d)` adjacency queries, cache-friendly sorted-merge set
+//! intersections for triangle/graphlet counting, and cheap iteration.
+
+use serde::{Deserialize, Serialize};
+
+/// An undirected simple graph over vertices `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    adjacency: Vec<Vec<u32>>,
+    n_edges: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adjacency: vec![Vec::new(); n],
+            n_edges: 0,
+        }
+    }
+
+    /// Builds a graph from an edge list. Self-loops are ignored and parallel
+    /// edges are deduplicated.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut g = Graph::new(n);
+        for (u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn n_vertices(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of edges.
+    pub fn n_edges(&self) -> usize {
+        self.n_edges
+    }
+
+    /// Adds the undirected edge `(u, v)`.
+    ///
+    /// Self-loops and duplicate edges are silently ignored; out-of-range
+    /// endpoints panic (vertex indices are created up-front).
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(
+            u < self.n_vertices() && v < self.n_vertices(),
+            "edge ({u}, {v}) out of range for {} vertices",
+            self.n_vertices()
+        );
+        if u == v {
+            return;
+        }
+        let (u32u, u32v) = (u as u32, v as u32);
+        match self.adjacency[u].binary_search(&u32v) {
+            Ok(_) => return, // already present
+            Err(pos) => self.adjacency[u].insert(pos, u32v),
+        }
+        match self.adjacency[v].binary_search(&u32u) {
+            Ok(_) => {}
+            Err(pos) => self.adjacency[v].insert(pos, u32u),
+        }
+        self.n_edges += 1;
+    }
+
+    /// Whether the edge `(u, v)` exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        if u >= self.n_vertices() || v >= self.n_vertices() || u == v {
+            return false;
+        }
+        self.adjacency[u].binary_search(&(v as u32)).is_ok()
+    }
+
+    /// Sorted neighbors of `u`.
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        &self.adjacency[u]
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adjacency[u].len()
+    }
+
+    /// Degrees of all vertices.
+    pub fn degrees(&self) -> Vec<usize> {
+        self.adjacency.iter().map(|a| a.len()).collect()
+    }
+
+    /// Iterates over every undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adjacency.iter().enumerate().flat_map(|(u, nbrs)| {
+            nbrs.iter()
+                .filter(move |&&v| (u as u32) < v)
+                .map(move |&v| (u, v as usize))
+        })
+    }
+
+    /// Number of common neighbors of `u` and `v` (sorted-merge intersection).
+    pub fn common_neighbor_count(&self, u: usize, v: usize) -> usize {
+        sorted_intersection_count(&self.adjacency[u], &self.adjacency[v])
+    }
+
+    /// Common neighbors of `u` and `v`.
+    pub fn common_neighbors(&self, u: usize, v: usize) -> Vec<u32> {
+        sorted_intersection(&self.adjacency[u], &self.adjacency[v])
+    }
+
+    /// The union of this graph's edges with another graph over the same
+    /// vertex set (used in tests for the HVG ⊆ VG invariant).
+    pub fn is_subgraph_of(&self, other: &Graph) -> bool {
+        if self.n_vertices() != other.n_vertices() {
+            return false;
+        }
+        self.edges().all(|(u, v)| other.has_edge(u, v))
+    }
+}
+
+/// Size of the intersection of two sorted ascending slices.
+pub fn sorted_intersection_count(a: &[u32], b: &[u32]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Intersection of two sorted ascending slices.
+pub fn sorted_intersection(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut j = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_with_tail() -> Graph {
+        // 0-1-2 triangle, 3 attached to 0
+        Graph::from_edges(4, [(0, 1), (1, 2), (0, 2), (0, 3)])
+    }
+
+    #[test]
+    fn construction_and_queries() {
+        let g = triangle_with_tail();
+        assert_eq!(g.n_vertices(), 4);
+        assert_eq!(g.n_edges(), 4);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(1, 3));
+        assert!(!g.has_edge(0, 0));
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.degrees(), vec![3, 2, 2, 1]);
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_ignored() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 0), (0, 1), (2, 2)]);
+        assert_eq!(g.n_edges(), 1);
+        assert!(!g.has_edge(2, 2));
+    }
+
+    #[test]
+    fn edges_iterator_lists_each_edge_once() {
+        let g = triangle_with_tail();
+        let edges: Vec<(usize, usize)> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        for (u, v) in &edges {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = Graph::from_edges(5, [(2, 4), (2, 0), (2, 3), (2, 1)]);
+        assert_eq!(g.neighbors(2), &[0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn common_neighbors_work() {
+        let g = triangle_with_tail();
+        assert_eq!(g.common_neighbor_count(1, 2), 1); // vertex 0
+        assert_eq!(g.common_neighbors(1, 2), vec![0]);
+        assert_eq!(g.common_neighbor_count(1, 3), 1); // vertex 0
+        assert_eq!(g.common_neighbor_count(2, 3), 1);
+    }
+
+    #[test]
+    fn subgraph_check() {
+        let g = triangle_with_tail();
+        let sub = Graph::from_edges(4, [(0, 1), (0, 2)]);
+        assert!(sub.is_subgraph_of(&g));
+        assert!(!g.is_subgraph_of(&sub));
+        let other_size = Graph::new(3);
+        assert!(!other_size.is_subgraph_of(&g));
+    }
+
+    #[test]
+    fn sorted_set_helpers() {
+        assert_eq!(sorted_intersection_count(&[1, 3, 5], &[2, 3, 5, 7]), 2);
+        assert_eq!(sorted_intersection(&[1, 3, 5], &[2, 3, 5, 7]), vec![3, 5]);
+        assert_eq!(sorted_intersection_count(&[], &[1, 2]), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_edge_panics() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 5);
+    }
+}

@@ -1,0 +1,184 @@
+//! K-core decomposition.
+//!
+//! The k-core of a graph is the maximal subgraph in which every vertex has
+//! degree at least `k`; the *core number* of a vertex is the largest `k` for
+//! which it belongs to the k-core. The paper uses the maximum core number
+//! ("coreness") of a visibility graph as one of its statistical features and
+//! cites the `O(m)` bucket algorithm of Batagelj and Zaveršnik, which is what
+//! this module implements.
+
+use crate::graph::Graph;
+
+/// Computes the core number of every vertex with the Batagelj–Zaveršnik
+/// bucket algorithm (`O(|V| + |E|)`).
+pub fn core_numbers(graph: &Graph) -> Vec<usize> {
+    let n = graph.n_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degree: Vec<usize> = graph.degrees();
+    let max_degree = degree.iter().copied().max().unwrap_or(0);
+
+    // bucket sort vertices by degree
+    let mut bin = vec![0usize; max_degree + 1];
+    for &d in &degree {
+        bin[d] += 1;
+    }
+    let mut start = 0usize;
+    for b in bin.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    // pos[v] = position of v in vert; vert = vertices sorted by degree
+    let mut pos = vec![0usize; n];
+    let mut vert = vec![0usize; n];
+    for v in 0..n {
+        pos[v] = bin[degree[v]];
+        vert[pos[v]] = v;
+        bin[degree[v]] += 1;
+    }
+    // restore bin starts
+    for d in (1..=max_degree).rev() {
+        bin[d] = bin[d - 1];
+    }
+    bin[0] = 0;
+
+    let mut core = degree.clone();
+    for i in 0..n {
+        let v = vert[i];
+        core[v] = degree[v];
+        for &u in graph.neighbors(v) {
+            let u = u as usize;
+            if degree[u] > degree[v] {
+                // move u one bucket down
+                let du = degree[u];
+                let pu = pos[u];
+                let pw = bin[du];
+                let w = vert[pw];
+                if u != w {
+                    vert[pu] = w;
+                    vert[pw] = u;
+                    pos[u] = pw;
+                    pos[w] = pu;
+                }
+                bin[du] += 1;
+                degree[u] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// The maximum core number over all vertices (the "K" feature of the paper,
+/// equation 3). Zero for empty graphs.
+pub fn max_coreness(graph: &Graph) -> usize {
+    core_numbers(graph).into_iter().max().unwrap_or(0)
+}
+
+/// Naive reference implementation: repeatedly strip vertices of degree < k.
+/// Exposed for tests and benchmarks only.
+pub fn core_numbers_naive(graph: &Graph) -> Vec<usize> {
+    let n = graph.n_vertices();
+    let mut core = vec![0usize; n];
+    let max_degree = graph.degrees().into_iter().max().unwrap_or(0);
+    for k in 1..=max_degree {
+        // iteratively remove vertices with degree < k
+        let mut alive = vec![true; n];
+        let mut degree = graph.degrees();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for v in 0..n {
+                if alive[v] && degree[v] < k {
+                    alive[v] = false;
+                    changed = true;
+                    for &u in graph.neighbors(v) {
+                        let u = u as usize;
+                        if alive[u] {
+                            degree[u] -= 1;
+                        }
+                    }
+                }
+            }
+        }
+        for v in 0..n {
+            if alive[v] {
+                core[v] = k;
+            }
+        }
+    }
+    core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::visibility::visibility_graph;
+
+    #[test]
+    fn path_graph_core_is_one() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(core_numbers(&g), vec![1; 5]);
+        assert_eq!(max_coreness(&g), 1);
+    }
+
+    #[test]
+    fn clique_core_is_n_minus_one() {
+        let mut edges = Vec::new();
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                edges.push((i, j));
+            }
+        }
+        let g = Graph::from_edges(6, edges);
+        assert_eq!(core_numbers(&g), vec![5; 6]);
+        assert_eq!(max_coreness(&g), 5);
+    }
+
+    #[test]
+    fn triangle_with_pendant() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (0, 2), (0, 3)]);
+        let core = core_numbers(&g);
+        assert_eq!(core[0], 2);
+        assert_eq!(core[1], 2);
+        assert_eq!(core[2], 2);
+        assert_eq!(core[3], 1);
+    }
+
+    #[test]
+    fn isolated_vertices_have_core_zero() {
+        let g = Graph::from_edges(3, [(0, 1)]);
+        let core = core_numbers(&g);
+        assert_eq!(core[2], 0);
+        assert_eq!(core[0], 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(core_numbers(&Graph::new(0)).is_empty());
+        assert_eq!(max_coreness(&Graph::new(0)), 0);
+    }
+
+    #[test]
+    fn bucket_matches_naive_on_visibility_graphs() {
+        let mut x = 11u64;
+        let v: Vec<f64> = (0..180)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((x >> 33) as f64) / (u32::MAX as f64)
+            })
+            .collect();
+        let g = visibility_graph(&v);
+        assert_eq!(core_numbers(&g), core_numbers_naive(&g));
+    }
+
+    #[test]
+    fn core_number_at_most_degree() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]);
+        let core = core_numbers(&g);
+        for v in 0..6 {
+            assert!(core[v] <= g.degree(v));
+        }
+    }
+}

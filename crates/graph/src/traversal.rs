@@ -1,0 +1,126 @@
+//! Breadth-first traversal, connected components and connectivity checks.
+
+use crate::graph::Graph;
+use std::collections::VecDeque;
+
+/// Breadth-first search from `start`; returns the visited vertices in BFS
+/// order. Unreachable vertices are not included.
+pub fn bfs_order(graph: &Graph, start: usize) -> Vec<usize> {
+    let n = graph.n_vertices();
+    if start >= n {
+        return Vec::new();
+    }
+    let mut visited = vec![false; n];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    visited[start] = true;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in graph.neighbors(u) {
+            let v = v as usize;
+            if !visited[v] {
+                visited[v] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// Assigns a component id to every vertex; returns `(component_of, count)`.
+pub fn connected_components(graph: &Graph) -> (Vec<usize>, usize) {
+    let n = graph.n_vertices();
+    let mut component = vec![usize::MAX; n];
+    let mut count = 0;
+    for start in 0..n {
+        if component[start] != usize::MAX {
+            continue;
+        }
+        for v in bfs_order(graph, start) {
+            component[v] = count;
+        }
+        count += 1;
+    }
+    (component, count)
+}
+
+/// Whether the graph is connected. Empty graphs and single vertices count as
+/// connected.
+pub fn is_connected(graph: &Graph) -> bool {
+    if graph.n_vertices() <= 1 {
+        return true;
+    }
+    connected_components(graph).1 == 1
+}
+
+/// Shortest-path distances (in hops) from `start` to every vertex;
+/// unreachable vertices get `usize::MAX`.
+pub fn bfs_distances(graph: &Graph, start: usize) -> Vec<usize> {
+    let n = graph.n_vertices();
+    let mut dist = vec![usize::MAX; n];
+    if start >= n {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[start] = 0;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        for &v in graph.neighbors(u) {
+            let v = v as usize;
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_graph_is_connected() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert!(is_connected(&g));
+        let (_, count) = connected_components(&g);
+        assert_eq!(count, 1);
+        assert_eq!(bfs_order(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn two_components() {
+        let g = Graph::from_edges(5, [(0, 1), (2, 3)]);
+        assert!(!is_connected(&g));
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 3); // {0,1}, {2,3}, {4}
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[4], comp[0]);
+    }
+
+    #[test]
+    fn degenerate_graphs_connected() {
+        assert!(is_connected(&Graph::new(0)));
+        assert!(is_connected(&Graph::new(1)));
+        assert!(!is_connected(&Graph::new(2)));
+    }
+
+    #[test]
+    fn bfs_from_out_of_range_is_empty() {
+        let g = Graph::new(3);
+        assert!(bfs_order(&g, 10).is_empty());
+    }
+
+    #[test]
+    fn distances_unreachable_are_max() {
+        let g = Graph::from_edges(4, [(0, 1)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], usize::MAX);
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type for the ML substrate.
+
+use std::fmt;
+
+/// Errors produced while training or applying models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// Training data was empty or shapes did not line up.
+    InvalidData(String),
+    /// A hyper-parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Description of the violation.
+        message: String,
+    },
+    /// A model was asked to predict before being fitted.
+    NotFitted,
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::InvalidData(msg) => write!(f, "invalid training data: {msg}"),
+            MlError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            MlError::NotFitted => write!(f, "model has not been fitted"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+impl MlError {
+    /// Convenience constructor for [`MlError::InvalidParameter`].
+    pub fn invalid(name: &'static str, message: impl Into<String>) -> Self {
+        MlError::InvalidParameter {
+            name,
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(MlError::NotFitted.to_string().contains("fitted"));
+        assert!(MlError::invalid("depth", "must be > 0").to_string().contains("depth"));
+        assert!(MlError::InvalidData("empty".into()).to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Classification metrics: accuracy, error rate, cross-entropy (log-loss)
+//! and confusion matrices.
+
+use serde::{Deserialize, Serialize};
+
+/// Fraction of predictions equal to the ground truth.
+pub fn accuracy(truth: &[usize], predicted: &[usize]) -> f64 {
+    assert_eq!(truth.len(), predicted.len(), "length mismatch");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let correct = truth
+        .iter()
+        .zip(predicted.iter())
+        .filter(|(t, p)| t == p)
+        .count();
+    correct as f64 / truth.len() as f64
+}
+
+/// `1 - accuracy`, the quantity the paper's tables report.
+pub fn error_rate(truth: &[usize], predicted: &[usize]) -> f64 {
+    1.0 - accuracy(truth, predicted)
+}
+
+/// Multi-class cross-entropy (equation 5 generalised to `k` classes):
+/// `-(1/n) Σ log p_i(y_i)`. Probabilities are clipped to `[1e-15, 1]` so the
+/// loss stays finite.
+pub fn log_loss(truth: &[usize], probabilities: &[Vec<f64>]) -> f64 {
+    assert_eq!(truth.len(), probabilities.len(), "length mismatch");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (&y, p) in truth.iter().zip(probabilities.iter()) {
+        let py = p.get(y).copied().unwrap_or(0.0).clamp(1e-15, 1.0);
+        total -= py.ln();
+    }
+    total / truth.len() as f64
+}
+
+/// A `k × k` confusion matrix; rows are true classes, columns predictions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from parallel truth/prediction vectors.
+    pub fn from_predictions(truth: &[usize], predicted: &[usize], n_classes: usize) -> Self {
+        assert_eq!(truth.len(), predicted.len(), "length mismatch");
+        let mut counts = vec![vec![0usize; n_classes]; n_classes];
+        for (&t, &p) in truth.iter().zip(predicted.iter()) {
+            if t < n_classes && p < n_classes {
+                counts[t][p] += 1;
+            }
+        }
+        ConfusionMatrix { counts }
+    }
+
+    /// Count of samples with true class `t` predicted as `p`.
+    pub fn get(&self, t: usize, p: usize) -> usize {
+        self.counts[t][p]
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Overall accuracy derived from the matrix.
+    pub fn accuracy(&self) -> f64 {
+        let total: usize = self.counts.iter().map(|r| r.iter().sum::<usize>()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: usize = (0..self.counts.len()).map(|i| self.counts[i][i]).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Per-class recall (`None` for classes with no true samples).
+    pub fn recalls(&self) -> Vec<Option<f64>> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let total: usize = row.iter().sum();
+                if total == 0 {
+                    None
+                } else {
+                    Some(row[i] as f64 / total as f64)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_and_error_rate() {
+        let t = [0, 1, 2, 1];
+        let p = [0, 1, 1, 1];
+        assert!((accuracy(&t, &p) - 0.75).abs() < 1e-12);
+        assert!((error_rate(&t, &p) - 0.25).abs() < 1e-12);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn log_loss_perfect_and_poor() {
+        let t = [0usize, 1];
+        let perfect = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        assert!(log_loss(&t, &perfect) < 1e-10);
+        let uncertain = vec![vec![0.5, 0.5], vec![0.5, 0.5]];
+        assert!((log_loss(&t, &uncertain) - 0.5f64.ln().abs()).abs() < 1e-9);
+        let wrong = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        assert!(log_loss(&t, &wrong) > 10.0); // clipped, large but finite
+        assert!(log_loss(&t, &wrong).is_finite());
+    }
+
+    #[test]
+    fn confusion_matrix_basics() {
+        let t = [0, 0, 1, 1, 2];
+        let p = [0, 1, 1, 1, 0];
+        let cm = ConfusionMatrix::from_predictions(&t, &p, 3);
+        assert_eq!(cm.get(0, 0), 1);
+        assert_eq!(cm.get(0, 1), 1);
+        assert_eq!(cm.get(1, 1), 2);
+        assert_eq!(cm.get(2, 0), 1);
+        assert_eq!(cm.n_classes(), 3);
+        assert!((cm.accuracy() - 0.6).abs() < 1e-12);
+        let recalls = cm.recalls();
+        assert_eq!(recalls[0], Some(0.5));
+        assert_eq!(recalls[1], Some(1.0));
+        assert_eq!(recalls[2], Some(0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        accuracy(&[0, 1], &[0]);
+    }
+}

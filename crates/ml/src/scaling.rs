@@ -1,0 +1,184 @@
+//! Feature scaling.
+//!
+//! Tree ensembles are insensitive to monotone feature transformations, but
+//! SVM kernels are not: the paper min-max scales every feature into `[0, 1]`
+//! before SVM training. Both a min-max scaler and a standard (z-score)
+//! scaler are provided; each is fit on training data and then applied to
+//! training and test matrices alike.
+
+use crate::data::FeatureMatrix;
+use crate::error::MlError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Min-max scaler mapping each feature into `[0, 1]`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    ranges: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fits the scaler on a training matrix.
+    pub fn fit(x: &FeatureMatrix) -> Result<Self> {
+        if x.is_empty() {
+            return Err(MlError::InvalidData("cannot fit scaler on empty matrix".into()));
+        }
+        let mut mins = vec![f64::INFINITY; x.n_cols()];
+        let mut maxs = vec![f64::NEG_INFINITY; x.n_cols()];
+        for row in x.rows() {
+            for (j, &v) in row.iter().enumerate() {
+                mins[j] = mins[j].min(v);
+                maxs[j] = maxs[j].max(v);
+            }
+        }
+        let ranges = mins
+            .iter()
+            .zip(maxs.iter())
+            .map(|(lo, hi)| hi - lo)
+            .collect();
+        Ok(MinMaxScaler { mins, ranges })
+    }
+
+    /// Applies the fitted scaling. Constant features map to `0.5`; values
+    /// outside the training range are clipped to `[0, 1]`.
+    pub fn transform(&self, x: &FeatureMatrix) -> Result<FeatureMatrix> {
+        if x.n_cols() != self.mins.len() {
+            return Err(MlError::InvalidData(format!(
+                "scaler fitted on {} features, got {}",
+                self.mins.len(),
+                x.n_cols()
+            )));
+        }
+        let mut out = x.clone();
+        for i in 0..x.n_rows() {
+            for j in 0..x.n_cols() {
+                let v = if self.ranges[j] < 1e-12 {
+                    0.5
+                } else {
+                    ((x.get(i, j) - self.mins[j]) / self.ranges[j]).clamp(0.0, 1.0)
+                };
+                out.set(i, j, v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Convenience: fit on `x` and transform it in one call.
+    pub fn fit_transform(x: &FeatureMatrix) -> Result<(Self, FeatureMatrix)> {
+        let scaler = Self::fit(x)?;
+        let t = scaler.transform(x)?;
+        Ok((scaler, t))
+    }
+}
+
+/// Standard scaler mapping each feature to zero mean and unit variance.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits the scaler on a training matrix.
+    pub fn fit(x: &FeatureMatrix) -> Result<Self> {
+        if x.is_empty() {
+            return Err(MlError::InvalidData("cannot fit scaler on empty matrix".into()));
+        }
+        let n = x.n_rows() as f64;
+        let mut means = vec![0.0; x.n_cols()];
+        for row in x.rows() {
+            for (j, &v) in row.iter().enumerate() {
+                means[j] += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; x.n_cols()];
+        for row in x.rows() {
+            for (j, &v) in row.iter().enumerate() {
+                vars[j] += (v - means[j]) * (v - means[j]);
+            }
+        }
+        let stds = vars.into_iter().map(|v| (v / n).sqrt()).collect();
+        Ok(StandardScaler { means, stds })
+    }
+
+    /// Applies the fitted scaling; constant features map to zero.
+    pub fn transform(&self, x: &FeatureMatrix) -> Result<FeatureMatrix> {
+        if x.n_cols() != self.means.len() {
+            return Err(MlError::InvalidData(format!(
+                "scaler fitted on {} features, got {}",
+                self.means.len(),
+                x.n_cols()
+            )));
+        }
+        let mut out = x.clone();
+        for i in 0..x.n_rows() {
+            for j in 0..x.n_cols() {
+                let v = if self.stds[j] < 1e-12 {
+                    0.0
+                } else {
+                    (x.get(i, j) - self.means[j]) / self.stds[j]
+                };
+                out.set(i, j, v);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> FeatureMatrix {
+        FeatureMatrix::from_rows(&[
+            vec![0.0, 10.0, 5.0],
+            vec![5.0, 20.0, 5.0],
+            vec![10.0, 40.0, 5.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn minmax_maps_training_data_into_unit_interval() {
+        let (scaler, t) = MinMaxScaler::fit_transform(&toy()).unwrap();
+        assert_eq!(t.get(0, 0), 0.0);
+        assert_eq!(t.get(2, 0), 1.0);
+        assert!((t.get(1, 0) - 0.5).abs() < 1e-12);
+        // constant column maps to 0.5
+        assert_eq!(t.get(0, 2), 0.5);
+        // out-of-range test data is clipped
+        let test = FeatureMatrix::from_rows(&[vec![-10.0, 100.0, 7.0]]).unwrap();
+        let tt = scaler.transform(&test).unwrap();
+        assert_eq!(tt.get(0, 0), 0.0);
+        assert_eq!(tt.get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn standard_scaler_zero_mean_unit_variance() {
+        let x = toy();
+        let scaler = StandardScaler::fit(&x).unwrap();
+        let t = scaler.transform(&x).unwrap();
+        for j in 0..2 {
+            let col = t.column(j);
+            let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
+            let var: f64 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / col.len() as f64;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+        // constant column → zeros
+        assert!(t.column(2).iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let scaler = MinMaxScaler::fit(&toy()).unwrap();
+        let bad = FeatureMatrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        assert!(scaler.transform(&bad).is_err());
+        assert!(MinMaxScaler::fit(&FeatureMatrix::default()).is_err());
+        assert!(StandardScaler::fit(&FeatureMatrix::default()).is_err());
+    }
+}

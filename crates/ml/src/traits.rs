@@ -1,0 +1,104 @@
+//! The classifier abstraction shared by all models and the stacking layer.
+
+use crate::data::FeatureMatrix;
+use crate::Result;
+
+/// A trainable multi-class classifier over dense feature vectors.
+///
+/// Labels are dense `0..k` class indices. `predict_proba` returns one
+/// probability vector per row, summing to 1.
+pub trait Classifier: Send {
+    /// Fits the model to the training data.
+    fn fit(&mut self, x: &FeatureMatrix, y: &[usize]) -> Result<()>;
+
+    /// Predicts class probabilities for every row of `x`.
+    fn predict_proba(&self, x: &FeatureMatrix) -> Result<Vec<Vec<f64>>>;
+
+    /// Predicts hard labels; the default implementation takes the arg-max of
+    /// [`Classifier::predict_proba`].
+    fn predict(&self, x: &FeatureMatrix) -> Result<Vec<usize>> {
+        Ok(self
+            .predict_proba(x)?
+            .into_iter()
+            .map(|p| argmax(&p))
+            .collect())
+    }
+
+    /// Number of classes seen during fitting.
+    fn n_classes(&self) -> usize;
+
+    /// A short human-readable description (family + key hyper-parameters),
+    /// used in experiment reports.
+    fn describe(&self) -> String {
+        "classifier".to_string()
+    }
+}
+
+/// Index of the largest value (ties broken towards the smaller index).
+pub fn argmax(values: &[f64]) -> usize {
+    let mut best = 0usize;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Normalises a non-negative vector into a probability distribution; uniform
+/// when the sum is not positive.
+pub fn normalize_proba(values: &mut [f64]) {
+    let sum: f64 = values.iter().sum();
+    if sum > 0.0 && sum.is_finite() {
+        for v in values.iter_mut() {
+            *v /= sum;
+        }
+    } else {
+        let uniform = 1.0 / values.len().max(1) as f64;
+        for v in values.iter_mut() {
+            *v = uniform;
+        }
+    }
+}
+
+/// Numerically stable softmax.
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    if sum <= 0.0 || !sum.is_finite() {
+        return vec![1.0 / logits.len() as f64; logits.len()];
+    }
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_ties_and_basic() {
+        assert_eq!(argmax(&[0.1, 0.7, 0.2]), 1);
+        assert_eq!(argmax(&[0.5, 0.5]), 0);
+        assert_eq!(argmax(&[1.0]), 0);
+    }
+
+    #[test]
+    fn normalize_handles_zero_sum() {
+        let mut v = vec![0.0, 0.0];
+        normalize_proba(&mut v);
+        assert_eq!(v, vec![0.5, 0.5]);
+        let mut v = vec![1.0, 3.0];
+        normalize_proba(&mut v);
+        assert_eq!(v, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let p = softmax(&[1000.0, 1001.0, 999.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[1] > p[0] && p[0] > p[2]);
+        let p = softmax(&[f64::NEG_INFINITY, 0.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

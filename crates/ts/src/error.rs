@@ -1,0 +1,98 @@
+//! Error type for the time series substrate.
+
+use std::fmt;
+
+/// Errors produced by the time series substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TsError {
+    /// A series was empty where a non-empty series is required.
+    EmptySeries,
+    /// Two series were expected to have the same length but did not.
+    LengthMismatch {
+        /// Length of the first operand.
+        left: usize,
+        /// Length of the second operand.
+        right: usize,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human readable description of the violation.
+        message: String,
+    },
+    /// A dataset file could not be parsed.
+    Parse {
+        /// 1-based line number of the offending record, when known.
+        line: usize,
+        /// Description of the parse failure.
+        message: String,
+    },
+    /// An I/O failure while reading or writing dataset files.
+    Io(String),
+}
+
+impl fmt::Display for TsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsError::EmptySeries => write!(f, "time series must not be empty"),
+            TsError::LengthMismatch { left, right } => {
+                write!(f, "series length mismatch: {left} vs {right}")
+            }
+            TsError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            TsError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            TsError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TsError {}
+
+impl From<std::io::Error> for TsError {
+    fn from(e: std::io::Error) -> Self {
+        TsError::Io(e.to_string())
+    }
+}
+
+impl TsError {
+    /// Convenience constructor for [`TsError::InvalidParameter`].
+    pub fn invalid(name: &'static str, message: impl Into<String>) -> Self {
+        TsError::InvalidParameter {
+            name,
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TsError::LengthMismatch { left: 3, right: 5 };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('5'));
+
+        let e = TsError::invalid("window", "must be positive");
+        assert!(e.to_string().contains("window"));
+        assert!(e.to_string().contains("positive"));
+
+        let e = TsError::Parse {
+            line: 7,
+            message: "bad float".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: TsError = io.into();
+        assert!(matches!(e, TsError::Io(_)));
+    }
+}

@@ -1,0 +1,182 @@
+//! Reading and writing the UCR archive text format.
+//!
+//! The classic UCR format stores one instance per line: the class label
+//! followed by the series values, separated by commas (older archive) or
+//! whitespace/tabs (UEA & UCR repository `_TRAIN`/`_TEST` files). This module
+//! auto-detects the separator, so real archive files can be dropped in to
+//! replace the synthetic datasets without code changes.
+
+use crate::error::TsError;
+use crate::series::{Dataset, TimeSeries};
+use crate::Result;
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Parses UCR-format content (one `label, v1, v2, …` record per line).
+///
+/// Labels may be arbitrary integers (including negative, as in some UCR
+/// datasets); they are remapped to consecutive `0..k` indices in order of
+/// first appearance. Empty lines are skipped.
+pub fn parse_ucr(content: &str, name: impl Into<String>) -> Result<Dataset> {
+    let mut dataset = Dataset::new(name);
+    let mut label_map: Vec<i64> = Vec::new();
+    for (lineno, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = if line.contains(',') {
+            line.split(',').map(str::trim).collect()
+        } else {
+            line.split_whitespace().collect()
+        };
+        if fields.len() < 2 {
+            return Err(TsError::Parse {
+                line: lineno + 1,
+                message: format!("expected a label and at least one value, got {} fields", fields.len()),
+            });
+        }
+        let raw_label: f64 = fields[0].parse().map_err(|_| TsError::Parse {
+            line: lineno + 1,
+            message: format!("invalid label `{}`", fields[0]),
+        })?;
+        let raw_label = raw_label.round() as i64;
+        let label = match label_map.iter().position(|l| *l == raw_label) {
+            Some(idx) => idx,
+            None => {
+                label_map.push(raw_label);
+                label_map.len() - 1
+            }
+        };
+        let mut values = Vec::with_capacity(fields.len() - 1);
+        for f in &fields[1..] {
+            if f.is_empty() {
+                continue;
+            }
+            let v: f64 = f.parse().map_err(|_| TsError::Parse {
+                line: lineno + 1,
+                message: format!("invalid value `{f}`"),
+            })?;
+            values.push(v);
+        }
+        if values.is_empty() {
+            return Err(TsError::Parse {
+                line: lineno + 1,
+                message: "record contains no values".into(),
+            });
+        }
+        dataset.push(TimeSeries::with_label(values, label));
+    }
+    Ok(dataset)
+}
+
+/// Reads a UCR-format file from disk.
+pub fn read_ucr_file(path: impl AsRef<Path>) -> Result<Dataset> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path)?;
+    let mut content = String::new();
+    let mut reader = std::io::BufReader::new(file);
+    for line in (&mut reader).lines() {
+        content.push_str(&line?);
+        content.push('\n');
+    }
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "dataset".to_string());
+    parse_ucr(&content, name)
+}
+
+/// Serialises a dataset to the comma-separated UCR format.
+pub fn to_ucr_string(dataset: &Dataset) -> Result<String> {
+    let mut out = String::new();
+    for series in dataset.series() {
+        let label = series.label().ok_or_else(|| {
+            TsError::invalid("dataset", "cannot serialise unlabeled series to UCR format")
+        })?;
+        out.push_str(&label.to_string());
+        for v in series.values() {
+            out.push(',');
+            out.push_str(&format!("{v}"));
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Writes a dataset to disk in the comma-separated UCR format.
+pub fn write_ucr_file(dataset: &Dataset, path: impl AsRef<Path>) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut writer = BufWriter::new(file);
+    writer.write_all(to_ucr_string(dataset)?.as_bytes())?;
+    writer.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comma_separated() {
+        let content = "1,0.5,0.6,0.7\n2,1.0,1.1,1.2\n1,0.4,0.5,0.6\n";
+        let d = parse_ucr(content, "toy").unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.n_classes(), 2);
+        assert_eq!(d.series()[0].label(), Some(0));
+        assert_eq!(d.series()[1].label(), Some(1));
+        assert_eq!(d.series()[2].label(), Some(0));
+        assert_eq!(d.series()[0].values(), &[0.5, 0.6, 0.7]);
+    }
+
+    #[test]
+    fn parses_whitespace_separated_and_negative_labels() {
+        let content = "-1  0.5 0.6\n 1  1.0 1.1\n";
+        let d = parse_ucr(content, "toy").unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.n_classes(), 2);
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let content = "\n1,1.0,2.0\n\n2,3.0,4.0\n\n";
+        let d = parse_ucr(content, "toy").unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_ucr("not_a_label,1.0,2.0\n", "bad").is_err());
+        assert!(parse_ucr("1,abc\n", "bad").is_err());
+        assert!(parse_ucr("1\n", "bad").is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_string() {
+        let content = "1,0.5,0.625,0.75\n2,1.5,1.25,1.125\n";
+        let d = parse_ucr(content, "toy").unwrap();
+        let s = to_ucr_string(&d).unwrap();
+        let d2 = parse_ucr(&s, "toy").unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let dir = std::env::temp_dir().join("tsg_ts_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy_TRAIN.txt");
+        let content = "1,0.5,0.625,0.75\n2,1.5,1.25,1.125\n";
+        let d = parse_ucr(content, "toy").unwrap();
+        write_ucr_file(&d, &path).unwrap();
+        let d2 = read_ucr_file(&path).unwrap();
+        assert_eq!(d.series(), d2.series());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unlabeled_series_cannot_serialize() {
+        let mut d = Dataset::new("toy");
+        d.push(TimeSeries::new(vec![1.0, 2.0]));
+        assert!(to_ucr_string(&d).is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Piecewise Aggregate Approximation (PAA).
+//!
+//! PAA (equation 1 of the paper) reduces a series of length `n` to `s`
+//! segments by averaging values inside each segment. When `n` is not an
+//! integer multiple of `s`, boundary points contribute fractionally to the
+//! two segments they straddle, which keeps the approximation exact in the
+//! sense that segment weights always sum to `n / s`.
+
+use crate::error::TsError;
+use crate::Result;
+
+/// Reduces `values` to `segments` averaged segments.
+///
+/// Returns an error when `segments` is zero or exceeds the series length.
+///
+/// ```
+/// use tsg_ts::paa::paa;
+/// let reduced = paa(&[1.0, 2.0, 3.0, 4.0], 2).unwrap();
+/// assert_eq!(reduced, vec![1.5, 3.5]);
+/// ```
+pub fn paa(values: &[f64], segments: usize) -> Result<Vec<f64>> {
+    if values.is_empty() {
+        return Err(TsError::EmptySeries);
+    }
+    if segments == 0 {
+        return Err(TsError::invalid("segments", "must be positive"));
+    }
+    if segments > values.len() {
+        return Err(TsError::invalid(
+            "segments",
+            format!(
+                "cannot expand {} points into {} segments",
+                values.len(),
+                segments
+            ),
+        ));
+    }
+    let n = values.len();
+    if segments == n {
+        return Ok(values.to_vec());
+    }
+    // Fractional PAA: point k spreads uniformly over [k, k+1) on a length-n
+    // axis; segment i covers [i*n/s, (i+1)*n/s).
+    let mut out = vec![0.0f64; segments];
+    let seg_width = n as f64 / segments as f64;
+    for (k, &v) in values.iter().enumerate() {
+        let start = k as f64;
+        let end = (k + 1) as f64;
+        let first_seg = (start / seg_width).floor() as usize;
+        let last_seg = (((end / seg_width).ceil() as usize).max(1) - 1).min(segments - 1);
+        for (seg, out_v) in out.iter_mut().enumerate().take(last_seg + 1).skip(first_seg) {
+            let seg_start = seg as f64 * seg_width;
+            let seg_end = seg_start + seg_width;
+            let overlap = (end.min(seg_end) - start.max(seg_start)).max(0.0);
+            *out_v += v * overlap;
+        }
+    }
+    for v in &mut out {
+        *v /= seg_width;
+    }
+    Ok(out)
+}
+
+/// PAA with an even divisor: reduces the series to half its length (used by
+/// the multiscale cascade). Odd-length series drop the trailing point of the
+/// final pair average gracefully by averaging the remaining single point.
+pub fn halve(values: &[f64]) -> Result<Vec<f64>> {
+    if values.is_empty() {
+        return Err(TsError::EmptySeries);
+    }
+    if values.len() == 1 {
+        return Ok(values.to_vec());
+    }
+    let mut out = Vec::with_capacity(values.len().div_ceil(2));
+    let mut i = 0;
+    while i + 1 < values.len() {
+        out.push(0.5 * (values[i] + values[i + 1]));
+        i += 2;
+    }
+    if i < values.len() {
+        out.push(values[i]);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        assert_eq!(paa(&v, 3).unwrap(), vec![1.5, 3.5, 5.5]);
+        assert_eq!(paa(&v, 2).unwrap(), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn identity_when_segments_equal_length() {
+        let v = [1.0, 5.0, -2.0];
+        assert_eq!(paa(&v, 3).unwrap(), v.to_vec());
+    }
+
+    #[test]
+    fn fractional_division_preserves_mean() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = paa(&v, 2).unwrap();
+        // total mass preserved: mean of segments equals mean of series
+        let mean_r: f64 = r.iter().sum::<f64>() / r.len() as f64;
+        let mean_v: f64 = v.iter().sum::<f64>() / v.len() as f64;
+        assert!((mean_r - mean_v).abs() < 1e-9, "{mean_r} vs {mean_v}");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(paa(&[], 2).is_err());
+        assert!(paa(&[1.0, 2.0], 0).is_err());
+        assert!(paa(&[1.0, 2.0], 3).is_err());
+    }
+
+    #[test]
+    fn halve_even_odd() {
+        assert_eq!(halve(&[1.0, 3.0, 5.0, 7.0]).unwrap(), vec![2.0, 6.0]);
+        assert_eq!(halve(&[1.0, 3.0, 5.0]).unwrap(), vec![2.0, 5.0]);
+        assert_eq!(halve(&[4.0]).unwrap(), vec![4.0]);
+        assert!(halve(&[]).is_err());
+    }
+
+    #[test]
+    fn single_segment_is_global_mean() {
+        let v = [2.0, 4.0, 6.0, 8.0];
+        assert_eq!(paa(&v, 1).unwrap(), vec![5.0]);
+    }
+}

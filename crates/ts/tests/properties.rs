@@ -1,0 +1,132 @@
+//! Property-based tests for the time series substrate.
+
+use proptest::prelude::*;
+use tsg_ts::distance::{dtw, dtw_windowed, euclidean, lb_keogh};
+use tsg_ts::multiscale::{multiscale_approximations, MultiscaleOptions};
+use tsg_ts::paa::{halve, paa};
+use tsg_ts::preprocess::{detrend, minmax_scale, znormalize};
+use tsg_ts::sax::{sax_word, SaxParams};
+use tsg_ts::series::TimeSeries;
+
+fn finite_series(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3..1e3f64, 2..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn paa_preserves_global_mean(values in finite_series(128), frac in 2usize..10) {
+        let segments = (values.len() / frac).max(1);
+        let reduced = paa(&values, segments).unwrap();
+        let mean_full: f64 = values.iter().sum::<f64>() / values.len() as f64;
+        let mean_red: f64 = reduced.iter().sum::<f64>() / reduced.len() as f64;
+        prop_assert!((mean_full - mean_red).abs() < 1e-6);
+        prop_assert_eq!(reduced.len(), segments);
+    }
+
+    #[test]
+    fn paa_of_constant_series_is_constant(value in -100.0..100.0f64, n in 4usize..64, s in 1usize..4) {
+        let values = vec![value; n];
+        let reduced = paa(&values, s.min(n)).unwrap();
+        for v in reduced {
+            prop_assert!((v - value).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn halve_produces_half_length(values in finite_series(200)) {
+        let h = halve(&values).unwrap();
+        prop_assert_eq!(h.len(), values.len().div_ceil(2));
+    }
+
+    #[test]
+    fn znormalize_bounds(values in finite_series(128)) {
+        let z = znormalize(&values);
+        let mean: f64 = z.iter().sum::<f64>() / z.len() as f64;
+        prop_assert!(mean.abs() < 1e-6);
+    }
+
+    #[test]
+    fn minmax_is_bounded(values in finite_series(128)) {
+        let m = minmax_scale(&values);
+        prop_assert!(m.iter().all(|v| (-1e-9..=1.0 + 1e-9).contains(v)));
+    }
+
+    #[test]
+    fn detrend_keeps_length(values in finite_series(128)) {
+        prop_assert_eq!(detrend(&values).len(), values.len());
+    }
+
+    #[test]
+    fn dtw_is_symmetric_and_nonnegative(a in finite_series(48), b in finite_series(48)) {
+        let d1 = dtw(&a, &b).unwrap();
+        let d2 = dtw(&b, &a).unwrap();
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - d2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dtw_identity_is_zero(a in finite_series(48)) {
+        prop_assert!(dtw(&a, &a).unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn dtw_bounded_by_euclidean(a in prop::collection::vec(-100.0..100.0f64, 16), b in prop::collection::vec(-100.0..100.0f64, 16)) {
+        let d = dtw(&a, &b).unwrap();
+        let e = euclidean(&a, &b).unwrap();
+        prop_assert!(d <= e + 1e-9);
+    }
+
+    #[test]
+    fn windowed_dtw_monotone_in_window(a in prop::collection::vec(-10.0..10.0f64, 24), b in prop::collection::vec(-10.0..10.0f64, 24)) {
+        let narrow = dtw_windowed(&a, &b, 0.1).unwrap();
+        let wide = dtw_windowed(&a, &b, 0.5).unwrap();
+        let full = dtw(&a, &b).unwrap();
+        prop_assert!(wide <= narrow + 1e-9);
+        prop_assert!(full <= wide + 1e-9);
+    }
+
+    #[test]
+    fn lb_keogh_lower_bounds_windowed_dtw(a in prop::collection::vec(-10.0..10.0f64, 32), b in prop::collection::vec(-10.0..10.0f64, 32)) {
+        let band = 4usize;
+        let lb = lb_keogh(&a, &b, band).unwrap();
+        let d = dtw_windowed(&a, &b, band as f64 / 32.0).unwrap();
+        prop_assert!(lb <= d + 1e-6, "lb {} > dtw {}", lb, d);
+    }
+
+    #[test]
+    fn multiscale_lengths_strictly_decrease(values in finite_series(512)) {
+        let t = TimeSeries::new(values);
+        let scales = multiscale_approximations(&t, MultiscaleOptions::with_tau(4)).unwrap();
+        let mut prev = t.len();
+        for s in &scales {
+            prop_assert!(s.len() < prev);
+            prop_assert!(s.len() >= 2);
+            prev = s.len();
+        }
+    }
+
+    #[test]
+    fn sax_word_has_requested_length(values in finite_series(128), word_len in 2usize..8, alpha in 2usize..10) {
+        prop_assume!(values.len() >= word_len);
+        let params = SaxParams::new(alpha, word_len).unwrap();
+        let w = sax_word(&values, params).unwrap();
+        prop_assert_eq!(w.len(), word_len);
+        let max_char = (b'a' + (alpha as u8) - 1) as char;
+        prop_assert!(w.chars().all(|c| c >= 'a' && c <= max_char));
+    }
+
+    #[test]
+    fn sax_word_affine_invariant(values in finite_series(64), scale in 0.1..10.0f64, offset in -100.0..100.0f64) {
+        prop_assume!(values.len() >= 8);
+        let std: f64 = {
+            let m = values.iter().sum::<f64>() / values.len() as f64;
+            (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64).sqrt()
+        };
+        prop_assume!(std > 1e-6);
+        let params = SaxParams::default();
+        let transformed: Vec<f64> = values.iter().map(|v| offset + scale * v).collect();
+        prop_assert_eq!(sax_word(&values, params).unwrap(), sax_word(&transformed, params).unwrap());
+    }
+}

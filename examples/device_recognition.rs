@@ -1,0 +1,58 @@
+//! Appliance / device recognition from electricity-usage profiles — the
+//! industrial-monitoring scenario behind the ElectricDevices and
+//! *KitchenAppliances datasets. Demonstrates the heuristic ablation of the
+//! paper on a single dataset: UVG vs AMVG vs MVG feature sets.
+//!
+//! Run with `cargo run --release --example device_recognition`.
+
+use tsc_mvg::datasets::archive::{generate_by_name_scaled, ArchiveOptions};
+use tsc_mvg::mvg::{ClassifierChoice, FeatureConfig, MvgClassifier, MvgConfig};
+use tsc_mvg::ml::gbt::GradientBoostingParams;
+
+fn config_with(features: FeatureConfig) -> MvgConfig {
+    MvgConfig {
+        features,
+        classifier: ClassifierChoice::GradientBoosting(GradientBoostingParams {
+            n_estimators: 40,
+            max_depth: 4,
+            learning_rate: 0.2,
+            subsample: 0.7,
+            colsample_bytree: 0.7,
+            ..Default::default()
+        }),
+        oversample: true,
+        n_threads: 4,
+        seed: 11,
+    }
+}
+
+fn main() {
+    let options = ArchiveOptions::bounded(60, 360, 11);
+    let (train, test) =
+        generate_by_name_scaled("SmallKitchenAppliances", options).expect("dataset");
+    println!(
+        "Device recognition on SmallKitchenAppliances (synthetic stand-in): {} train / {} test, {} classes\n",
+        train.len(),
+        test.len(),
+        train.n_classes()
+    );
+
+    for (name, features) in [
+        ("UVG  (original scale only) ", FeatureConfig::uvg()),
+        ("AMVG (approximations only) ", FeatureConfig::amvg()),
+        ("MVG  (all scales)          ", FeatureConfig::mvg()),
+    ] {
+        let mut clf = MvgClassifier::new(config_with(features));
+        clf.fit(&train).expect("training");
+        let error = clf.error_rate(&test).expect("scoring");
+        println!(
+            "{name} error rate = {error:.3}   ({} features)",
+            clf.feature_names().len()
+        );
+    }
+    println!(
+        "\nAs in Table 2 of the paper, the multiscale representation (MVG) typically\n\
+         matches or improves on the single-scale variants because the classifier can\n\
+         select discriminative features from every scale."
+    );
+}

@@ -1,0 +1,70 @@
+//! Quickstart: from a raw time series to visibility graphs, statistical
+//! graph features, and a trained MVG classifier.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use tsc_mvg::datasets::archive::{generate_by_name_scaled, ArchiveOptions};
+use tsc_mvg::graph::motifs::count_motifs;
+use tsc_mvg::graph::stats::GraphStatistics;
+use tsc_mvg::graph::visibility::{horizontal_visibility_graph, visibility_graph};
+use tsc_mvg::mvg::{extract_series_features, FeatureConfig, MvgClassifier, MvgConfig};
+
+fn main() {
+    // --- 1. a small example series (the 20-point series of Figure 1) -------
+    let series: Vec<f64> = (0..20)
+        .map(|i| 0.5 + 0.4 * ((i as f64) * 0.9).sin() + 0.1 * ((i as f64) * 2.3).cos())
+        .collect();
+    let vg = visibility_graph(&series);
+    let hvg = horizontal_visibility_graph(&series);
+    println!("Figure 1 example: a 20-point series");
+    println!(
+        "  natural visibility graph:   {} vertices, {} edges",
+        vg.n_vertices(),
+        vg.n_edges()
+    );
+    println!(
+        "  horizontal visibility graph: {} vertices, {} edges (always a subgraph of the VG: {})",
+        hvg.n_vertices(),
+        hvg.n_edges(),
+        hvg.is_subgraph_of(&vg)
+    );
+
+    // --- 2. statistical graph features -------------------------------------
+    let counts = count_motifs(&vg);
+    let stats = GraphStatistics::compute(&vg);
+    println!("\nStatistical features of the VG:");
+    println!("  triangles            : {}", counts.triangle3);
+    println!("  4-cliques            : {}", counts.clique4);
+    println!("  density              : {:.3}", stats.density);
+    println!("  max coreness         : {}", stats.max_coreness);
+    println!("  degree assortativity : {:.3}", stats.assortativity);
+
+    // --- 3. the full MVG feature vector ------------------------------------
+    let long_series = tsc_mvg::ts::TimeSeries::new(
+        (0..256).map(|i| ((i as f64) * 0.2).sin() + 0.2 * ((i as f64) * 0.03).cos()).collect(),
+    );
+    let config = FeatureConfig::mvg();
+    let features = extract_series_features(&long_series, &config);
+    println!(
+        "\nMVG feature vector of a 256-point series: {} features across {} scales × VG+HVG",
+        features.len(),
+        config.n_scales_for_length(long_series.len())
+    );
+
+    // --- 4. end-to-end classification on a synthetic UCR dataset ----------
+    let (train, test) =
+        generate_by_name_scaled("BeetleFly", ArchiveOptions::bounded(20, 256, 7)).expect("dataset");
+    let mut clf = MvgClassifier::new(MvgConfig::fast());
+    clf.fit(&train).expect("training");
+    let accuracy = clf.score(&test).expect("scoring");
+    println!(
+        "\nBeetleFly (synthetic stand-in): trained on {} series, accuracy on {} test series = {:.3}",
+        train.len(),
+        test.len(),
+        accuracy
+    );
+    println!("Top 5 most important features:");
+    for feature in clf.feature_importances().into_iter().take(5) {
+        println!("  {:<24} {:.4}", feature.name, feature.importance);
+    }
+}

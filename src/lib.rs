@@ -1,0 +1,42 @@
+//! # tsc-mvg — Multiscale Visibility Graph time series classification
+//!
+//! Facade crate for the Rust reproduction of *"Extracting Statistical Graph
+//! Features for Accurate and Efficient Time Series Classification"* (EDBT
+//! 2018). It re-exports the workspace crates under short module names:
+//!
+//! * [`ts`] — time series substrate (PAA, multiscale approximation, DTW,
+//!   SAX, generators, UCR I/O).
+//! * [`graph`] — graph substrate (visibility graphs, graphlet counting,
+//!   k-core, assortativity).
+//! * [`ml`] — generic classifiers (gradient boosting, random forest, SVM,
+//!   kNN, logistic regression), cross-validation, grid search, stacking.
+//! * [`mvg`] — the paper's contribution: UVG/AMVG/MVG feature extraction and
+//!   the end-to-end [`mvg::MvgClassifier`].
+//! * [`baselines`] — 1NN-ED, 1NN-DTW, Fast Shapelets, Learning Shapelets,
+//!   SAX-VSM, Bag-of-Patterns.
+//! * [`datasets`] — the synthetic stand-in for the UCR archive.
+//! * [`eval`] — Wilcoxon / Friedman–Nemenyi tests, ranks, scatter and table
+//!   helpers used by the experiment binaries.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tsc_mvg::datasets::archive::{generate_by_name_scaled, ArchiveOptions};
+//! use tsc_mvg::mvg::{MvgClassifier, MvgConfig};
+//!
+//! // A small synthetic two-class problem (stand-in for a UCR dataset).
+//! let options = ArchiveOptions::bounded(20, 192, 7);
+//! let (train, test) = generate_by_name_scaled("BeetleFly", options).unwrap();
+//! let mut clf = MvgClassifier::new(MvgConfig::fast());
+//! clf.fit(&train).unwrap();
+//! let accuracy = clf.score(&test).unwrap();
+//! assert!((0.0..=1.0).contains(&accuracy));
+//! ```
+
+pub use tsg_baselines as baselines;
+pub use tsg_core as mvg;
+pub use tsg_datasets as datasets;
+pub use tsg_eval as eval;
+pub use tsg_graph as graph;
+pub use tsg_ml as ml;
+pub use tsg_ts as ts;

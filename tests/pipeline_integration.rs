@@ -1,0 +1,137 @@
+//! Cross-crate integration tests: the full pipeline from synthetic archive
+//! datasets through feature extraction to classification and evaluation.
+
+use tsc_mvg::baselines::{NnClassifier, NnDistance, TscClassifier};
+use tsc_mvg::datasets::archive::{generate_by_name_scaled, generate_scaled, ArchiveOptions};
+use tsc_mvg::datasets::ALL_DATASETS;
+use tsc_mvg::eval::{wilcoxon_signed_rank, ScatterComparison};
+use tsc_mvg::mvg::{
+    extract_dataset_features, ClassifierChoice, FeatureConfig, MvgClassifier, MvgConfig,
+};
+use tsc_mvg::ml::gbt::GradientBoostingParams;
+
+fn fast_config(features: FeatureConfig) -> MvgConfig {
+    MvgConfig {
+        features,
+        classifier: ClassifierChoice::GradientBoosting(GradientBoostingParams {
+            n_estimators: 25,
+            max_depth: 3,
+            learning_rate: 0.25,
+            subsample: 0.8,
+            colsample_bytree: 0.8,
+            ..Default::default()
+        }),
+        oversample: true,
+        n_threads: 2,
+        seed: 3,
+    }
+}
+
+#[test]
+fn end_to_end_on_shapeletsim_beats_chance() {
+    let options = ArchiveOptions::bounded(24, 192, 5);
+    let (train, test) = generate_by_name_scaled("ShapeletSim", options).unwrap();
+    let mut clf = MvgClassifier::new(fast_config(FeatureConfig::mvg()));
+    clf.fit(&train).unwrap();
+    let accuracy = clf.score(&test).unwrap();
+    assert!(
+        accuracy > 0.55,
+        "MVG should beat chance on a pattern dataset, got {accuracy}"
+    );
+}
+
+#[test]
+fn mvg_feature_count_is_consistent_across_splits() {
+    let options = ArchiveOptions::bounded(16, 128, 2);
+    let (train, test) = generate_by_name_scaled("Wine", options).unwrap();
+    let config = FeatureConfig::mvg();
+    let (x_train, names_train) = extract_dataset_features(&train, &config, 2);
+    let (x_test, names_test) = extract_dataset_features(&test, &config, 2);
+    assert_eq!(names_train, names_test);
+    assert_eq!(x_train.n_cols(), x_test.n_cols());
+    assert_eq!(x_train.n_rows(), train.len());
+    assert_eq!(x_test.n_rows(), test.len());
+}
+
+#[test]
+fn every_catalogue_dataset_flows_through_uvg_extraction() {
+    // a smoke test over the whole catalogue at a tiny budget: generation,
+    // extraction and shape invariants must hold for every dataset family
+    let options = ArchiveOptions::bounded(6, 64, 11);
+    for spec in ALL_DATASETS.iter().take(12) {
+        let (train, _) = generate_scaled(spec, options);
+        let (x, names) = extract_dataset_features(&train, &FeatureConfig::uvg(), 2);
+        assert_eq!(x.n_rows(), train.len(), "{}", spec.name);
+        assert_eq!(x.n_cols(), names.len(), "{}", spec.name);
+        assert!(
+            x.rows().all(|r| r.iter().all(|v| v.is_finite())),
+            "{} produced non-finite features",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn mvg_and_baseline_results_feed_the_evaluation_stack() {
+    // a miniature Table 3 row: run MVG and 1NN-ED on two datasets, compare
+    // with the Wilcoxon test and the scatter comparison
+    let options = ArchiveOptions::bounded(16, 128, 9);
+    let mut mvg_errors = Vec::new();
+    let mut nn_errors = Vec::new();
+    let mut names = Vec::new();
+    for dataset in ["BeetleFly", "ToeSegmentation1", "Meat"] {
+        let (train, test) = generate_by_name_scaled(dataset, options).unwrap();
+        let mut clf = MvgClassifier::new(fast_config(FeatureConfig::uvg()));
+        clf.fit(&train).unwrap();
+        mvg_errors.push(clf.error_rate(&test).unwrap());
+        let mut nn = NnClassifier::new(NnDistance::Euclidean);
+        nn.fit(&train).unwrap();
+        nn_errors.push(nn.error_rate(&test).unwrap());
+        names.push(dataset.to_string());
+    }
+    let comparison =
+        ScatterComparison::new("1NN-ED", "MVG", names, nn_errors.clone(), mvg_errors.clone());
+    let wl = comparison.win_loss();
+    assert_eq!(wl.wins + wl.ties + wl.losses, 3);
+    // the Wilcoxon test either returns a valid p-value or (if the error
+    // vectors are identical) nothing — both are acceptable here
+    if let Some(result) = wilcoxon_signed_rank(&nn_errors, &mvg_errors) {
+        assert!(result.p_value > 0.0 && result.p_value <= 1.0);
+    }
+    assert!(!comparison.to_csv().is_empty());
+}
+
+#[test]
+fn classifier_choice_variants_run_end_to_end() {
+    let options = ArchiveOptions::bounded(18, 96, 13);
+    let (train, test) = generate_by_name_scaled("ECG5000", options).unwrap();
+    for choice in [
+        ClassifierChoice::RandomForest(tsc_mvg::ml::forest::RandomForestParams {
+            n_estimators: 15,
+            max_depth: 6,
+            ..Default::default()
+        }),
+        ClassifierChoice::Svm(tsc_mvg::ml::svm::SvmParams::default()),
+    ] {
+        let config = MvgConfig {
+            classifier: choice,
+            ..fast_config(FeatureConfig::uvg())
+        };
+        let mut clf = MvgClassifier::new(config);
+        clf.fit(&train).unwrap();
+        let error = clf.error_rate(&test).unwrap();
+        assert!((0.0..=1.0).contains(&error));
+    }
+}
+
+#[test]
+fn predictions_are_reproducible_across_runs() {
+    let options = ArchiveOptions::bounded(14, 96, 21);
+    let (train, test) = generate_by_name_scaled("Strawberry", options).unwrap();
+    let run = || {
+        let mut clf = MvgClassifier::new(fast_config(FeatureConfig::mvg()));
+        clf.fit(&train).unwrap();
+        clf.predict(&test).unwrap()
+    };
+    assert_eq!(run(), run());
+}
