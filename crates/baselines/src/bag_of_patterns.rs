@@ -39,8 +39,11 @@ impl BagOfPatterns {
         if values.len() < self.window || self.window == 0 {
             let word = tsg_ts::sax::sax_word(
                 values,
-                SaxParams::new(self.sax.alphabet_size, self.sax.word_length.min(values.len()))
-                    .map_err(BaselineError::from)?,
+                SaxParams::new(
+                    self.sax.alphabet_size,
+                    self.sax.word_length.min(values.len()),
+                )
+                .map_err(BaselineError::from)?,
             )?;
             bag.insert(word, 1.0);
             return Ok(bag);
@@ -79,7 +82,9 @@ impl TscClassifier for BagOfPatterns {
 
     fn fit(&mut self, train: &Dataset) -> Result<()> {
         if train.is_empty() {
-            return Err(BaselineError::InvalidTrainingData("empty training set".into()));
+            return Err(BaselineError::InvalidTrainingData(
+                "empty training set".into(),
+            ));
         }
         let labels = train
             .labels_required()

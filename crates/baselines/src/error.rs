@@ -42,6 +42,8 @@ mod tests {
         assert!(BaselineError::NotFitted.to_string().contains("fitted"));
         let e: BaselineError = tsg_ts::TsError::EmptySeries.into();
         assert!(matches!(e, BaselineError::Series(_)));
-        assert!(BaselineError::InvalidTrainingData("x".into()).to_string().contains('x'));
+        assert!(BaselineError::InvalidTrainingData("x".into())
+            .to_string()
+            .contains('x'));
     }
 }

@@ -126,9 +126,14 @@ impl TscClassifier for LearningShapelets {
         "LearningShapelets".to_string()
     }
 
+    // index notation (grad_w[class][k], weights[class][k]) mirrors the joint
+    // shapelet/weight gradient equations of Grabocka et al.
+    #[allow(clippy::needless_range_loop)]
     fn fit(&mut self, train: &Dataset) -> Result<()> {
         if train.is_empty() {
-            return Err(BaselineError::InvalidTrainingData("empty training set".into()));
+            return Err(BaselineError::InvalidTrainingData(
+                "empty training set".into(),
+            ));
         }
         let labels = train
             .labels_required()
@@ -198,7 +203,8 @@ impl TscClassifier for LearningShapelets {
                     }
                     // soft minimum with log-sum-exp stabilisation
                     let min_d = dists.iter().cloned().fold(f64::INFINITY, f64::min);
-                    let weights: Vec<f64> = dists.iter().map(|d| (alpha * (d - min_d)).exp()).collect();
+                    let weights: Vec<f64> =
+                        dists.iter().map(|d| (alpha * (d - min_d)).exp()).collect();
                     let wsum: f64 = weights.iter().sum();
                     let soft_min: f64 = dists
                         .iter()

@@ -77,7 +77,9 @@ impl TscClassifier for NnClassifier {
 
     fn fit(&mut self, train: &Dataset) -> Result<()> {
         if train.is_empty() {
-            return Err(BaselineError::InvalidTrainingData("empty training set".into()));
+            return Err(BaselineError::InvalidTrainingData(
+                "empty training set".into(),
+            ));
         }
         let labels = train
             .labels_required()

@@ -61,8 +61,11 @@ impl SaxVsm {
             // degenerate: whole series as a single word
             let word = tsg_ts::sax::sax_word(
                 values,
-                SaxParams::new(self.sax.alphabet_size, self.sax.word_length.min(values.len()))
-                    .map_err(BaselineError::from)?,
+                SaxParams::new(
+                    self.sax.alphabet_size,
+                    self.sax.word_length.min(values.len()),
+                )
+                .map_err(BaselineError::from)?,
             )?;
             *bag.entry(word).or_insert(0.0) += 1.0;
             return Ok(bag);
@@ -97,7 +100,9 @@ impl TscClassifier for SaxVsm {
 
     fn fit(&mut self, train: &Dataset) -> Result<()> {
         if train.is_empty() {
-            return Err(BaselineError::InvalidTrainingData("empty training set".into()));
+            return Err(BaselineError::InvalidTrainingData(
+                "empty training set".into(),
+            ));
         }
         let labels = train
             .labels_required()

@@ -16,7 +16,10 @@ pub trait TscClassifier: Send {
 
     /// Predicts the classes of every series in a dataset.
     fn predict(&self, test: &Dataset) -> Result<Vec<usize>> {
-        test.series().iter().map(|s| self.predict_series(s)).collect()
+        test.series()
+            .iter()
+            .map(|s| self.predict_series(s))
+            .collect()
     }
 
     /// Error rate on a labeled dataset (the quantity of the paper's tables).

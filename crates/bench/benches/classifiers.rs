@@ -15,7 +15,9 @@ fn dataset() -> (FeatureMatrix, Vec<usize>) {
     let n_cols = 240usize;
     let mut state = 99u64;
     let mut next = || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) as f64) / (u32::MAX as f64)
     };
     let mut rows = Vec::with_capacity(n_rows);
@@ -46,7 +48,8 @@ fn bench_classifiers(c: &mut Criterion) {
                 colsample_bytree: 0.5,
                 ..Default::default()
             });
-            gbt.fit(std::hint::black_box(&x), std::hint::black_box(&y)).unwrap();
+            gbt.fit(std::hint::black_box(&x), std::hint::black_box(&y))
+                .unwrap();
         })
     });
     group.bench_function("random_forest_120x240", |b| {
@@ -56,7 +59,8 @@ fn bench_classifiers(c: &mut Criterion) {
                 max_depth: 10,
                 ..Default::default()
             });
-            rf.fit(std::hint::black_box(&x), std::hint::black_box(&y)).unwrap();
+            rf.fit(std::hint::black_box(&x), std::hint::black_box(&y))
+                .unwrap();
         })
     });
     group.bench_function("svm_rbf_120x240", |b| {
@@ -66,7 +70,8 @@ fn bench_classifiers(c: &mut Criterion) {
                 kernel: SvmKernel::Rbf { gamma: 0.5 },
                 ..Default::default()
             });
-            svm.fit(std::hint::black_box(&x), std::hint::black_box(&y)).unwrap();
+            svm.fit(std::hint::black_box(&x), std::hint::black_box(&y))
+                .unwrap();
         })
     });
     group.finish();

@@ -27,10 +27,14 @@ fn bench_distances(c: &mut Criterion) {
             bench.iter(|| dtw(std::hint::black_box(&a), std::hint::black_box(&b)).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("dtw_band10", n), &n, |bench, _| {
-            bench.iter(|| dtw_windowed(std::hint::black_box(&a), std::hint::black_box(&b), 0.1).unwrap())
+            bench.iter(|| {
+                dtw_windowed(std::hint::black_box(&a), std::hint::black_box(&b), 0.1).unwrap()
+            })
         });
         group.bench_with_input(BenchmarkId::new("lb_keogh", n), &n, |bench, _| {
-            bench.iter(|| lb_keogh(std::hint::black_box(&a), std::hint::black_box(&b), n / 10).unwrap())
+            bench.iter(|| {
+                lb_keogh(std::hint::black_box(&a), std::hint::black_box(&b), n / 10).unwrap()
+            })
         });
     }
     group.finish();

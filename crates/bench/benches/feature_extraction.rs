@@ -10,7 +10,10 @@ use tsg_ts::{generators, Dataset, TimeSeries};
 
 fn make_series(n: usize) -> TimeSeries {
     let mut rng = ChaCha8Rng::seed_from_u64(3);
-    TimeSeries::with_label(generators::ecg_like(&mut rng, n, n / 8, 2.0, false, 0.05), 0)
+    TimeSeries::with_label(
+        generators::ecg_like(&mut rng, n, n / 8, 2.0, false, 0.05),
+        0,
+    )
 }
 
 fn make_dataset(n_instances: usize, length: usize) -> Dataset {
@@ -47,7 +50,13 @@ fn bench_extraction(c: &mut Criterion) {
             BenchmarkId::new("mvg_32x256", threads),
             &threads,
             |b, &t| {
-                b.iter(|| extract_dataset_features(std::hint::black_box(&dataset), &FeatureConfig::mvg(), t))
+                b.iter(|| {
+                    extract_dataset_features(
+                        std::hint::black_box(&dataset),
+                        &FeatureConfig::mvg(),
+                        t,
+                    )
+                })
             },
         );
     }

@@ -36,7 +36,9 @@ fn bench_motifs(c: &mut Criterion) {
     let mut group = c.benchmark_group("graph_statistics");
     group.sample_size(20);
     let g = graph(1024);
-    group.bench_function("kcore_1024", |b| b.iter(|| max_coreness(std::hint::black_box(&g))));
+    group.bench_function("kcore_1024", |b| {
+        b.iter(|| max_coreness(std::hint::black_box(&g)))
+    });
     group.bench_function("assortativity_1024", |b| {
         b.iter(|| degree_assortativity(std::hint::black_box(&g)))
     });

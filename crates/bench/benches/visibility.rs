@@ -5,12 +5,19 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use tsg_graph::visibility::{horizontal_visibility_graph, visibility_graph, visibility_graph_naive};
+use tsg_graph::visibility::{
+    horizontal_visibility_graph, visibility_graph, visibility_graph_naive,
+};
 use tsg_ts::generators;
 
 fn series(n: usize) -> Vec<f64> {
     let mut rng = ChaCha8Rng::seed_from_u64(42);
-    generators::harmonic_mixture(&mut rng, n, &[(n as f64 / 8.0, 1.0), (n as f64 / 31.0, 0.4)], 0.3)
+    generators::harmonic_mixture(
+        &mut rng,
+        n,
+        &[(n as f64 / 8.0, 1.0), (n as f64 / 31.0, 0.4)],
+        0.3,
+    )
 }
 
 fn bench_visibility(c: &mut Criterion) {

@@ -38,10 +38,7 @@ fn main() {
     }
     println!("{}", table.to_aligned());
     let n_hvg = top.iter().filter(|f| f.name.contains("HVG")).count();
-    let n_scaled = top
-        .iter()
-        .filter(|f| !f.name.starts_with("T0 "))
-        .count();
+    let n_scaled = top.iter().filter(|f| !f.name.starts_with("T0 ")).count();
     println!(
         "{n_hvg} of the top-10 features come from HVGs and {n_scaled} from downscaled approximations,\n\
          mirroring the paper's observation that both graph kinds and multiple scales contribute.\n"
@@ -72,7 +69,12 @@ fn main() {
         options.write_artefact("fig10_forda_top_features.csv", &csv);
         let mut importance_csv = String::from("rank,feature,importance\n");
         for (i, f) in ranked.iter().enumerate() {
-            importance_csv.push_str(&format!("{},{},{}\n", i + 1, f.name.replace(',', ";"), f.importance));
+            importance_csv.push_str(&format!(
+                "{},{},{}\n",
+                i + 1,
+                f.name.replace(',', ";"),
+                f.importance
+            ));
         }
         options.write_artefact("fig10_forda_importances.csv", &importance_csv);
     }

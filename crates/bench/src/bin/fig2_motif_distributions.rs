@@ -53,9 +53,9 @@ fn main() {
     ] {
         println!("{title}");
         let mut table = Table::new(&["class", "motif", "min", "q1", "median", "q3", "max"]);
-        for class in 0..n_classes {
+        for (class, class_samples) in samples.iter().enumerate().take(n_classes) {
             for (k, motif) in motifs.iter().enumerate() {
-                let values = &samples[class][offset + k];
+                let values = &class_samples[offset + k];
                 let summary = BoxplotSummary::compute(
                     format!("class {} {}", class + 1, motif.paper_id()),
                     values,

@@ -72,7 +72,13 @@ fn svm_candidates(seed: u64) -> Vec<(String, SvmParams)> {
         .collect()
 }
 
-fn fit_and_score(model: &mut dyn Classifier, x_train: &tsg_ml::FeatureMatrix, y_train: &[usize], x_test: &tsg_ml::FeatureMatrix, y_test: &[usize]) -> f64 {
+fn fit_and_score(
+    model: &mut dyn Classifier,
+    x_train: &tsg_ml::FeatureMatrix,
+    y_train: &[usize],
+    x_test: &tsg_ml::FeatureMatrix,
+    y_test: &[usize],
+) -> f64 {
     model.fit(x_train, y_train).expect("training failed");
     let pred = model.predict(x_test).expect("prediction failed");
     error_rate(y_test, &pred)
@@ -86,17 +92,26 @@ fn stacking_for_family(family: &str, seed: u64) -> StackingEnsemble {
     });
     if family == "XGBoost" || family == "All" {
         for (name, params) in boosting_candidates(seed) {
-            ens.add_candidate(name, Box::new(move || Box::new(GradientBoosting::new(params)) as Box<dyn Classifier>));
+            ens.add_candidate(
+                name,
+                Box::new(move || Box::new(GradientBoosting::new(params)) as Box<dyn Classifier>),
+            );
         }
     }
     if family == "RF" || family == "All" {
         for (name, params) in forest_candidates(seed) {
-            ens.add_candidate(name, Box::new(move || Box::new(RandomForest::new(params)) as Box<dyn Classifier>));
+            ens.add_candidate(
+                name,
+                Box::new(move || Box::new(RandomForest::new(params)) as Box<dyn Classifier>),
+            );
         }
     }
     if family == "SVM" || family == "All" {
         for (name, params) in svm_candidates(seed) {
-            ens.add_candidate(name, Box::new(move || Box::new(SvmClassifier::new(params)) as Box<dyn Classifier>));
+            ens.add_candidate(
+                name,
+                Box::new(move || Box::new(SvmClassifier::new(params)) as Box<dyn Classifier>),
+            );
         }
     }
     ens
@@ -120,15 +135,23 @@ fn main() {
     let mut single_errors: Vec<Vec<f64>> = Vec::new();
     let mut stack_errors: Vec<Vec<f64>> = Vec::new();
     let mut single_table = Table::new(&["Dataset", "XGBoost", "RF", "SVM"]);
-    let mut stack_table = Table::new(&["Dataset", "stack XGBoost", "stack RF", "stack SVM", "stack All"]);
+    let mut stack_table = Table::new(&[
+        "Dataset",
+        "stack XGBoost",
+        "stack RF",
+        "stack SVM",
+        "stack All",
+    ]);
 
     for spec in &specs {
         let (train, test) = load_dataset(spec, &options);
         let y_train = train.labels_required().expect("labeled data");
         let y_test = test.labels_required().expect("labeled data");
         let features = FeatureConfig::mvg();
-        let (x_train_raw, _) = extract_dataset_features(&train, &features, tsg_core::parallel::default_threads());
-        let (x_test_raw, _) = extract_dataset_features(&test, &features, tsg_core::parallel::default_threads());
+        let (x_train_raw, _) =
+            extract_dataset_features(&train, &features, tsg_core::parallel::default_threads());
+        let (x_test_raw, _) =
+            extract_dataset_features(&test, &features, tsg_core::parallel::default_threads());
         let (scaler, x_train) = MinMaxScaler::fit_transform(&x_train_raw).expect("scaling");
         let x_test = scaler.transform(&x_test_raw).expect("scaling");
 
@@ -152,7 +175,9 @@ fn main() {
         let mut row = Vec::new();
         for family in stacking_methods {
             let mut ens = stacking_for_family(family, options.seed);
-            row.push(fit_and_score(&mut ens, &x_train, &y_train, &x_test, &y_test));
+            row.push(fit_and_score(
+                &mut ens, &x_train, &y_train, &x_test, &y_test,
+            ));
         }
         stack_table.add_row({
             let mut cells = vec![spec.name.to_string()];
@@ -179,11 +204,28 @@ fn main() {
         options.write_artefact("fig7_stacking.csv", &stack_table.to_csv());
         options.write_artefact(
             "fig6_fig7_critical_difference.json",
-            &serde_json::to_string_pretty(&serde_json::json!({
-                "fig6": {"methods": single_methods, "ranks": cd6.average_ranks, "cd": cd6.cd},
-                "fig7": {"methods": stack_labels, "ranks": cd7.average_ranks, "cd": cd7.cd},
-            }))
-            .expect("json"),
+            &format!(
+                "{{\n  \"fig6\": {},\n  \"fig7\": {}\n}}\n",
+                cd_json(&single_methods, &cd6.average_ranks, cd6.cd),
+                cd_json(&stack_labels, &cd7.average_ranks, cd7.cd),
+            ),
         );
     }
+}
+
+/// Hand-formatted JSON for one critical-difference record (the build
+/// environment has no serde_json; method names contain no characters that
+/// need escaping).
+fn cd_json(methods: &[&str], ranks: &[f64], cd: f64) -> String {
+    let methods = methods
+        .iter()
+        .map(|m| format!("\"{m}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let ranks = ranks
+        .iter()
+        .map(|r| format!("{r}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("{{\"methods\": [{methods}], \"ranks\": [{ranks}], \"cd\": {cd}}}")
 }

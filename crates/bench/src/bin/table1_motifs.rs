@@ -21,7 +21,15 @@ fn main() {
         vg.n_edges(),
         hvg.n_edges()
     );
-    let mut table = Table::new(&["id", "name", "size", "edges", "connected", "VG count", "HVG count"]);
+    let mut table = Table::new(&[
+        "id",
+        "name",
+        "size",
+        "edges",
+        "connected",
+        "VG count",
+        "HVG count",
+    ]);
     for motif in Motif::ALL {
         table.add_row(vec![
             motif.paper_id().to_string(),

@@ -28,7 +28,9 @@ fn main() {
         options.archive.max_length.min(99999),
     );
 
-    let mut header: Vec<&str> = vec!["Dataset", "#Cls", "#Train", "#Test", "Dim", "1NN-ED", "1NN-DTW"];
+    let mut header: Vec<&str> = vec![
+        "Dataset", "#Cls", "#Train", "#Test", "Dim", "1NN-ED", "1NN-DTW",
+    ];
     let config_labels: Vec<String> = configs.iter().map(|(c, _)| c.to_string()).collect();
     for label in &config_labels {
         header.push(Box::leak(label.clone().into_boxed_str()));

@@ -2,7 +2,9 @@
 //! state-of-the-art baselines (1NN-ED, 1NN-DTW, Learning Shapelets, Fast
 //! Shapelets, SAX-VSM).
 
-use tsg_bench::experiments::{load_dataset, mvg_fixed_config, run_baseline, run_mvg, table3_baselines};
+use tsg_bench::experiments::{
+    load_dataset, mvg_fixed_config, run_baseline, run_mvg, table3_baselines,
+};
 use tsg_bench::RunOptions;
 use tsg_core::FeatureConfig;
 use tsg_eval::tables::fmt3;
@@ -16,7 +18,10 @@ fn main() {
         specs.len()
     );
 
-    let baseline_names: Vec<String> = table3_baselines(options.seed).iter().map(|b| b.name()).collect();
+    let baseline_names: Vec<String> = table3_baselines(options.seed)
+        .iter()
+        .map(|b| b.name())
+        .collect();
     let mut header: Vec<String> = vec!["Dataset".into()];
     header.extend(baseline_names.iter().cloned());
     header.push("MVG".into());
@@ -90,7 +95,9 @@ fn main() {
         if options.figures {
             let file = format!(
                 "fig8_{}_vs_mvg.csv",
-                name.to_lowercase().replace(['-', ' ', '('], "_").replace(')', "")
+                name.to_lowercase()
+                    .replace(['-', ' ', '('], "_")
+                    .replace(')', "")
             );
             options.write_artefact(&file, &comparison.to_csv());
         }

@@ -75,12 +75,7 @@ pub fn mvg_grid_config(features: FeatureConfig, seed: u64) -> MvgConfig {
 
 /// Runs one MVG configuration on one dataset and reports error rate plus the
 /// feature-extraction / classification runtime split of Table 3.
-pub fn run_mvg(
-    label: &str,
-    config: MvgConfig,
-    train: &Dataset,
-    test: &Dataset,
-) -> MethodResult {
+pub fn run_mvg(label: &str, config: MvgConfig, train: &Dataset, test: &Dataset) -> MethodResult {
     let mut stopwatch = Stopwatch::new();
     let mut clf = MvgClassifier::new(config);
     // time extraction separately by extracting once up front (the classifier
@@ -97,7 +92,10 @@ pub fn run_mvg(
         method: label.to_string(),
         error_rate,
         feature_seconds: stopwatch.seconds("feature_extraction"),
-        classify_seconds: stopwatch.seconds("classification") - stopwatch.seconds("feature_extraction").min(stopwatch.seconds("classification")),
+        classify_seconds: stopwatch.seconds("classification")
+            - stopwatch
+                .seconds("feature_extraction")
+                .min(stopwatch.seconds("classification")),
     }
 }
 
@@ -110,7 +108,9 @@ pub fn run_baseline(
     let mut stopwatch = Stopwatch::new();
     let error_rate = stopwatch.time("classification", || {
         classifier.fit(train).expect("baseline training failed");
-        classifier.error_rate(test).expect("baseline prediction failed")
+        classifier
+            .error_rate(test)
+            .expect("baseline prediction failed")
     });
     MethodResult {
         method: classifier.name(),
@@ -143,10 +143,22 @@ pub fn table3_baselines(seed: u64) -> Vec<Box<dyn TscClassifier>> {
 pub fn table2_configurations() -> Vec<(char, FeatureConfig)> {
     use tsg_graph::visibility::VisibilityKind;
     vec![
-        ('A', FeatureConfig::uniscale_single(VisibilityKind::Horizontal, false)),
-        ('B', FeatureConfig::uniscale_single(VisibilityKind::Horizontal, true)),
-        ('C', FeatureConfig::uniscale_single(VisibilityKind::Natural, false)),
-        ('D', FeatureConfig::uniscale_single(VisibilityKind::Natural, true)),
+        (
+            'A',
+            FeatureConfig::uniscale_single(VisibilityKind::Horizontal, false),
+        ),
+        (
+            'B',
+            FeatureConfig::uniscale_single(VisibilityKind::Horizontal, true),
+        ),
+        (
+            'C',
+            FeatureConfig::uniscale_single(VisibilityKind::Natural, false),
+        ),
+        (
+            'D',
+            FeatureConfig::uniscale_single(VisibilityKind::Natural, true),
+        ),
         ('E', FeatureConfig::uvg()),
         ('F', FeatureConfig::amvg()),
         ('G', FeatureConfig::mvg()),
@@ -169,7 +181,12 @@ mod tests {
     fn mvg_runner_produces_sane_result() {
         let spec = spec_by_name("BeetleFly").unwrap();
         let (train, test) = load_dataset(spec, &tiny_options());
-        let result = run_mvg("MVG", mvg_fixed_config(FeatureConfig::uvg(), 1), &train, &test);
+        let result = run_mvg(
+            "MVG",
+            mvg_fixed_config(FeatureConfig::uvg(), 1),
+            &train,
+            &test,
+        );
         assert!((0.0..=1.0).contains(&result.error_rate));
         assert!(result.feature_seconds >= 0.0);
         assert!(result.total_seconds() > 0.0);

@@ -185,14 +185,20 @@ mod tests {
 
     #[test]
     fn max_datasets_caps_selection() {
-        let args: Vec<String> = ["--max-datasets", "5"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--max-datasets", "5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let options = RunOptions::from_arg_slice(&args);
         assert_eq!(options.selected_specs().len(), 5);
     }
 
     #[test]
     fn unknown_flags_are_ignored() {
-        let args: Vec<String> = ["--bogus", "--full"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--bogus", "--full"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let options = RunOptions::from_arg_slice(&args);
         assert_eq!(options.archive.max_train, usize::MAX);
     }

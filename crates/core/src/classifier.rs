@@ -425,7 +425,11 @@ mod tests {
             let mut clf = MvgClassifier::new(config);
             clf.fit(&train).unwrap();
             let acc = clf.score(&test).unwrap();
-            assert!(acc >= 0.6, "accuracy {acc} for {:?}", clf.config().classifier);
+            assert!(
+                acc >= 0.6,
+                "accuracy {acc} for {:?}",
+                clf.config().classifier
+            );
         }
     }
 

@@ -90,7 +90,11 @@ impl FeatureConfig {
             .map(|k| k.short_name())
             .collect::<Vec<_>>()
             .join("+");
-        let features = if self.include_other_stats { "All" } else { "MPDs" };
+        let features = if self.include_other_stats {
+            "All"
+        } else {
+            "MPDs"
+        };
         format!("{} {} {}", self.scale_mode.short_name(), kinds, features)
     }
 
@@ -99,7 +103,9 @@ impl FeatureConfig {
     pub fn n_scales_for_length(&self, len: usize) -> usize {
         let mut halvings = 0usize;
         let mut current = len;
-        while current / 2 > self.multiscale.tau && current >= 2 && halvings < self.multiscale.max_scales
+        while current / 2 > self.multiscale.tau
+            && current >= 2
+            && halvings < self.multiscale.max_scales
         {
             current /= 2;
             halvings += 1;
@@ -127,7 +133,10 @@ impl FeatureConfig {
                 let halvings_possible = {
                     let mut h = 0usize;
                     let mut cur = len;
-                    while cur / 2 > self.multiscale.tau && cur >= 2 && h < self.multiscale.max_scales {
+                    while cur / 2 > self.multiscale.tau
+                        && cur >= 2
+                        && h < self.multiscale.max_scales
+                    {
                         cur /= 2;
                         h += 1;
                     }
@@ -164,8 +173,7 @@ pub fn extract_series_features(series: &TimeSeries, config: &FeatureConfig) -> V
         series
     };
     let graphs = SeriesGraphs::build(series, &config.kinds, config.scale_mode, config.multiscale);
-    let mut features =
-        Vec::with_capacity(graphs.len() * block_len(config.include_other_stats));
+    let mut features = Vec::with_capacity(graphs.len() * block_len(config.include_other_stats));
     for sg in &graphs.graphs {
         features.extend(graph_feature_block(&sg.graph, config.include_other_stats));
     }
@@ -198,9 +206,9 @@ pub fn extract_dataset_features(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tsg_ts::generators;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
+    use tsg_ts::generators;
 
     fn toy_dataset(n_per_class: usize, len: usize) -> Dataset {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
@@ -219,9 +227,7 @@ mod tests {
 
     #[test]
     fn feature_vector_matches_names_for_all_configs() {
-        let series = TimeSeries::new(
-            (0..256).map(|i| ((i as f64) * 0.17).sin()).collect(),
-        );
+        let series = TimeSeries::new((0..256).map(|i| ((i as f64) * 0.17).sin()).collect());
         let configs = [
             FeatureConfig::mvg(),
             FeatureConfig::uvg(),
@@ -298,7 +304,11 @@ mod tests {
         let mut mean1 = vec![0.0; n_cols];
         let (mut c0, mut c1) = (0.0, 0.0);
         for (i, &l) in labels.iter().enumerate() {
-            let target = if l == 0 { (&mut mean0, &mut c0) } else { (&mut mean1, &mut c1) };
+            let target = if l == 0 {
+                (&mut mean0, &mut c0)
+            } else {
+                (&mut mean1, &mut c1)
+            };
             for (j, v) in x.row(i).iter().enumerate() {
                 target.0[j] += v;
             }

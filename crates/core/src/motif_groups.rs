@@ -142,7 +142,9 @@ mod tests {
 
     #[test]
     fn probabilities_sum_to_one_per_group() {
-        let v: Vec<f64> = (0..100).map(|i| ((i as f64) * 0.37).sin() + 0.01 * i as f64 % 3.0).collect();
+        let v: Vec<f64> = (0..100)
+            .map(|i| ((i as f64) * 0.37).sin() + 0.01 * i as f64 % 3.0)
+            .collect();
         let g = visibility_graph(&v);
         let counts = count_motifs(&g);
         let mpd = motif_probability_distribution(&counts);

@@ -2,8 +2,9 @@
 //!
 //! Feature extraction is embarrassingly parallel across time series (the
 //! paper stresses this as a selling point of the pipeline); this helper
-//! spreads a slice over `n_threads` crossbeam scoped threads and collects the
-//! results in input order without any unsafe code or external thread pools.
+//! spreads a slice over `n_threads` `std::thread::scope` threads and collects
+//! the results in input order without any unsafe code or external thread
+//! pools.
 
 /// Applies `f` to every element of `items` using up to `n_threads` scoped
 /// threads, preserving order. `n_threads = 1` (or a single item) runs inline.
@@ -19,11 +20,11 @@ where
     }
     let threads = n_threads.max(1).min(n);
     if threads == 1 {
-        return items.iter().map(|item| f(item)).collect();
+        return items.iter().map(&f).collect();
     }
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let chunk_size = n.div_ceil(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut remaining: &mut [Option<R>] = &mut results;
         let mut start = 0usize;
         for _ in 0..threads {
@@ -35,15 +36,14 @@ where
             remaining = rest;
             let chunk_in = &items[start..start + len];
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (out, item) in chunk_out.iter_mut().zip(chunk_in.iter()) {
                     *out = Some(f(item));
                 }
             });
             start += len;
         }
-    })
-    .expect("worker thread panicked during parallel feature extraction");
+    });
     results
         .into_iter()
         .map(|r| r.expect("parallel_map produced a gap"))

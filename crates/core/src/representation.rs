@@ -124,7 +124,9 @@ mod tests {
 
     fn series(n: usize) -> TimeSeries {
         TimeSeries::with_label(
-            (0..n).map(|i| ((i as f64) * 0.21).sin() + ((i as f64) * 0.037).cos()).collect(),
+            (0..n)
+                .map(|i| ((i as f64) * 0.21).sin() + ((i as f64) * 0.037).cos())
+                .collect(),
             0,
         )
     }
@@ -164,7 +166,12 @@ mod tests {
     fn mvg_is_superset_of_uvg_and_amvg_scales() {
         let s = series(512);
         let opts = MultiscaleOptions::with_tau(15);
-        let mvg = SeriesGraphs::build(&s, &[VisibilityKind::Natural], ScaleMode::FullMultiscale, opts);
+        let mvg = SeriesGraphs::build(
+            &s,
+            &[VisibilityKind::Natural],
+            ScaleMode::FullMultiscale,
+            opts,
+        );
         let amvg = SeriesGraphs::build(
             &s,
             &[VisibilityKind::Natural],

@@ -28,45 +28,318 @@ pub struct DatasetSpec {
 
 /// The full catalogue: the 39 UCR datasets of the paper's Tables 2 and 3.
 pub const ALL_DATASETS: [DatasetSpec; 39] = [
-    DatasetSpec { name: "ArrowHead", n_classes: 3, n_train: 36, n_test: 175, length: 251, family: Family::Outline },
-    DatasetSpec { name: "BeetleFly", n_classes: 2, n_train: 20, n_test: 20, length: 512, family: Family::Outline },
-    DatasetSpec { name: "BirdChicken", n_classes: 2, n_train: 20, n_test: 20, length: 512, family: Family::Outline },
-    DatasetSpec { name: "Computers", n_classes: 2, n_train: 250, n_test: 250, length: 720, family: Family::Device },
-    DatasetSpec { name: "DistalPhalanxOutlineAgeGroup", n_classes: 3, n_train: 139, n_test: 400, length: 80, family: Family::Outline },
-    DatasetSpec { name: "DistalPhalanxOutlineCorrect", n_classes: 2, n_train: 276, n_test: 600, length: 80, family: Family::Outline },
-    DatasetSpec { name: "DistalPhalanxTW", n_classes: 6, n_train: 139, n_test: 400, length: 80, family: Family::Outline },
-    DatasetSpec { name: "ECG5000", n_classes: 5, n_train: 500, n_test: 4500, length: 140, family: Family::Ecg },
-    DatasetSpec { name: "Earthquakes", n_classes: 2, n_train: 139, n_test: 322, length: 512, family: Family::Sensor },
-    DatasetSpec { name: "ElectricDevices", n_classes: 7, n_train: 8926, n_test: 7711, length: 96, family: Family::Device },
-    DatasetSpec { name: "FordA", n_classes: 2, n_train: 1320, n_test: 3601, length: 500, family: Family::Sensor },
-    DatasetSpec { name: "FordB", n_classes: 2, n_train: 810, n_test: 3636, length: 500, family: Family::Sensor },
-    DatasetSpec { name: "Ham", n_classes: 2, n_train: 109, n_test: 105, length: 431, family: Family::Spectro },
-    DatasetSpec { name: "HandOutlines", n_classes: 2, n_train: 370, n_test: 1000, length: 2709, family: Family::Outline },
-    DatasetSpec { name: "Herring", n_classes: 2, n_train: 64, n_test: 64, length: 512, family: Family::Outline },
-    DatasetSpec { name: "InsectWingbeatSound", n_classes: 11, n_train: 220, n_test: 1980, length: 256, family: Family::Sensor },
-    DatasetSpec { name: "LargeKitchenAppliances", n_classes: 3, n_train: 375, n_test: 375, length: 720, family: Family::Device },
-    DatasetSpec { name: "Meat", n_classes: 3, n_train: 60, n_test: 60, length: 448, family: Family::Spectro },
-    DatasetSpec { name: "MiddlePhalanxOutlineAgeGroup", n_classes: 3, n_train: 154, n_test: 400, length: 80, family: Family::Outline },
-    DatasetSpec { name: "MiddlePhalanxOutlineCorrect", n_classes: 2, n_train: 291, n_test: 600, length: 80, family: Family::Outline },
-    DatasetSpec { name: "MiddlePhalanxTW", n_classes: 6, n_train: 154, n_test: 399, length: 80, family: Family::Outline },
-    DatasetSpec { name: "PhalangesOutlinesCorrect", n_classes: 2, n_train: 1800, n_test: 858, length: 80, family: Family::Outline },
-    DatasetSpec { name: "Phoneme", n_classes: 39, n_train: 214, n_test: 1896, length: 1024, family: Family::Chaotic },
-    DatasetSpec { name: "ProximalPhalanxOutlineAgeGroup", n_classes: 3, n_train: 400, n_test: 205, length: 80, family: Family::Outline },
-    DatasetSpec { name: "ProximalPhalanxOutlineCorrect", n_classes: 2, n_train: 600, n_test: 291, length: 80, family: Family::Outline },
-    DatasetSpec { name: "ProximalPhalanxTW", n_classes: 6, n_train: 205, n_test: 400, length: 80, family: Family::Outline },
-    DatasetSpec { name: "RefrigerationDevices", n_classes: 3, n_train: 375, n_test: 375, length: 720, family: Family::Device },
-    DatasetSpec { name: "ScreenType", n_classes: 3, n_train: 375, n_test: 375, length: 720, family: Family::Device },
-    DatasetSpec { name: "ShapeletSim", n_classes: 2, n_train: 20, n_test: 180, length: 500, family: Family::Shapelet },
-    DatasetSpec { name: "ShapesAll", n_classes: 60, n_train: 600, n_test: 600, length: 512, family: Family::Outline },
-    DatasetSpec { name: "SmallKitchenAppliances", n_classes: 3, n_train: 375, n_test: 375, length: 720, family: Family::Device },
-    DatasetSpec { name: "Strawberry", n_classes: 2, n_train: 370, n_test: 613, length: 235, family: Family::Spectro },
-    DatasetSpec { name: "ToeSegmentation1", n_classes: 2, n_train: 40, n_test: 228, length: 277, family: Family::Shapelet },
-    DatasetSpec { name: "ToeSegmentation2", n_classes: 2, n_train: 36, n_test: 130, length: 343, family: Family::Shapelet },
-    DatasetSpec { name: "UWaveGestureLibraryAll", n_classes: 8, n_train: 896, n_test: 3582, length: 945, family: Family::Motion },
-    DatasetSpec { name: "Wine", n_classes: 2, n_train: 57, n_test: 54, length: 234, family: Family::Spectro },
-    DatasetSpec { name: "WordSynonyms", n_classes: 25, n_train: 267, n_test: 638, length: 270, family: Family::Motion },
-    DatasetSpec { name: "Worms", n_classes: 5, n_train: 77, n_test: 181, length: 900, family: Family::Motion },
-    DatasetSpec { name: "WormsTwoClass", n_classes: 2, n_train: 77, n_test: 181, length: 900, family: Family::Motion },
+    DatasetSpec {
+        name: "ArrowHead",
+        n_classes: 3,
+        n_train: 36,
+        n_test: 175,
+        length: 251,
+        family: Family::Outline,
+    },
+    DatasetSpec {
+        name: "BeetleFly",
+        n_classes: 2,
+        n_train: 20,
+        n_test: 20,
+        length: 512,
+        family: Family::Outline,
+    },
+    DatasetSpec {
+        name: "BirdChicken",
+        n_classes: 2,
+        n_train: 20,
+        n_test: 20,
+        length: 512,
+        family: Family::Outline,
+    },
+    DatasetSpec {
+        name: "Computers",
+        n_classes: 2,
+        n_train: 250,
+        n_test: 250,
+        length: 720,
+        family: Family::Device,
+    },
+    DatasetSpec {
+        name: "DistalPhalanxOutlineAgeGroup",
+        n_classes: 3,
+        n_train: 139,
+        n_test: 400,
+        length: 80,
+        family: Family::Outline,
+    },
+    DatasetSpec {
+        name: "DistalPhalanxOutlineCorrect",
+        n_classes: 2,
+        n_train: 276,
+        n_test: 600,
+        length: 80,
+        family: Family::Outline,
+    },
+    DatasetSpec {
+        name: "DistalPhalanxTW",
+        n_classes: 6,
+        n_train: 139,
+        n_test: 400,
+        length: 80,
+        family: Family::Outline,
+    },
+    DatasetSpec {
+        name: "ECG5000",
+        n_classes: 5,
+        n_train: 500,
+        n_test: 4500,
+        length: 140,
+        family: Family::Ecg,
+    },
+    DatasetSpec {
+        name: "Earthquakes",
+        n_classes: 2,
+        n_train: 139,
+        n_test: 322,
+        length: 512,
+        family: Family::Sensor,
+    },
+    DatasetSpec {
+        name: "ElectricDevices",
+        n_classes: 7,
+        n_train: 8926,
+        n_test: 7711,
+        length: 96,
+        family: Family::Device,
+    },
+    DatasetSpec {
+        name: "FordA",
+        n_classes: 2,
+        n_train: 1320,
+        n_test: 3601,
+        length: 500,
+        family: Family::Sensor,
+    },
+    DatasetSpec {
+        name: "FordB",
+        n_classes: 2,
+        n_train: 810,
+        n_test: 3636,
+        length: 500,
+        family: Family::Sensor,
+    },
+    DatasetSpec {
+        name: "Ham",
+        n_classes: 2,
+        n_train: 109,
+        n_test: 105,
+        length: 431,
+        family: Family::Spectro,
+    },
+    DatasetSpec {
+        name: "HandOutlines",
+        n_classes: 2,
+        n_train: 370,
+        n_test: 1000,
+        length: 2709,
+        family: Family::Outline,
+    },
+    DatasetSpec {
+        name: "Herring",
+        n_classes: 2,
+        n_train: 64,
+        n_test: 64,
+        length: 512,
+        family: Family::Outline,
+    },
+    DatasetSpec {
+        name: "InsectWingbeatSound",
+        n_classes: 11,
+        n_train: 220,
+        n_test: 1980,
+        length: 256,
+        family: Family::Sensor,
+    },
+    DatasetSpec {
+        name: "LargeKitchenAppliances",
+        n_classes: 3,
+        n_train: 375,
+        n_test: 375,
+        length: 720,
+        family: Family::Device,
+    },
+    DatasetSpec {
+        name: "Meat",
+        n_classes: 3,
+        n_train: 60,
+        n_test: 60,
+        length: 448,
+        family: Family::Spectro,
+    },
+    DatasetSpec {
+        name: "MiddlePhalanxOutlineAgeGroup",
+        n_classes: 3,
+        n_train: 154,
+        n_test: 400,
+        length: 80,
+        family: Family::Outline,
+    },
+    DatasetSpec {
+        name: "MiddlePhalanxOutlineCorrect",
+        n_classes: 2,
+        n_train: 291,
+        n_test: 600,
+        length: 80,
+        family: Family::Outline,
+    },
+    DatasetSpec {
+        name: "MiddlePhalanxTW",
+        n_classes: 6,
+        n_train: 154,
+        n_test: 399,
+        length: 80,
+        family: Family::Outline,
+    },
+    DatasetSpec {
+        name: "PhalangesOutlinesCorrect",
+        n_classes: 2,
+        n_train: 1800,
+        n_test: 858,
+        length: 80,
+        family: Family::Outline,
+    },
+    DatasetSpec {
+        name: "Phoneme",
+        n_classes: 39,
+        n_train: 214,
+        n_test: 1896,
+        length: 1024,
+        family: Family::Chaotic,
+    },
+    DatasetSpec {
+        name: "ProximalPhalanxOutlineAgeGroup",
+        n_classes: 3,
+        n_train: 400,
+        n_test: 205,
+        length: 80,
+        family: Family::Outline,
+    },
+    DatasetSpec {
+        name: "ProximalPhalanxOutlineCorrect",
+        n_classes: 2,
+        n_train: 600,
+        n_test: 291,
+        length: 80,
+        family: Family::Outline,
+    },
+    DatasetSpec {
+        name: "ProximalPhalanxTW",
+        n_classes: 6,
+        n_train: 205,
+        n_test: 400,
+        length: 80,
+        family: Family::Outline,
+    },
+    DatasetSpec {
+        name: "RefrigerationDevices",
+        n_classes: 3,
+        n_train: 375,
+        n_test: 375,
+        length: 720,
+        family: Family::Device,
+    },
+    DatasetSpec {
+        name: "ScreenType",
+        n_classes: 3,
+        n_train: 375,
+        n_test: 375,
+        length: 720,
+        family: Family::Device,
+    },
+    DatasetSpec {
+        name: "ShapeletSim",
+        n_classes: 2,
+        n_train: 20,
+        n_test: 180,
+        length: 500,
+        family: Family::Shapelet,
+    },
+    DatasetSpec {
+        name: "ShapesAll",
+        n_classes: 60,
+        n_train: 600,
+        n_test: 600,
+        length: 512,
+        family: Family::Outline,
+    },
+    DatasetSpec {
+        name: "SmallKitchenAppliances",
+        n_classes: 3,
+        n_train: 375,
+        n_test: 375,
+        length: 720,
+        family: Family::Device,
+    },
+    DatasetSpec {
+        name: "Strawberry",
+        n_classes: 2,
+        n_train: 370,
+        n_test: 613,
+        length: 235,
+        family: Family::Spectro,
+    },
+    DatasetSpec {
+        name: "ToeSegmentation1",
+        n_classes: 2,
+        n_train: 40,
+        n_test: 228,
+        length: 277,
+        family: Family::Shapelet,
+    },
+    DatasetSpec {
+        name: "ToeSegmentation2",
+        n_classes: 2,
+        n_train: 36,
+        n_test: 130,
+        length: 343,
+        family: Family::Shapelet,
+    },
+    DatasetSpec {
+        name: "UWaveGestureLibraryAll",
+        n_classes: 8,
+        n_train: 896,
+        n_test: 3582,
+        length: 945,
+        family: Family::Motion,
+    },
+    DatasetSpec {
+        name: "Wine",
+        n_classes: 2,
+        n_train: 57,
+        n_test: 54,
+        length: 234,
+        family: Family::Spectro,
+    },
+    DatasetSpec {
+        name: "WordSynonyms",
+        n_classes: 25,
+        n_train: 267,
+        n_test: 638,
+        length: 270,
+        family: Family::Motion,
+    },
+    DatasetSpec {
+        name: "Worms",
+        n_classes: 5,
+        n_train: 77,
+        n_test: 181,
+        length: 900,
+        family: Family::Motion,
+    },
+    DatasetSpec {
+        name: "WormsTwoClass",
+        n_classes: 2,
+        n_train: 77,
+        n_test: 181,
+        length: 900,
+        family: Family::Motion,
+    },
 ];
 
 /// Options bounding the generated size of a dataset.
@@ -204,9 +477,15 @@ mod tests {
     #[test]
     fn catalogue_matches_paper_shapes_spot_checks() {
         let arrow = spec_by_name("ArrowHead").unwrap();
-        assert_eq!((arrow.n_classes, arrow.n_train, arrow.n_test, arrow.length), (3, 36, 175, 251));
+        assert_eq!(
+            (arrow.n_classes, arrow.n_train, arrow.n_test, arrow.length),
+            (3, 36, 175, 251)
+        );
         let ecg = spec_by_name("ECG5000").unwrap();
-        assert_eq!((ecg.n_classes, ecg.n_train, ecg.n_test, ecg.length), (5, 500, 4500, 140));
+        assert_eq!(
+            (ecg.n_classes, ecg.n_train, ecg.n_test, ecg.length),
+            (5, 500, 4500, 140)
+        );
         let phoneme = spec_by_name("Phoneme").unwrap();
         assert_eq!(phoneme.n_classes, 39);
         assert_eq!(phoneme.length, 1024);

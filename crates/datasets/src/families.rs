@@ -119,8 +119,8 @@ impl Family {
                 for b in 0..n_bumps {
                     let center = ((0.15 + 0.3 * frac + 0.2 * b as f64) * length as f64) as i64
                         % length as i64;
-                    let width = length as f64 * (0.03 + 0.02 * (class % 2) as f64);
-                    let amp = 1.0 + 0.5 * (b as f64);
+                    let width = length as f64 * (0.025 + 0.02 * class as f64);
+                    let amp = (1.0 + 0.5 * (b as f64)) * (1.0 + 0.35 * frac);
                     add_bump(&mut values, center, width, amp);
                 }
                 for v in values.iter_mut() {

@@ -95,7 +95,11 @@ pub fn nemenyi_critical_difference(
     // group methods by rank proximity: sort by rank, then sweep maximal
     // windows whose extreme ranks differ by less than CD
     let mut order: Vec<usize> = (0..k).collect();
-    order.sort_by(|&a, &b| ranks[a].partial_cmp(&ranks[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        ranks[a]
+            .partial_cmp(&ranks[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut groups: Vec<Vec<usize>> = Vec::new();
     for start in 0..k {
         let mut end = start;
@@ -141,7 +145,11 @@ impl CriticalDifference {
         }
         for (g, group) in self.insignificant_groups.iter().enumerate() {
             let names: Vec<&str> = group.iter().map(|&i| self.methods[i].as_str()).collect();
-            out.push_str(&format!("  group {}: {} (not significantly different)\n", g + 1, names.join(" ~ ")));
+            out.push_str(&format!(
+                "  group {}: {} (not significantly different)\n",
+                g + 1,
+                names.join(" ~ ")
+            ));
         }
         out
     }
@@ -154,7 +162,13 @@ mod tests {
     fn matrix_with_clear_winner() -> Vec<Vec<f64>> {
         // method 0 always best, method 2 always worst, 20 datasets
         (0..20)
-            .map(|i| vec![0.10 + 0.001 * i as f64, 0.20 + 0.001 * i as f64, 0.30 + 0.001 * i as f64])
+            .map(|i| {
+                vec![
+                    0.10 + 0.001 * i as f64,
+                    0.20 + 0.001 * i as f64,
+                    0.30 + 0.001 * i as f64,
+                ]
+            })
             .collect()
     }
 
@@ -172,7 +186,9 @@ mod tests {
     #[test]
     fn nemenyi_cd_matches_paper_magnitudes() {
         // the paper reports CD = 0.5307 for k = 3 over the 39-dataset table
-        let errors: Vec<Vec<f64>> = (0..39).map(|i| vec![0.1, 0.2, 0.3 + i as f64 * 0.0]).collect();
+        let errors: Vec<Vec<f64>> = (0..39)
+            .map(|i| vec![0.1, 0.2, 0.3 + i as f64 * 0.0])
+            .collect();
         let cd = nemenyi_critical_difference(&errors, &["XGBoost", "RF", "SVM"]);
         assert!((cd.cd - 0.5307).abs() < 0.01, "cd = {}", cd.cd);
         // and CD = 0.7511 for k = 4 over 39 datasets
@@ -186,7 +202,10 @@ mod tests {
         let errors = matrix_with_clear_winner();
         let cd = nemenyi_critical_difference(&errors, &["best", "mid", "worst"]);
         assert!(cd.is_significant(0, 2));
-        assert!(!cd.insignificant_groups.iter().any(|g| g.contains(&0) && g.contains(&2)));
+        assert!(!cd
+            .insignificant_groups
+            .iter()
+            .any(|g| g.contains(&0) && g.contains(&2)));
         let rendered = cd.render();
         assert!(rendered.contains("best"));
         assert!(rendered.contains("CD ="));

@@ -5,7 +5,11 @@
 pub fn rank_row(values: &[f64]) -> Vec<f64> {
     let n = values.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&i, &j| {
+        values[i]
+            .partial_cmp(&values[j])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut ranks = vec![0.0; n];
     let mut i = 0;
     while i < n {
@@ -36,7 +40,9 @@ pub fn average_ranks(error_rates: &[Vec<f64>]) -> Vec<f64> {
             sums[j] += r;
         }
     }
-    sums.into_iter().map(|s| s / error_rates.len() as f64).collect()
+    sums.into_iter()
+        .map(|s| s / error_rates.len() as f64)
+        .collect()
 }
 
 #[cfg(test)]

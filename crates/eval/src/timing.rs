@@ -26,7 +26,8 @@ impl Stopwatch {
     pub fn time<T>(&mut self, phase: impl Into<String>, f: impl FnOnce() -> T) -> T {
         let start = Instant::now();
         let out = f();
-        self.phases.push((phase.into(), start.elapsed().as_secs_f64()));
+        self.phases
+            .push((phase.into(), start.elapsed().as_secs_f64()));
         out
     }
 
@@ -66,8 +67,12 @@ mod tests {
             acc
         });
         assert!(x > 0);
-        sw.time("clf", || std::thread::sleep(std::time::Duration::from_millis(5)));
-        sw.time("clf", || std::thread::sleep(std::time::Duration::from_millis(5)));
+        sw.time("clf", || {
+            std::thread::sleep(std::time::Duration::from_millis(5))
+        });
+        sw.time("clf", || {
+            std::thread::sleep(std::time::Duration::from_millis(5))
+        });
         assert!(sw.seconds("fe") >= 0.0);
         assert!(sw.seconds("clf") >= 0.009);
         assert_eq!(sw.seconds("missing"), 0.0);

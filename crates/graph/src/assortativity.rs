@@ -53,7 +53,10 @@ mod tests {
         // degree-1 vertices → strongly negative assortativity
         let g = Graph::from_edges(6, [(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
         let r = degree_assortativity(&g);
-        assert!(r < -0.99, "star should be maximally disassortative, got {r}");
+        assert!(
+            r < -0.99,
+            "star should be maximally disassortative, got {r}"
+        );
     }
 
     #[test]
@@ -96,7 +99,10 @@ mod tests {
         edges.push((8, 9));
         let g = Graph::from_edges(10, edges);
         let r = degree_assortativity(&g);
-        assert!(r > 0.0, "community structure should be assortative, got {r}");
+        assert!(
+            r > 0.0,
+            "community structure should be assortative, got {r}"
+        );
     }
 
     #[test]
@@ -117,7 +123,19 @@ mod tests {
 
     #[test]
     fn bounded_in_unit_interval() {
-        let g = Graph::from_edges(7, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (0, 3), (2, 5)]);
+        let g = Graph::from_edges(
+            7,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (0, 3),
+                (2, 5),
+            ],
+        );
         let r = degree_assortativity(&g);
         assert!((-1.0..=1.0).contains(&r));
     }

@@ -165,7 +165,9 @@ mod tests {
         let mut x = 11u64;
         let v: Vec<f64> = (0..180)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((x >> 33) as f64) / (u32::MAX as f64)
             })
             .collect();
@@ -177,8 +179,8 @@ mod tests {
     fn core_number_at_most_degree() {
         let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]);
         let core = core_numbers(&g);
-        for v in 0..6 {
-            assert!(core[v] <= g.degree(v));
+        for (v, &c) in core.iter().enumerate() {
+            assert!(c <= g.degree(v));
         }
     }
 }

@@ -315,7 +315,8 @@ pub fn count_motifs(graph: &Graph) -> MotifCounts {
         // a K4 {u, v, w, x}; counted once per edge of the K4 → 6 times total.
         let mut edges_in_common = 0u64;
         for &w in &common {
-            edges_in_common += sorted_intersection_count(&common, graph.neighbors(w as usize)) as u64;
+            edges_in_common +=
+                sorted_intersection_count(&common, graph.neighbors(w as usize)) as u64;
         }
         edges_in_common /= 2;
         clique4_x6 += edges_in_common;
@@ -383,7 +384,8 @@ pub fn count_motifs(graph: &Graph) -> MotifCounts {
     let independent3 = choose3(n) - triangle - path3 - one_edge3;
 
     // --- size-4 disconnected counts --------------------------------------
-    let node_triangle4 = triangle * n.saturating_sub(3) - 4 * clique4 - 2 * diamond - tailed_triangle4;
+    let node_triangle4 =
+        triangle * n.saturating_sub(3) - 4 * clique4 - 2 * diamond - tailed_triangle4;
     let node_star4 = path3 * n.saturating_sub(3)
         - 2 * diamond
         - 2 * tailed_triangle4
@@ -518,7 +520,9 @@ mod tests {
         let mut x = seed;
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((x >> 33) as f64) / (u32::MAX as f64)
             })
             .collect()
@@ -578,7 +582,10 @@ mod tests {
         assert_eq!(c.triangle3, 0);
         assert_eq!(c.path3, 10);
         assert_eq!(c.star4, 10);
-        assert_eq!(c.clique4 + c.chordal_cycle4 + c.tailed_triangle4 + c.cycle4 + c.path4, 0);
+        assert_eq!(
+            c.clique4 + c.chordal_cycle4 + c.tailed_triangle4 + c.cycle4 + c.path4,
+            0
+        );
         assert_eq!(c, count_motifs_bruteforce(&g));
     }
 
@@ -599,9 +606,17 @@ mod tests {
         for seed in [1u64, 7, 13] {
             let v = pseudo_series(seed, 40);
             let vg = visibility_graph(&v);
-            assert_eq!(count_motifs(&vg), count_motifs_bruteforce(&vg), "VG seed {seed}");
+            assert_eq!(
+                count_motifs(&vg),
+                count_motifs_bruteforce(&vg),
+                "VG seed {seed}"
+            );
             let hvg = horizontal_visibility_graph(&v);
-            assert_eq!(count_motifs(&hvg), count_motifs_bruteforce(&hvg), "HVG seed {seed}");
+            assert_eq!(
+                count_motifs(&hvg),
+                count_motifs_bruteforce(&hvg),
+                "HVG seed {seed}"
+            );
         }
     }
 
@@ -610,7 +625,17 @@ mod tests {
         // graphs with many overlapping cliques / cycles stress the identities
         let diamond_chain = Graph::from_edges(
             6,
-            [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4), (3, 5), (4, 5)],
+            [
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (2, 4),
+                (3, 4),
+                (3, 5),
+                (4, 5),
+            ],
         );
         assert_eq!(
             count_motifs(&diamond_chain),

@@ -138,7 +138,10 @@ mod tests {
         assert_eq!(s.max, 3.0);
         assert_eq!(s.mean, 2.0);
         assert!(s.std > 0.0);
-        assert_eq!(degree_statistics(&Graph::new(0)), DegreeStatistics::default());
+        assert_eq!(
+            degree_statistics(&Graph::new(0)),
+            DegreeStatistics::default()
+        );
     }
 
     #[test]

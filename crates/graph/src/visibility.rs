@@ -267,10 +267,12 @@ mod tests {
     fn concave_series_vg_is_path() {
         // strictly concave: each point only sees its neighbours naturally
         let n = 30usize;
-        let v: Vec<f64> = (0..n).map(|i| {
-            let x = i as f64 - (n as f64 - 1.0) / 2.0;
-            -(x * x)
-        }).collect();
+        let v: Vec<f64> = (0..n)
+            .map(|i| {
+                let x = i as f64 - (n as f64 - 1.0) / 2.0;
+                -(x * x)
+            })
+            .collect();
         let vg = visibility_graph(&v);
         assert_eq!(vg.n_edges(), n - 1);
     }
@@ -283,7 +285,9 @@ mod tests {
             let mut x = seed;
             let v: Vec<f64> = (0..200)
                 .map(|_| {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     ((x >> 33) as f64) / (u32::MAX as f64)
                 })
                 .collect();
@@ -291,7 +295,10 @@ mod tests {
             let naive = visibility_graph_naive(&v);
             let brute = brute_force(&v, false);
             assert_eq!(naive, brute, "naive vs brute mismatch for seed {seed}");
-            assert_eq!(dc, brute, "divide-and-conquer vs brute mismatch for seed {seed}");
+            assert_eq!(
+                dc, brute,
+                "divide-and-conquer vs brute mismatch for seed {seed}"
+            );
         }
     }
 
@@ -300,7 +307,9 @@ mod tests {
         let mut x = 99u64;
         let v: Vec<f64> = (0..300)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((x >> 33) as f64) / (u32::MAX as f64)
             })
             .collect();
@@ -319,7 +328,9 @@ mod tests {
         let mut x = 7u64;
         let v: Vec<f64> = (0..150)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((x >> 33) as f64) / (u32::MAX as f64)
             })
             .collect();
@@ -340,7 +351,9 @@ mod tests {
         let mut x = 5u64;
         let v: Vec<f64> = (0..120)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((x >> 33) as f64) / (u32::MAX as f64)
             })
             .collect();

@@ -19,9 +19,18 @@ fn series_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
 }
 
 fn random_graph_strategy() -> impl Strategy<Value = Graph> {
-    (3usize..20, prop::collection::vec((0usize..20, 0usize..20), 0..60)).prop_map(|(n, edges)| {
-        Graph::from_edges(n, edges.into_iter().filter(|(u, v)| u < &n && v < &n && u != v))
-    })
+    (
+        3usize..20,
+        prop::collection::vec((0usize..20, 0usize..20), 0..60),
+    )
+        .prop_map(|(n, edges)| {
+            Graph::from_edges(
+                n,
+                edges
+                    .into_iter()
+                    .filter(|(u, v)| u < &n && v < &n && u != v),
+            )
+        })
 }
 
 proptest! {
@@ -112,8 +121,8 @@ proptest! {
     #[test]
     fn core_number_bounded_by_degree(g in random_graph_strategy()) {
         let core = core_numbers(&g);
-        for v in 0..g.n_vertices() {
-            prop_assert!(core[v] <= g.degree(v));
+        for (v, &c) in core.iter().enumerate() {
+            prop_assert!(c <= g.degree(v));
         }
     }
 

@@ -222,7 +222,8 @@ mod tests {
 
     #[test]
     fn matrix_construction_and_access() {
-        let m = FeatureMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let m =
+            FeatureMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
         assert_eq!(m.n_rows(), 3);
         assert_eq!(m.n_cols(), 2);
         assert_eq!(m.row(1), &[3.0, 4.0]);
@@ -240,7 +241,8 @@ mod tests {
 
     #[test]
     fn select_rows_and_hstack() {
-        let m = FeatureMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let m =
+            FeatureMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
         let s = m.select_rows(&[2, 0]);
         assert_eq!(s.row(0), &[5.0, 6.0]);
         assert_eq!(s.row(1), &[1.0, 2.0]);
@@ -302,7 +304,10 @@ mod tests {
         let counts = class_counts(&new_labels);
         assert_eq!(counts, vec![6, 6, 6]);
         // original indices preserved as a prefix
-        assert_eq!(&resampled[..labels.len()], &(0..labels.len()).collect::<Vec<_>>()[..]);
+        assert_eq!(
+            &resampled[..labels.len()],
+            &(0..labels.len()).collect::<Vec<_>>()[..]
+        );
     }
 
     #[test]

@@ -49,7 +49,11 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert!(MlError::NotFitted.to_string().contains("fitted"));
-        assert!(MlError::invalid("depth", "must be > 0").to_string().contains("depth"));
-        assert!(MlError::InvalidData("empty".into()).to_string().contains("empty"));
+        assert!(MlError::invalid("depth", "must be > 0")
+            .to_string()
+            .contains("depth"));
+        assert!(MlError::InvalidData("empty".into())
+            .to_string()
+            .contains("empty"));
     }
 }

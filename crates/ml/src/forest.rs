@@ -79,7 +79,9 @@ impl RandomForest {
 impl Classifier for RandomForest {
     fn fit(&mut self, x: &FeatureMatrix, y: &[usize]) -> Result<()> {
         if x.is_empty() || x.n_rows() != y.len() {
-            return Err(MlError::InvalidData("empty or mismatched training data".into()));
+            return Err(MlError::InvalidData(
+                "empty or mismatched training data".into(),
+            ));
         }
         if self.params.n_estimators == 0 {
             return Err(MlError::invalid("n_estimators", "must be positive"));
@@ -163,7 +165,9 @@ mod tests {
         let centers = [(0.0, 0.0), (5.0, 5.0), (0.0, 5.0)];
         let mut state = 12345u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         for (c, &(cx, cy)) in centers.iter().enumerate() {

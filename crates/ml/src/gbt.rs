@@ -101,7 +101,11 @@ impl RegressionTree {
                     left,
                     right,
                 } => {
-                    node = if row[*feature] <= *threshold { *left } else { *right };
+                    node = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -154,8 +158,7 @@ impl<'a> TreeBuilder<'a> {
                 }
                 let g_right = g_total - g_left;
                 let h_right = h_total - h_left;
-                if h_left < self.params.min_child_weight || h_right < self.params.min_child_weight
-                {
+                if h_left < self.params.min_child_weight || h_right < self.params.min_child_weight {
                     continue;
                 }
                 let gain = 0.5
@@ -250,12 +253,15 @@ impl GradientBoosting {
 impl Classifier for GradientBoosting {
     fn fit(&mut self, x: &FeatureMatrix, y: &[usize]) -> Result<()> {
         if x.is_empty() || x.n_rows() != y.len() {
-            return Err(MlError::InvalidData("empty or mismatched training data".into()));
+            return Err(MlError::InvalidData(
+                "empty or mismatched training data".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.params.subsample) || self.params.subsample <= 0.0 {
             return Err(MlError::invalid("subsample", "must be in (0, 1]"));
         }
-        if !(0.0..=1.0).contains(&self.params.colsample_bytree) || self.params.colsample_bytree <= 0.0
+        if !(0.0..=1.0).contains(&self.params.colsample_bytree)
+            || self.params.colsample_bytree <= 0.0
         {
             return Err(MlError::invalid("colsample_bytree", "must be in (0, 1]"));
         }
@@ -286,7 +292,9 @@ impl Classifier for GradientBoosting {
             let mut row_indices: Vec<usize> = (0..n).collect();
             if self.params.subsample < 1.0 {
                 row_indices.shuffle(&mut rng);
-                let keep = ((n as f64 * self.params.subsample).round() as usize).max(2).min(n);
+                let keep = ((n as f64 * self.params.subsample).round() as usize)
+                    .max(2)
+                    .min(n);
                 row_indices.truncate(keep);
             }
             let mut round_trees = Vec::with_capacity(k);
@@ -304,7 +312,8 @@ impl Classifier for GradientBoosting {
                 let mut features: Vec<usize> = (0..x.n_cols()).collect();
                 if self.params.colsample_bytree < 1.0 {
                     features.shuffle(&mut rng);
-                    let keep = ((x.n_cols() as f64 * self.params.colsample_bytree).round() as usize)
+                    let keep = ((x.n_cols() as f64 * self.params.colsample_bytree).round()
+                        as usize)
                         .max(1)
                         .min(x.n_cols());
                     features.truncate(keep);
@@ -325,7 +334,10 @@ impl Classifier for GradientBoosting {
                 let tree = RegressionTree {
                     nodes: builder.nodes,
                 };
-                // update scores for all rows
+                // update scores for all rows; row index i addresses both the
+                // score matrix and the feature matrix, as in the boosting
+                // update equations
+                #[allow(clippy::needless_range_loop)]
                 for i in 0..n {
                     scores[i][class] += self.params.learning_rate * tree.predict_row(x.row(i));
                 }
@@ -366,7 +378,9 @@ mod tests {
         let mut labels = Vec::new();
         let mut state = 777u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) * 0.4 - 0.2
         };
         for i in 0..120 {
@@ -393,13 +407,19 @@ mod tests {
         });
         gbt.fit(&x, &y).unwrap();
         let pred = gbt.predict(&x).unwrap();
-        assert!(accuracy(&y, &pred) > 0.95, "accuracy {}", accuracy(&y, &pred));
+        assert!(
+            accuracy(&y, &pred) > 0.95,
+            "accuracy {}",
+            accuracy(&y, &pred)
+        );
     }
 
     #[test]
     fn multiclass_probabilities_valid_and_loss_decreases() {
         // three classes along one axis
-        let rows: Vec<Vec<f64>> = (0..90).map(|i| vec![(i / 30) as f64 + (i % 30) as f64 / 100.0]).collect();
+        let rows: Vec<Vec<f64>> = (0..90)
+            .map(|i| vec![(i / 30) as f64 + (i % 30) as f64 / 100.0])
+            .collect();
         let labels: Vec<usize> = (0..90).map(|i| i / 30).collect();
         let x = FeatureMatrix::from_rows(&rows).unwrap();
         let mut weak = GradientBoosting::new(GradientBoostingParams {
@@ -444,7 +464,9 @@ mod tests {
         let mut labels = Vec::new();
         let mut state = 42u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         for i in 0..100 {
@@ -459,7 +481,10 @@ mod tests {
         });
         gbt.fit(&x, &labels).unwrap();
         let imp = gbt.feature_importance();
-        assert!(imp[0] > 0.9, "informative feature should dominate, got {imp:?}");
+        assert!(
+            imp[0] > 0.9,
+            "informative feature should dominate, got {imp:?}"
+        );
     }
 
     #[test]

@@ -35,7 +35,9 @@ impl KnnClassifier {
 impl Classifier for KnnClassifier {
     fn fit(&mut self, x: &FeatureMatrix, y: &[usize]) -> Result<()> {
         if x.is_empty() || x.n_rows() != y.len() {
-            return Err(MlError::InvalidData("empty or mismatched training data".into()));
+            return Err(MlError::InvalidData(
+                "empty or mismatched training data".into(),
+            ));
         }
         self.train_x = x.clone();
         self.train_y = y.to_vec();
@@ -48,15 +50,18 @@ impl Classifier for KnnClassifier {
             return Err(MlError::NotFitted);
         }
         let k = self.k.min(self.train_x.n_rows());
-        Ok(x
-            .rows()
+        Ok(x.rows()
             .map(|row| {
                 let mut dists: Vec<(f64, usize)> = self
                     .train_x
                     .rows()
                     .zip(self.train_y.iter())
                     .map(|(t, &label)| {
-                        let d: f64 = t.iter().zip(row.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
+                        let d: f64 = t
+                            .iter()
+                            .zip(row.iter())
+                            .map(|(a, b)| (a - b) * (a - b))
+                            .sum();
                         (d, label)
                     })
                     .collect();
@@ -113,7 +118,9 @@ mod tests {
 
     #[test]
     fn accuracy_on_separated_clusters() {
-        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![(i % 3) as f64 * 10.0 + (i / 3) as f64 * 0.05]).collect();
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![(i % 3) as f64 * 10.0 + (i / 3) as f64 * 0.05])
+            .collect();
         let labels: Vec<usize> = (0..60).map(|i| i % 3).collect();
         let x = FeatureMatrix::from_rows(&rows).unwrap();
         let mut knn = KnnClassifier::new(5);

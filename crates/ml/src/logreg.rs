@@ -72,9 +72,14 @@ impl LogisticRegression {
 }
 
 impl Classifier for LogisticRegression {
+    // index notation (grad[class][j], weights[class][j], y[i]) mirrors the
+    // multinomial gradient equations; iterator chains would obscure them
+    #[allow(clippy::needless_range_loop)]
     fn fit(&mut self, x: &FeatureMatrix, y: &[usize]) -> Result<()> {
         if x.is_empty() || x.n_rows() != y.len() {
-            return Err(MlError::InvalidData("empty or mismatched training data".into()));
+            return Err(MlError::InvalidData(
+                "empty or mismatched training data".into(),
+            ));
         }
         let n = x.n_rows();
         let d = x.n_cols();
@@ -99,7 +104,11 @@ impl Classifier for LogisticRegression {
             let lr = self.params.learning_rate / n as f64;
             for class in 0..k {
                 for j in 0..=d {
-                    let reg = if j < d { self.params.l2 * self.weights[class][j] } else { 0.0 };
+                    let reg = if j < d {
+                        self.params.l2 * self.weights[class][j]
+                    } else {
+                        0.0
+                    };
                     self.weights[class][j] -= lr * grad[class][j] + reg;
                 }
             }
@@ -136,7 +145,9 @@ mod tests {
         let mut labels = Vec::new();
         let mut state = 5u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         for i in 0..100 {

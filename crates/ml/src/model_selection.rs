@@ -149,7 +149,11 @@ impl GridSearch {
                 log_loss: loss,
             });
         }
-        results.sort_by(|a, b| a.log_loss.partial_cmp(&b.log_loss).unwrap_or(std::cmp::Ordering::Equal));
+        results.sort_by(|a, b| {
+            a.log_loss
+                .partial_cmp(&b.log_loss)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         Ok(results)
     }
 
@@ -184,7 +188,10 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..60)
             .map(|i| {
                 let label = i % 2;
-                vec![label as f64 * 2.0 + (i as f64 * 0.618) % 0.5, (i as f64 * 0.33) % 1.0]
+                vec![
+                    label as f64 * 2.0 + (i as f64 * 0.618) % 0.5,
+                    (i as f64 * 0.33) % 1.0,
+                ]
             })
             .collect();
         let labels: Vec<usize> = (0..60).map(|i| i % 2).collect();
@@ -238,19 +245,25 @@ mod tests {
     fn grid_search_ranks_candidates_and_fits_best() {
         let (x, y) = dataset();
         let mut grid = GridSearch::new(42);
-        grid.add("gbt_shallow", Box::new(|| {
-            Box::new(GradientBoosting::new(GradientBoostingParams {
-                n_estimators: 10,
-                max_depth: 2,
-                ..Default::default()
-            })) as Box<dyn Classifier>
-        }));
-        grid.add("stump_forest", Box::new(|| {
-            Box::new(DecisionTree::new(DecisionTreeParams {
-                max_depth: 0,
-                ..Default::default()
-            })) as Box<dyn Classifier>
-        }));
+        grid.add(
+            "gbt_shallow",
+            Box::new(|| {
+                Box::new(GradientBoosting::new(GradientBoostingParams {
+                    n_estimators: 10,
+                    max_depth: 2,
+                    ..Default::default()
+                })) as Box<dyn Classifier>
+            }),
+        );
+        grid.add(
+            "stump_forest",
+            Box::new(|| {
+                Box::new(DecisionTree::new(DecisionTreeParams {
+                    max_depth: 0,
+                    ..Default::default()
+                })) as Box<dyn Classifier>
+            }),
+        );
         assert_eq!(grid.len(), 2);
         let (model, results) = grid.fit_best(&x, &y).unwrap();
         assert_eq!(results.len(), 2);

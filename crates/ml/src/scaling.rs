@@ -22,7 +22,9 @@ impl MinMaxScaler {
     /// Fits the scaler on a training matrix.
     pub fn fit(x: &FeatureMatrix) -> Result<Self> {
         if x.is_empty() {
-            return Err(MlError::InvalidData("cannot fit scaler on empty matrix".into()));
+            return Err(MlError::InvalidData(
+                "cannot fit scaler on empty matrix".into(),
+            ));
         }
         let mut mins = vec![f64::INFINITY; x.n_cols()];
         let mut maxs = vec![f64::NEG_INFINITY; x.n_cols()];
@@ -83,7 +85,9 @@ impl StandardScaler {
     /// Fits the scaler on a training matrix.
     pub fn fit(x: &FeatureMatrix) -> Result<Self> {
         if x.is_empty() {
-            return Err(MlError::InvalidData("cannot fit scaler on empty matrix".into()));
+            return Err(MlError::InvalidData(
+                "cannot fit scaler on empty matrix".into(),
+            ));
         }
         let n = x.n_rows() as f64;
         let mut means = vec![0.0; x.n_cols()];
@@ -165,7 +169,8 @@ mod tests {
         for j in 0..2 {
             let col = t.column(j);
             let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
-            let var: f64 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / col.len() as f64;
+            let var: f64 =
+                col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / col.len() as f64;
             assert!(mean.abs() < 1e-12);
             assert!((var - 1.0).abs() < 1e-9);
         }

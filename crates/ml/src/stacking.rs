@@ -78,7 +78,11 @@ impl StackingEnsemble {
     }
 
     /// Registers a candidate base configuration.
-    pub fn add_candidate(&mut self, description: impl Into<String>, builder: ClassifierBuilder) -> &mut Self {
+    pub fn add_candidate(
+        &mut self,
+        description: impl Into<String>,
+        builder: ClassifierBuilder,
+    ) -> &mut Self {
         self.candidates.push((description.into(), builder));
         self
     }
@@ -148,10 +152,14 @@ impl StackingEnsemble {
 impl Classifier for StackingEnsemble {
     fn fit(&mut self, x: &FeatureMatrix, y: &[usize]) -> Result<()> {
         if self.candidates.is_empty() {
-            return Err(MlError::InvalidData("stacking ensemble has no candidates".into()));
+            return Err(MlError::InvalidData(
+                "stacking ensemble has no candidates".into(),
+            ));
         }
         if x.is_empty() || x.n_rows() != y.len() {
-            return Err(MlError::InvalidData("empty or mismatched training data".into()));
+            return Err(MlError::InvalidData(
+                "empty or mismatched training data".into(),
+            ));
         }
         self.n_classes = crate::data::n_classes(y);
         // 1. score every candidate
@@ -230,7 +238,9 @@ mod tests {
         let mut labels = Vec::new();
         let mut state = 2024u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         for i in 0..90 {
@@ -247,23 +257,35 @@ mod tests {
             cv_folds: 3,
             seed: 1,
         });
-        ens.add_candidate("gbt", Box::new(|| {
-            Box::new(GradientBoosting::new(GradientBoostingParams {
-                n_estimators: 15,
-                max_depth: 3,
-                ..Default::default()
-            })) as Box<dyn Classifier>
-        }));
-        ens.add_candidate("tree", Box::new(|| {
-            Box::new(DecisionTree::new(DecisionTreeParams::default())) as Box<dyn Classifier>
-        }));
-        ens.add_candidate("knn", Box::new(|| Box::new(KnnClassifier::new(3)) as Box<dyn Classifier>));
-        ens.add_candidate("stump", Box::new(|| {
-            Box::new(DecisionTree::new(DecisionTreeParams {
-                max_depth: 0,
-                ..Default::default()
-            })) as Box<dyn Classifier>
-        }));
+        ens.add_candidate(
+            "gbt",
+            Box::new(|| {
+                Box::new(GradientBoosting::new(GradientBoostingParams {
+                    n_estimators: 15,
+                    max_depth: 3,
+                    ..Default::default()
+                })) as Box<dyn Classifier>
+            }),
+        );
+        ens.add_candidate(
+            "tree",
+            Box::new(|| {
+                Box::new(DecisionTree::new(DecisionTreeParams::default())) as Box<dyn Classifier>
+            }),
+        );
+        ens.add_candidate(
+            "knn",
+            Box::new(|| Box::new(KnnClassifier::new(3)) as Box<dyn Classifier>),
+        );
+        ens.add_candidate(
+            "stump",
+            Box::new(|| {
+                Box::new(DecisionTree::new(DecisionTreeParams {
+                    max_depth: 0,
+                    ..Default::default()
+                })) as Box<dyn Classifier>
+            }),
+        );
         ens
     }
 
@@ -286,7 +308,11 @@ mod tests {
             .unwrap();
         assert!(!stump.selected);
         let pred = ens.predict(&x).unwrap();
-        assert!(accuracy(&y, &pred) > 0.85, "accuracy {}", accuracy(&y, &pred));
+        assert!(
+            accuracy(&y, &pred) > 0.85,
+            "accuracy {}",
+            accuracy(&y, &pred)
+        );
         for p in ens.predict_proba(&x).unwrap() {
             assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         }

@@ -227,7 +227,9 @@ impl SvmClassifier {
 impl Classifier for SvmClassifier {
     fn fit(&mut self, x: &FeatureMatrix, y: &[usize]) -> Result<()> {
         if x.is_empty() || x.n_rows() != y.len() {
-            return Err(MlError::InvalidData("empty or mismatched training data".into()));
+            return Err(MlError::InvalidData(
+                "empty or mismatched training data".into(),
+            ));
         }
         if self.params.c <= 0.0 {
             return Err(MlError::invalid("c", "must be positive"));
@@ -238,8 +240,12 @@ impl Classifier for SvmClassifier {
             return Err(MlError::InvalidData("need at least two classes".into()));
         }
         for class in 0..self.n_classes {
-            let targets: Vec<f64> = y.iter().map(|&l| if l == class { 1.0 } else { -1.0 }).collect();
-            let machine = BinarySvm::train(x, &targets, &self.params, self.params.seed + class as u64);
+            let targets: Vec<f64> = y
+                .iter()
+                .map(|&l| if l == class { 1.0 } else { -1.0 })
+                .collect();
+            let machine =
+                BinarySvm::train(x, &targets, &self.params, self.params.seed + class as u64);
             self.machines.push(machine);
         }
         Ok(())
@@ -249,8 +255,7 @@ impl Classifier for SvmClassifier {
         if self.machines.is_empty() {
             return Err(MlError::NotFitted);
         }
-        Ok(x
-            .rows()
+        Ok(x.rows()
             .map(|row| {
                 let mut scores: Vec<f64> = self
                     .machines
@@ -285,7 +290,9 @@ mod tests {
         let mut labels = Vec::new();
         let mut state = 17u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) * 0.5
         };
         for i in 0..60 {

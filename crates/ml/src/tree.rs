@@ -223,7 +223,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if row[*feature] <= *threshold { *left } else { *right };
+                    node = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }

@@ -20,10 +20,7 @@ pub fn squared_euclidean(a: &[f64], b: &[f64]) -> Result<f64> {
             right: b.len(),
         });
     }
-    Ok(a.iter()
-        .zip(b.iter())
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum())
+    Ok(a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum())
 }
 
 /// Euclidean distance between two equal-length slices.
@@ -32,7 +29,7 @@ pub fn euclidean(a: &[f64], b: &[f64]) -> Result<f64> {
 }
 
 /// Options controlling DTW computation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct DtwOptions {
     /// Sakoe–Chiba band half-width as a fraction of the series length
     /// (`None` = unconstrained warping).
@@ -40,15 +37,6 @@ pub struct DtwOptions {
     /// Early-abandon threshold: once every cell of a DP row exceeds this
     /// squared distance, the computation aborts and returns `f64::INFINITY`.
     pub early_abandon: Option<f64>,
-}
-
-impl Default for DtwOptions {
-    fn default() -> Self {
-        DtwOptions {
-            window_fraction: None,
-            early_abandon: None,
-        }
-    }
 }
 
 impl DtwOptions {

@@ -140,10 +140,14 @@ pub fn ecg_like<R: Rng + ?Sized>(
     let mut out = vec![0.0f64; n];
     let mut t = rng.gen_range(0..period.max(1));
     while t < n {
-        let jitter = rng.gen_range(0..=(period / 8).max(1)) as i64
-            - (period as i64 / 16).max(1);
+        let jitter = rng.gen_range(0..=(period / 8).max(1)) as i64 - (period as i64 / 16).max(1);
         // P wave
-        add_gaussian_bump(&mut out, t as i64 - (period as i64) / 5, period as f64 / 16.0, 0.15);
+        add_gaussian_bump(
+            &mut out,
+            t as i64 - (period as i64) / 5,
+            period as f64 / 16.0,
+            0.15,
+        );
         // QRS complex: sharp up-down
         add_gaussian_bump(&mut out, t as i64, period as f64 / 40.0, qrs_amplitude);
         add_gaussian_bump(
@@ -153,7 +157,12 @@ pub fn ecg_like<R: Rng + ?Sized>(
             -0.3 * qrs_amplitude,
         );
         // T wave
-        add_gaussian_bump(&mut out, t as i64 + (period as i64) / 4, period as f64 / 10.0, 0.3);
+        add_gaussian_bump(
+            &mut out,
+            t as i64 + (period as i64) / 4,
+            period as f64 / 10.0,
+            0.3,
+        );
         let step = if anomaly && rng.gen_bool(0.3) {
             // skipped / premature beat
             (period as f64 * rng.gen_range(0.5..1.6)) as i64
@@ -184,7 +193,9 @@ pub fn outline_profile<R: Rng + ?Sized>(
     noise_std: f64,
 ) -> Vec<f64> {
     let phase = rng.gen_range(0.0..(2.0 * std::f64::consts::PI));
-    let wobble: Vec<f64> = (0..4).map(|_| irregularity * standard_normal(rng)).collect();
+    let wobble: Vec<f64> = (0..4)
+        .map(|_| irregularity * standard_normal(rng))
+        .collect();
     (0..n)
         .map(|i| {
             let theta = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
@@ -254,12 +265,16 @@ pub fn bump_pattern(len: usize) -> Vec<f64> {
         .collect()
 }
 
-/// A sharp sawtooth pattern usable as an injected shapelet.
+/// A sharp sawtooth pattern usable as an injected shapelet: three linear
+/// ramps with instantaneous drops, structurally distinct from the smooth
+/// [`bump_pattern`] both for shapelet distances and for visibility graphs
+/// (the discontinuities create long-range visibility hubs).
 pub fn sawtooth_pattern(len: usize) -> Vec<f64> {
+    let teeth = 3.0;
     (0..len)
         .map(|i| {
             let x = (i as f64) / len as f64;
-            2.0 * (x - (x + 0.5).floor()).abs()
+            (x * teeth).fract()
         })
         .collect()
 }
@@ -327,10 +342,7 @@ mod tests {
         assert_eq!(ecg_like(&mut r, 200, 50, 1.0, false, 0.01).len(), 200);
         assert_eq!(outline_profile(&mut r, 120, 3, 0.4, 0.05, 0.01).len(), 120);
         assert_eq!(fractional_noise(&mut r, 90, 0.7).len(), 90);
-        assert_eq!(
-            appliance_profile(&mut r, 150, 5.0, 20, 40, 0.1).len(),
-            150
-        );
+        assert_eq!(appliance_profile(&mut r, 150, 5.0, 20, 40, 0.1).len(), 150);
         assert_eq!(
             regime_switching(&mut r, 100, 4, &[0.0, 1.0, 2.0], 0.1).len(),
             100

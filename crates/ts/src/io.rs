@@ -33,7 +33,10 @@ pub fn parse_ucr(content: &str, name: impl Into<String>) -> Result<Dataset> {
         if fields.len() < 2 {
             return Err(TsError::Parse {
                 line: lineno + 1,
-                message: format!("expected a label and at least one value, got {} fields", fields.len()),
+                message: format!(
+                    "expected a label and at least one value, got {} fields",
+                    fields.len()
+                ),
             });
         }
         let raw_label: f64 = fields[0].parse().map_err(|_| TsError::Parse {

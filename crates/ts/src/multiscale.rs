@@ -142,7 +142,11 @@ mod tests {
         let t = ramp(64);
         let approx = multiscale_approximations(&t, MultiscaleOptions::with_tau(0)).unwrap();
         let last = approx.last().unwrap();
-        assert!(last.len() <= 2, "smallest scale should be tiny, got {}", last.len());
+        assert!(
+            last.len() <= 2,
+            "smallest scale should be tiny, got {}",
+            last.len()
+        );
     }
 
     #[test]

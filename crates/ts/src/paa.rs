@@ -48,7 +48,12 @@ pub fn paa(values: &[f64], segments: usize) -> Result<Vec<f64>> {
         let end = (k + 1) as f64;
         let first_seg = (start / seg_width).floor() as usize;
         let last_seg = (((end / seg_width).ceil() as usize).max(1) - 1).min(segments - 1);
-        for (seg, out_v) in out.iter_mut().enumerate().take(last_seg + 1).skip(first_seg) {
+        for (seg, out_v) in out
+            .iter_mut()
+            .enumerate()
+            .take(last_seg + 1)
+            .skip(first_seg)
+        {
             let seg_start = seg as f64 * seg_width;
             let seg_end = seg_start + seg_width;
             let overlap = (end.min(seg_end) - start.max(seg_start)).max(0.0);

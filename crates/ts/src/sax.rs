@@ -81,7 +81,7 @@ pub fn inverse_normal_cdf(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -169,15 +169,14 @@ fn symbol_for(value: f64, breakpoints: &[f64]) -> char {
 /// Slides a window of `window` points across the series (step 1) and emits
 /// the SAX word for every window, applying the standard numerosity reduction
 /// (consecutive identical words are collapsed into one).
-pub fn sax_words_sliding(
-    values: &[f64],
-    window: usize,
-    params: SaxParams,
-) -> Result<Vec<String>> {
+pub fn sax_words_sliding(values: &[f64], window: usize, params: SaxParams) -> Result<Vec<String>> {
     if window == 0 || window > values.len() {
         return Err(TsError::invalid(
             "window",
-            format!("window {window} invalid for series of length {}", values.len()),
+            format!(
+                "window {window} invalid for series of length {}",
+                values.len()
+            ),
         ));
     }
     let mut out: Vec<String> = Vec::new();

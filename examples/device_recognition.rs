@@ -6,8 +6,8 @@
 //! Run with `cargo run --release --example device_recognition`.
 
 use tsc_mvg::datasets::archive::{generate_by_name_scaled, ArchiveOptions};
-use tsc_mvg::mvg::{ClassifierChoice, FeatureConfig, MvgClassifier, MvgConfig};
 use tsc_mvg::ml::gbt::GradientBoostingParams;
+use tsc_mvg::mvg::{ClassifierChoice, FeatureConfig, MvgClassifier, MvgConfig};
 
 fn config_with(features: FeatureConfig) -> MvgConfig {
     MvgConfig {

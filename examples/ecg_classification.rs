@@ -19,9 +19,9 @@ fn ecg_dataset(n_per_class: usize, length: usize, seed: u64) -> Dataset {
     for i in 0..n_per_class * 3 {
         let class = i % 3;
         let (period, anomaly) = match class {
-            0 => (length / 6, false), // normal rhythm
+            0 => (length / 6, false),  // normal rhythm
             1 => (length / 10, false), // tachycardia
-            _ => (length / 6, true),  // arrhythmia
+            _ => (length / 6, true),   // arrhythmia
         };
         let values = generators::ecg_like(&mut rng, length, period, 2.0, anomaly, 0.05);
         dataset.push(TimeSeries::with_label(values, class));
@@ -50,21 +50,21 @@ fn main() {
     });
     dtw.fit(&train).expect("DTW training");
     let dtw_error = dtw.error_rate(&test).expect("DTW scoring");
-    println!("1NN-DTW baseline accuracy:                         {:.3}", 1.0 - dtw_error);
+    println!(
+        "1NN-DTW baseline accuracy:                         {:.3}",
+        1.0 - dtw_error
+    );
 
     // which features carried the decision?
     println!("\nMost informative graph features for the rhythm classes:");
     for feature in mvg.feature_importances().into_iter().take(8) {
         println!("  {:<28} {:.4}", feature.name, feature.importance);
     }
-    println!(
-        "\nPer-class prediction counts on the test set: {:?}",
-        {
-            let mut counts = [0usize; 3];
-            for p in mvg.predict(&test).expect("prediction") {
-                counts[p] += 1;
-            }
-            counts
+    println!("\nPer-class prediction counts on the test set: {:?}", {
+        let mut counts = [0usize; 3];
+        for p in mvg.predict(&test).expect("prediction") {
+            counts[p] += 1;
         }
-    );
+        counts
+    });
 }

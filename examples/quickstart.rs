@@ -41,7 +41,9 @@ fn main() {
 
     // --- 3. the full MVG feature vector ------------------------------------
     let long_series = tsc_mvg::ts::TimeSeries::new(
-        (0..256).map(|i| ((i as f64) * 0.2).sin() + 0.2 * ((i as f64) * 0.03).cos()).collect(),
+        (0..256)
+            .map(|i| ((i as f64) * 0.2).sin() + 0.2 * ((i as f64) * 0.03).cos())
+            .collect(),
     );
     let config = FeatureConfig::mvg();
     let features = extract_series_features(&long_series, &config);

@@ -4,11 +4,15 @@
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use tsc_mvg::baselines::{FastShapelets, FastShapeletsParams, NnClassifier, NnDistance, TscClassifier};
+use tsc_mvg::baselines::{
+    FastShapelets, FastShapeletsParams, NnClassifier, NnDistance, TscClassifier,
+};
 use tsc_mvg::graph::motifs::count_motifs;
 use tsc_mvg::graph::visibility::{horizontal_visibility_graph, visibility_graph};
-use tsc_mvg::mvg::{motif_probability_distribution, FeatureConfig, MvgClassifier, MvgConfig, ClassifierChoice};
 use tsc_mvg::ml::gbt::GradientBoostingParams;
+use tsc_mvg::mvg::{
+    motif_probability_distribution, ClassifierChoice, FeatureConfig, MvgClassifier, MvgConfig,
+};
 use tsc_mvg::ts::{generators, Dataset, TimeSeries};
 
 fn fast_mvg() -> MvgClassifier {
@@ -125,7 +129,10 @@ fn shapelet_dataset_is_learnable_by_fast_shapelets_and_mvg() {
         } else {
             generators::sawtooth_pattern(24)
         };
-        TimeSeries::with_label(generators::inject_pattern(rng, background, &pattern, 4.0), label)
+        TimeSeries::with_label(
+            generators::inject_pattern(rng, background, &pattern, 4.0),
+            label,
+        )
     };
     let mut train = Dataset::new("shapelet");
     let mut test = Dataset::new("shapelet");

@@ -1,0 +1,51 @@
+//! Smoke test for the facade's public quick-start path: the exact flow the
+//! `src/lib.rs` doctest advertises (`generate_by_name_scaled` →
+//! `MvgClassifier::fit` / `score` / `predict`), exercised beyond the doctest
+//! on a tiny synthetic dataset so API regressions fail loudly in `cargo
+//! test` even when doctests are skipped.
+
+use tsc_mvg::datasets::archive::{generate_by_name_scaled, ArchiveOptions};
+use tsc_mvg::mvg::{MvgClassifier, MvgConfig};
+
+#[test]
+fn quick_start_path_end_to_end() {
+    let options = ArchiveOptions::bounded(20, 192, 7);
+    let (train, test) =
+        generate_by_name_scaled("BeetleFly", options).expect("catalogue contains BeetleFly");
+    assert!(!train.is_empty() && !test.is_empty());
+
+    let mut clf = MvgClassifier::new(MvgConfig::fast());
+    clf.fit(&train).expect("fit on tiny synthetic dataset");
+
+    let accuracy = clf.score(&test).expect("score fitted classifier");
+    assert!(
+        (0.0..=1.0).contains(&accuracy),
+        "accuracy {accuracy} outside [0, 1]"
+    );
+
+    // Predictions must cover every test series and only emit labels the
+    // training set contained.
+    let predictions = clf.predict(&test).expect("predict with fitted classifier");
+    assert_eq!(predictions.len(), test.len());
+    let train_labels: std::collections::BTreeSet<usize> =
+        train.series().iter().filter_map(|s| s.label()).collect();
+    for p in &predictions {
+        assert!(
+            train_labels.contains(p),
+            "predicted label {p} never seen in training"
+        );
+    }
+}
+
+#[test]
+fn quick_start_path_is_deterministic() {
+    let options = ArchiveOptions::bounded(16, 128, 5);
+    let run = || {
+        let (train, test) =
+            generate_by_name_scaled("BeetleFly", options).expect("catalogue contains BeetleFly");
+        let mut clf = MvgClassifier::new(MvgConfig::fast());
+        clf.fit(&train).expect("fit");
+        clf.predict(&test).expect("predict")
+    };
+    assert_eq!(run(), run(), "same seed must give identical predictions");
+}

@@ -5,10 +5,10 @@ use tsc_mvg::baselines::{NnClassifier, NnDistance, TscClassifier};
 use tsc_mvg::datasets::archive::{generate_by_name_scaled, generate_scaled, ArchiveOptions};
 use tsc_mvg::datasets::ALL_DATASETS;
 use tsc_mvg::eval::{wilcoxon_signed_rank, ScatterComparison};
+use tsc_mvg::ml::gbt::GradientBoostingParams;
 use tsc_mvg::mvg::{
     extract_dataset_features, ClassifierChoice, FeatureConfig, MvgClassifier, MvgConfig,
 };
-use tsc_mvg::ml::gbt::GradientBoostingParams;
 
 fn fast_config(features: FeatureConfig) -> MvgConfig {
     MvgConfig {
@@ -89,8 +89,13 @@ fn mvg_and_baseline_results_feed_the_evaluation_stack() {
         nn_errors.push(nn.error_rate(&test).unwrap());
         names.push(dataset.to_string());
     }
-    let comparison =
-        ScatterComparison::new("1NN-ED", "MVG", names, nn_errors.clone(), mvg_errors.clone());
+    let comparison = ScatterComparison::new(
+        "1NN-ED",
+        "MVG",
+        names,
+        nn_errors.clone(),
+        mvg_errors.clone(),
+    );
     let wl = comparison.win_loss();
     assert_eq!(wl.wins + wl.ties + wl.losses, 3);
     // the Wilcoxon test either returns a valid p-value or (if the error

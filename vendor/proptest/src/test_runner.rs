@@ -1,0 +1,116 @@
+//! The case-execution loop.
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of (non-rejected) cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Precondition not met (`prop_assume!`); the case is discarded.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(message: String) -> Self {
+        Self::Fail(message)
+    }
+}
+
+/// Result of one test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The RNG handed to strategies: ChaCha8 seeded from the test name, so the
+/// case sequence is deterministic run-to-run and stable per test.
+pub struct TestRng {
+    inner: ChaCha8Rng,
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Drives one property over its case budget.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+}
+
+impl TestRunner {
+    /// Create a runner for the property `name`.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        Self { config, name }
+    }
+
+    /// Run `case` until the case budget is met, panicking on the first
+    /// failure with the case index and message.
+    pub fn run<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> TestCaseResult,
+    {
+        // DefaultHasher uses fixed keys, so this seed is stable across runs
+        // and builds of the same test name.
+        let mut hasher = DefaultHasher::new();
+        self.name.hash(&mut hasher);
+        let seed = hasher.finish();
+        let mut rng = TestRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+        };
+        let mut accepted: u32 = 0;
+        let mut rejected: u32 = 0;
+        let max_rejects = self.config.cases.saturating_mul(16).max(1024);
+        let mut case_index: u64 = 0;
+        while accepted < self.config.cases {
+            case_index += 1;
+            match case(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        panic!(
+                            "property {}: too many rejected cases ({rejected}); \
+                             weaken the prop_assume! preconditions",
+                            self.name
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    panic!(
+                        "property {} failed at case #{case_index} (seed {seed}): {message}",
+                        self.name
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for the [`serde`](https://serde.rs) crate.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` to keep its
+//! data types serialization-ready; nothing serializes at runtime (artefacts
+//! are written as hand-formatted CSV/JSON text). This stub therefore ships
+//! marker traits plus no-op derive macros under the canonical names, so the
+//! source-level `use serde::{Deserialize, Serialize}` + `#[derive(...)]`
+//! idiom compiles unchanged and swaps cleanly for the real crate when a
+//! registry is available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
