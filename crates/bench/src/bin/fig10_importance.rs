@@ -18,7 +18,7 @@ fn main() {
         test.len()
     );
 
-    let config = mvg_fixed_config(FeatureConfig::mvg(), options.seed);
+    let config = mvg_fixed_config(FeatureConfig::mvg(), options.seed, options.n_threads);
     // train once to get the error rate (sanity) ...
     let result = run_mvg("MVG", config.clone(), &train, &test);
     println!("MVG error rate on FordA: {:.3}\n", result.error_rate);

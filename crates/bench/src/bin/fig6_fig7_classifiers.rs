@@ -38,7 +38,7 @@ fn boosting_candidates(seed: u64) -> Vec<(String, GradientBoostingParams)> {
         .collect()
 }
 
-fn forest_candidates(seed: u64) -> Vec<(String, RandomForestParams)> {
+fn forest_candidates(seed: u64, n_threads: usize) -> Vec<(String, RandomForestParams)> {
     [(40usize, 8usize), (80, 12), (120, 16)]
         .iter()
         .map(|&(n, d)| {
@@ -48,6 +48,7 @@ fn forest_candidates(seed: u64) -> Vec<(String, RandomForestParams)> {
                     n_estimators: n,
                     max_depth: d,
                     seed,
+                    n_threads,
                     ..Default::default()
                 },
             )
@@ -84,11 +85,12 @@ fn fit_and_score(
     error_rate(y_test, &pred)
 }
 
-fn stacking_for_family(family: &str, seed: u64) -> StackingEnsemble {
+fn stacking_for_family(family: &str, seed: u64, n_threads: usize) -> StackingEnsemble {
     let mut ens = StackingEnsemble::new(StackingParams {
         top_k: 2,
         cv_folds: 3,
         seed,
+        n_threads,
     });
     if family == "XGBoost" || family == "All" {
         for (name, params) in boosting_candidates(seed) {
@@ -99,7 +101,9 @@ fn stacking_for_family(family: &str, seed: u64) -> StackingEnsemble {
         }
     }
     if family == "RF" || family == "All" {
-        for (name, params) in forest_candidates(seed) {
+        // candidate-level parallelism comes from the ensemble; serial trees
+        // avoid oversubscribing the pool
+        for (name, params) in forest_candidates(seed, 1) {
             ens.add_candidate(
                 name,
                 Box::new(move || Box::new(RandomForest::new(params)) as Box<dyn Classifier>),
@@ -124,11 +128,13 @@ fn main() {
     if options.dataset_filter.is_empty() && options.max_datasets == 0 {
         options.max_datasets = 12;
     }
+    let n_threads = tsg_parallel::resolve_threads(options.n_threads);
     let specs = options.selected_specs();
     println!(
-        "Figures 6 & 7: classifier families and stacked generalization on MVG features ({} datasets)\n",
+        "Figures 6 & 7: classifier families and stacked generalization on MVG features ({} datasets, {n_threads} worker threads)\n",
         specs.len()
     );
+    let wall_clock = std::time::Instant::now();
 
     let single_methods = ["MVG (XGBoost)", "MVG (RF)", "MVG (SVM)"];
     let stacking_methods = ["XGBoost", "RF", "SVM", "All"];
@@ -148,16 +154,14 @@ fn main() {
         let y_train = train.labels_required().expect("labeled data");
         let y_test = test.labels_required().expect("labeled data");
         let features = FeatureConfig::mvg();
-        let (x_train_raw, _) =
-            extract_dataset_features(&train, &features, tsg_core::parallel::default_threads());
-        let (x_test_raw, _) =
-            extract_dataset_features(&test, &features, tsg_core::parallel::default_threads());
+        let (x_train_raw, _) = extract_dataset_features(&train, &features, n_threads);
+        let (x_test_raw, _) = extract_dataset_features(&test, &features, n_threads);
         let (scaler, x_train) = MinMaxScaler::fit_transform(&x_train_raw).expect("scaling");
         let x_test = scaler.transform(&x_test_raw).expect("scaling");
 
         // --- Figure 6: single classifiers --------------------------------
         let mut xgb = GradientBoosting::new(boosting_candidates(options.seed)[1].1);
-        let mut rf = RandomForest::new(forest_candidates(options.seed)[1].1);
+        let mut rf = RandomForest::new(forest_candidates(options.seed, n_threads)[1].1);
         let mut svm = SvmClassifier::new(svm_candidates(options.seed)[1].1);
         let row = vec![
             fit_and_score(&mut xgb, &x_train, &y_train, &x_test, &y_test),
@@ -174,7 +178,7 @@ fn main() {
         // --- Figure 7: stacking per family vs all families ----------------
         let mut row = Vec::new();
         for family in stacking_methods {
-            let mut ens = stacking_for_family(family, options.seed);
+            let mut ens = stacking_for_family(family, options.seed, n_threads);
             row.push(fit_and_score(
                 &mut ens, &x_train, &y_train, &x_test, &y_test,
             ));
@@ -198,6 +202,11 @@ fn main() {
     let stack_labels = ["stack XGBoost", "stack RF", "stack SVM", "stack All"];
     let cd7 = nemenyi_critical_difference(&stack_errors, &stack_labels);
     println!("{}", cd7.render());
+
+    println!(
+        "total wall time: {:.2} s with {n_threads} worker threads (rerun with `--threads 1` for the serial baseline)\n",
+        wall_clock.elapsed().as_secs_f64()
+    );
 
     if options.figures {
         options.write_artefact("fig6_single_classifiers.csv", &single_table.to_csv());

@@ -64,7 +64,7 @@ fn main() {
         row.push(fmt3(dtw_result.error_rate));
         // configurations A..G
         for (i, (letter, features)) in configs.iter().enumerate() {
-            let config = mvg_fixed_config(features.clone(), options.seed);
+            let config = mvg_fixed_config(features.clone(), options.seed, options.n_threads);
             let result = run_mvg(&letter.to_string(), config, &train, &test);
             errors[2 + i].push(result.error_rate);
             row.push(fmt3(result.error_rate));

@@ -52,7 +52,7 @@ fn main() {
         }
         let mvg = run_mvg(
             "MVG",
-            mvg_fixed_config(FeatureConfig::mvg(), options.seed),
+            mvg_fixed_config(FeatureConfig::mvg(), options.seed, options.n_threads),
             &train,
             &test,
         );

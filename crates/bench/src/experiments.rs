@@ -52,23 +52,25 @@ pub fn default_boosting() -> GradientBoostingParams {
 }
 
 /// MVG configuration with a fixed booster and the given feature config.
-pub fn mvg_fixed_config(features: FeatureConfig, seed: u64) -> MvgConfig {
+/// `n_threads = 0` uses the process-wide default pool.
+pub fn mvg_fixed_config(features: FeatureConfig, seed: u64, n_threads: usize) -> MvgConfig {
     MvgConfig {
         features,
         classifier: ClassifierChoice::GradientBoosting(default_boosting()),
         oversample: true,
-        n_threads: tsg_core::parallel::default_threads(),
+        n_threads: tsg_parallel::resolve_threads(n_threads),
         seed,
     }
 }
 
 /// MVG configuration with the paper's cross-validated grid search.
-pub fn mvg_grid_config(features: FeatureConfig, seed: u64) -> MvgConfig {
+/// `n_threads = 0` uses the process-wide default pool.
+pub fn mvg_grid_config(features: FeatureConfig, seed: u64, n_threads: usize) -> MvgConfig {
     MvgConfig {
         features,
         classifier: ClassifierChoice::GradientBoostingGrid,
         oversample: true,
-        n_threads: tsg_core::parallel::default_threads(),
+        n_threads: tsg_parallel::resolve_threads(n_threads),
         seed,
     }
 }
@@ -183,7 +185,7 @@ mod tests {
         let (train, test) = load_dataset(spec, &tiny_options());
         let result = run_mvg(
             "MVG",
-            mvg_fixed_config(FeatureConfig::uvg(), 1),
+            mvg_fixed_config(FeatureConfig::uvg(), 1, 2),
             &train,
             &test,
         );

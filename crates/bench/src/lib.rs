@@ -40,6 +40,10 @@ pub struct RunOptions {
     pub output_dir: PathBuf,
     /// Random seed.
     pub seed: u64,
+    /// Worker threads for extraction, grid search, forest fitting and
+    /// stacking (`0` = process default, i.e. `TSC_MVG_THREADS` or available
+    /// parallelism capped at 8).
+    pub n_threads: usize,
 }
 
 impl Default for RunOptions {
@@ -51,6 +55,7 @@ impl Default for RunOptions {
             figures: true,
             output_dir: PathBuf::from("target/experiments"),
             seed: 7,
+            n_threads: 0,
         }
     }
 }
@@ -59,7 +64,8 @@ impl RunOptions {
     /// Parses the common flags from `std::env::args`.
     ///
     /// Supported flags: `--quick`, `--full`, `--datasets a,b,c`,
-    /// `--max-datasets N`, `--seed N`, `--no-figures`, `--out DIR`.
+    /// `--max-datasets N`, `--seed N`, `--threads N`, `--no-figures`,
+    /// `--out DIR`.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().skip(1).collect();
         Self::from_arg_slice(&args)
@@ -98,6 +104,12 @@ impl RunOptions {
                     if let Some(v) = args.get(i + 1) {
                         options.seed = v.parse().unwrap_or(7);
                         options.archive.seed = options.seed;
+                        i += 1;
+                    }
+                }
+                "--threads" => {
+                    if let Some(v) = args.get(i + 1) {
+                        options.n_threads = v.parse().unwrap_or(0);
                         i += 1;
                     }
                 }
@@ -169,6 +181,8 @@ mod tests {
             "beetle,wine",
             "--seed",
             "13",
+            "--threads",
+            "3",
             "--no-figures",
         ]
         .iter()
@@ -177,6 +191,7 @@ mod tests {
         let options = RunOptions::from_arg_slice(&args);
         assert!(!options.figures);
         assert_eq!(options.seed, 13);
+        assert_eq!(options.n_threads, 3);
         let specs = options.selected_specs();
         assert_eq!(specs.len(), 2);
         assert!(specs.iter().any(|s| s.name == "BeetleFly"));

@@ -52,7 +52,10 @@ pub struct MvgConfig {
     pub classifier: ClassifierChoice,
     /// Randomly oversample minority classes before training.
     pub oversample: bool,
-    /// Number of extraction threads.
+    /// Worker threads shared by feature extraction, grid search and the
+    /// stacking ensemble (`0` = process default, see
+    /// [`tsg_parallel::default_threads`]). Outputs are identical for every
+    /// thread count.
     pub n_threads: usize,
     /// Random seed (oversampling, subsampling, folds).
     pub seed: u64,
@@ -162,6 +165,7 @@ impl MvgClassifier {
 
     fn build_grid(&self) -> GridSearch {
         let mut grid = GridSearch::new(self.config.seed);
+        grid.n_threads = self.config.n_threads;
         for &learning_rate in &[0.1, 0.3] {
             for &n_estimators in &[30usize, 60] {
                 for &max_depth in &[4usize, 8] {
@@ -192,6 +196,7 @@ impl MvgClassifier {
             top_k,
             cv_folds: 3,
             seed,
+            n_threads: self.config.n_threads,
         });
         for &(lr, n, d) in &[(0.1, 30usize, 4usize), (0.1, 60, 8), (0.3, 60, 4)] {
             let params = GradientBoostingParams {
@@ -213,6 +218,9 @@ impl MvgClassifier {
                 n_estimators: n,
                 max_depth: d,
                 seed,
+                // the ensemble already parallelises across candidates; serial
+                // trees avoid oversubscribing the pool
+                n_threads: 1,
                 ..Default::default()
             };
             ens.add_candidate(
@@ -430,6 +438,35 @@ mod tests {
                 "accuracy {acc} for {:?}",
                 clf.config().classifier
             );
+        }
+    }
+
+    #[test]
+    fn fitted_classifier_is_shareable_across_threads() {
+        // the boxed model carries the trait's Send + Sync bound, so a fitted
+        // pipeline can be shared by serving workers
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MvgClassifier>();
+
+        let train = structured_dataset(6, 96, 8);
+        let mut clf = MvgClassifier::new(MvgConfig::fast());
+        clf.fit(&train).unwrap();
+        let reference = clf.predict(&train).unwrap();
+        let clf = std::sync::Arc::new(clf);
+        let predictions: Vec<Vec<usize>> = std::thread::scope(|scope| {
+            (0..3)
+                .map(|_| {
+                    let clf = std::sync::Arc::clone(&clf);
+                    let train = &train;
+                    scope.spawn(move || clf.predict(train).unwrap())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for pred in predictions {
+            assert_eq!(pred, reference);
         }
     }
 

@@ -1,93 +1,17 @@
-//! Minimal data-parallel map over items using scoped threads.
+//! Parallel execution — re-exported from [`tsg_parallel`].
 //!
-//! Feature extraction is embarrassingly parallel across time series (the
-//! paper stresses this as a selling point of the pipeline); this helper
-//! spreads a slice over `n_threads` `std::thread::scope` threads and collects
-//! the results in input order without any unsafe code or external thread
-//! pools.
+//! The scoped-thread `parallel_map` that used to live here was promoted into
+//! the workspace-wide [`tsg_parallel`] crate so the same worker pool drives
+//! feature extraction (this crate), grid search, random-forest tree fitting
+//! and the stacking ensemble (`tsg_ml`). This module keeps the historical
+//! `tsg_core::parallel::*` paths working.
+//!
+//! See [`tsg_parallel::ThreadPool`] for the pool itself,
+//! [`tsg_parallel::default_threads`] for the `TSC_MVG_THREADS` override and
+//! the 8-thread memory-bandwidth cap, and `tests/determinism.rs` at the
+//! workspace root for the parallel-equals-serial guarantee.
 
-/// Applies `f` to every element of `items` using up to `n_threads` scoped
-/// threads, preserving order. `n_threads = 1` (or a single item) runs inline.
-pub fn parallel_map<T, R, F>(items: &[T], n_threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = n_threads.max(1).min(n);
-    if threads == 1 {
-        return items.iter().map(&f).collect();
-    }
-    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let chunk_size = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut remaining: &mut [Option<R>] = &mut results;
-        let mut start = 0usize;
-        for _ in 0..threads {
-            if start >= n {
-                break;
-            }
-            let len = chunk_size.min(n - start);
-            let (chunk_out, rest) = remaining.split_at_mut(len);
-            remaining = rest;
-            let chunk_in = &items[start..start + len];
-            let f = &f;
-            scope.spawn(move || {
-                for (out, item) in chunk_out.iter_mut().zip(chunk_in.iter()) {
-                    *out = Some(f(item));
-                }
-            });
-            start += len;
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("parallel_map produced a gap"))
-        .collect()
-}
-
-/// A reasonable default thread count: the machine's available parallelism,
-/// capped at 8 (feature extraction saturates memory bandwidth beyond that).
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preserves_order_and_values() {
-        let items: Vec<u64> = (0..103).collect();
-        for threads in [1, 2, 4, 7] {
-            let out = parallel_map(&items, threads, |&x| x * x);
-            let expected: Vec<u64> = items.iter().map(|&x| x * x).collect();
-            assert_eq!(out, expected, "threads = {threads}");
-        }
-    }
-
-    #[test]
-    fn empty_and_single_item() {
-        let empty: Vec<i32> = Vec::new();
-        assert!(parallel_map(&empty, 4, |x| *x).is_empty());
-        assert_eq!(parallel_map(&[5], 4, |x| x + 1), vec![6]);
-    }
-
-    #[test]
-    fn more_threads_than_items() {
-        let items = [1, 2, 3];
-        assert_eq!(parallel_map(&items, 16, |x| x * 10), vec![10, 20, 30]);
-    }
-
-    #[test]
-    fn default_thread_count_positive() {
-        assert!(default_threads() >= 1);
-    }
-}
+pub use tsg_parallel::{
+    default_threads, parallel_map, parallel_try_map, resolve_threads, ThreadPool,
+    MAX_DEFAULT_THREADS, THREADS_ENV_VAR,
+};

@@ -284,6 +284,24 @@ mod tests {
     }
 
     #[test]
+    fn stratified_folds_are_seed_reproducible() {
+        let labels: Vec<usize> = (0..57).map(|i| i % 3).collect();
+        let reference = StratifiedKFold::new(3, 42).unwrap().split(&labels);
+        // the same seed must reproduce identical folds on every call
+        for _ in 0..3 {
+            assert_eq!(
+                StratifiedKFold::new(3, 42).unwrap().split(&labels),
+                reference
+            );
+        }
+        // and a different seed must actually reshuffle
+        assert_ne!(
+            StratifiedKFold::new(3, 43).unwrap().split(&labels),
+            reference
+        );
+    }
+
+    #[test]
     fn stratified_folds_with_tiny_classes() {
         let labels = vec![0, 0, 0, 0, 0, 1, 2];
         let folds = StratifiedKFold::new(3, 1).unwrap().split(&labels);

@@ -9,6 +9,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use tsg_parallel::ThreadPool;
 
 /// Hyper-parameters for [`RandomForest`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -23,6 +24,10 @@ pub struct RandomForestParams {
     pub max_features: Option<usize>,
     /// Random seed (bootstrap + feature subsampling).
     pub seed: u64,
+    /// Worker threads for tree fitting (`0` = process default). Each tree
+    /// draws from its own seed-derived RNG, so the fitted forest is
+    /// identical for every thread count.
+    pub n_threads: usize,
 }
 
 impl Default for RandomForestParams {
@@ -33,8 +38,22 @@ impl Default for RandomForestParams {
             min_samples_split: 2,
             max_features: None,
             seed: 0,
+            n_threads: 0,
         }
     }
+}
+
+/// Decorrelates the RNG stream of tree `t` from the forest seed (splitmix64
+/// finaliser). Deriving per-tree seeds — rather than drawing all bootstraps
+/// from one sequential RNG — is what makes tree fitting order-free and thus
+/// safely parallel.
+fn tree_seed(seed: u64, t: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(t.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// A Random Forest classifier (probability averaging over bootstrapped
@@ -94,9 +113,11 @@ impl Classifier for RandomForest {
             .max_features
             .unwrap_or_else(|| (x.n_cols() as f64).sqrt().ceil() as usize)
             .clamp(1, x.n_cols());
-        let mut rng = ChaCha8Rng::seed_from_u64(self.params.seed);
-        for t in 0..self.params.n_estimators {
-            // bootstrap sample of the rows
+        let params = self.params;
+        let tree_ids: Vec<u64> = (0..params.n_estimators as u64).collect();
+        self.trees = ThreadPool::new(params.n_threads).try_map(&tree_ids, |&t| {
+            // bootstrap sample of the rows, from this tree's own RNG stream
+            let mut rng = ChaCha8Rng::seed_from_u64(tree_seed(params.seed, t));
             let indices: Vec<usize> = (0..x.n_rows())
                 .map(|_| rng.gen_range(0..x.n_rows()))
                 .collect();
@@ -106,15 +127,15 @@ impl Classifier for RandomForest {
             // avoided by training on the global label space (leaf probabilities
             // are sized by the labels seen, so pad afterwards if needed)
             let mut tree = DecisionTree::new(DecisionTreeParams {
-                max_depth: self.params.max_depth,
-                min_samples_split: self.params.min_samples_split,
+                max_depth: params.max_depth,
+                min_samples_split: params.min_samples_split,
                 min_samples_leaf: 1,
                 max_features: Some(max_features),
-                seed: self.params.seed.wrapping_add(t as u64 + 1),
+                seed: tree_seed(params.seed, t).wrapping_add(1),
             });
             tree.fit(&xb, &yb)?;
-            self.trees.push(tree);
-        }
+            Ok(tree)
+        })?;
         Ok(())
     }
 
@@ -236,6 +257,28 @@ mod tests {
         a.fit(&x, &y).unwrap();
         b.fit(&x, &y).unwrap();
         assert_eq!(a.predict(&x).unwrap(), b.predict(&x).unwrap());
+    }
+
+    #[test]
+    fn thread_count_invariant() {
+        let (x, y) = blobs(15);
+        let fit_with = |n_threads: usize| {
+            let mut rf = RandomForest::new(RandomForestParams {
+                n_estimators: 12,
+                seed: 21,
+                n_threads,
+                ..Default::default()
+            });
+            rf.fit(&x, &y).unwrap();
+            rf.predict_proba(&x).unwrap()
+        };
+        let reference = fit_with(1);
+        for threads in [2, 7] {
+            let proba = fit_with(threads);
+            for (a, b) in proba.iter().flatten().zip(reference.iter().flatten()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "n_threads = {threads}");
+            }
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::error::MlError;
 use crate::metrics::log_loss;
 use crate::traits::Classifier;
 use crate::Result;
+use tsg_parallel::ThreadPool;
 
 /// A closure that produces a fresh, unfitted classifier.
 pub type ClassifierBuilder = Box<dyn Fn() -> Box<dyn Classifier> + Send + Sync>;
@@ -106,15 +107,20 @@ pub struct GridSearch {
     pub n_folds: usize,
     /// Seed shared across candidates so folds are identical.
     pub seed: u64,
+    /// Worker threads for candidate evaluation (`0` = process default).
+    /// Candidates are independent, share one seed and are collected in
+    /// registration order, so results are identical for every thread count.
+    pub n_threads: usize,
 }
 
 impl GridSearch {
-    /// Creates an empty grid search with 3 folds.
+    /// Creates an empty grid search with 3 folds on the default worker pool.
     pub fn new(seed: u64) -> Self {
         GridSearch {
             candidates: Vec::new(),
             n_folds: 3,
             seed,
+            n_threads: 0,
         }
     }
 
@@ -140,15 +146,16 @@ impl GridSearch {
         if self.candidates.is_empty() {
             return Err(MlError::InvalidData("grid search has no candidates".into()));
         }
-        let mut results = Vec::with_capacity(self.candidates.len());
-        for (idx, (description, builder)) in self.candidates.iter().enumerate() {
+        let indices: Vec<usize> = (0..self.candidates.len()).collect();
+        let mut results = ThreadPool::new(self.n_threads).try_map(&indices, |&idx| {
+            let (description, builder) = &self.candidates[idx];
             let loss = cross_val_log_loss(builder.as_ref(), x, y, self.n_folds, self.seed)?;
-            results.push(GridSearchResult {
+            Ok(GridSearchResult {
                 candidate: idx,
                 description: description.clone(),
                 log_loss: loss,
-            });
-        }
+            })
+        })?;
         results.sort_by(|a, b| {
             a.log_loss
                 .partial_cmp(&b.log_loss)
@@ -272,6 +279,75 @@ mod tests {
         assert_eq!(results[0].description, "gbt_shallow");
         let pred = model.predict(&x).unwrap();
         assert_eq!(pred.len(), y.len());
+    }
+
+    fn two_candidate_grid(seed: u64, n_threads: usize) -> GridSearch {
+        let mut grid = GridSearch::new(seed);
+        grid.n_threads = n_threads;
+        grid.add(
+            "gbt_shallow",
+            Box::new(|| {
+                Box::new(GradientBoosting::new(GradientBoostingParams {
+                    n_estimators: 10,
+                    max_depth: 2,
+                    ..Default::default()
+                })) as Box<dyn Classifier>
+            }),
+        );
+        grid.add(
+            "tree",
+            Box::new(|| {
+                Box::new(DecisionTree::new(DecisionTreeParams::default())) as Box<dyn Classifier>
+            }),
+        );
+        grid
+    }
+
+    #[test]
+    fn same_seed_reproduces_identical_grid_search() {
+        let (x, y) = dataset();
+        let reference = two_candidate_grid(11, 1).evaluate(&x, &y).unwrap();
+        // repeated runs and every thread count must reproduce the winner and
+        // the exact loss values (same folds, same candidate order)
+        for n_threads in [1, 1, 2, 7] {
+            let results = two_candidate_grid(11, n_threads).evaluate(&x, &y).unwrap();
+            assert_eq!(results[0].candidate, reference[0].candidate);
+            for (a, b) in results.iter().zip(reference.iter()) {
+                assert_eq!(a.candidate, b.candidate, "n_threads = {n_threads}");
+                assert_eq!(
+                    a.log_loss.to_bits(),
+                    b.log_loss.to_bits(),
+                    "n_threads = {n_threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_val_is_seed_reproducible() {
+        let (x, y) = dataset();
+        let builder =
+            || Box::new(DecisionTree::new(DecisionTreeParams::default())) as Box<dyn Classifier>;
+        let a = cross_val_log_loss(&builder, &x, &y, 3, 99).unwrap();
+        let b = cross_val_log_loss(&builder, &x, &y, 3, 99).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn grid_search_propagates_candidate_errors() {
+        let (x, y) = dataset();
+        let mut grid = two_candidate_grid(0, 2);
+        grid.add(
+            "broken",
+            Box::new(|| {
+                // n_estimators = 0 fails validation inside fit
+                Box::new(GradientBoosting::new(GradientBoostingParams {
+                    n_estimators: 0,
+                    ..Default::default()
+                })) as Box<dyn Classifier>
+            }),
+        );
+        assert!(grid.evaluate(&x, &y).is_err());
     }
 
     #[test]

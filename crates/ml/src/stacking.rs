@@ -18,6 +18,7 @@ use crate::logreg::{LogisticRegression, LogisticRegressionParams};
 use crate::model_selection::{cross_val_log_loss, ClassifierBuilder};
 use crate::traits::Classifier;
 use crate::Result;
+use tsg_parallel::ThreadPool;
 
 /// Hyper-parameters for [`StackingEnsemble`].
 #[derive(Debug, Clone, Copy)]
@@ -29,6 +30,11 @@ pub struct StackingParams {
     pub cv_folds: usize,
     /// Random seed (fold assignment).
     pub seed: u64,
+    /// Worker threads for candidate scoring, out-of-fold meta-features and
+    /// base refits (`0` = process default). Candidates are independent and
+    /// collected in registration order, so the fitted ensemble is identical
+    /// for every thread count.
+    pub n_threads: usize,
 }
 
 impl Default for StackingParams {
@@ -37,6 +43,7 @@ impl Default for StackingParams {
             top_k: 5,
             cv_folds: 3,
             seed: 0,
+            n_threads: 0,
         }
     }
 }
@@ -108,25 +115,34 @@ impl StackingEnsemble {
     ) -> Result<FeatureMatrix> {
         let folds = StratifiedKFold::new(self.params.cv_folds, self.params.seed)?.split(y);
         let n = x.n_rows();
-        let n_meta_cols = self.selected.len() * k;
-        let mut meta = vec![vec![1.0 / k as f64; n_meta_cols]; n];
-        for (slot, &cand) in self.selected.iter().enumerate() {
-            for (train_idx, valid_idx) in &folds {
-                if train_idx.is_empty() || valid_idx.is_empty() {
-                    continue;
-                }
-                let x_train = x.select_rows(train_idx);
-                let y_train: Vec<usize> = train_idx.iter().map(|&i| y[i]).collect();
-                let x_valid = x.select_rows(valid_idx);
-                let mut model = (self.candidates[cand].1)();
-                model.fit(&x_train, &y_train)?;
-                let proba = model.predict_proba(&x_valid)?;
-                for (row_in_valid, &orig_row) in valid_idx.iter().enumerate() {
-                    for class in 0..k {
-                        let p = proba[row_in_valid].get(class).copied().unwrap_or(0.0);
-                        meta[orig_row][slot * k + class] = p;
+        // one probability block of k columns per selected estimator, each
+        // computed independently on the pool
+        let blocks: Vec<Vec<Vec<f64>>> =
+            ThreadPool::new(self.params.n_threads).try_map(&self.selected, |&cand| {
+                let mut block = vec![vec![1.0 / k as f64; k]; n];
+                for (train_idx, valid_idx) in &folds {
+                    if train_idx.is_empty() || valid_idx.is_empty() {
+                        continue;
+                    }
+                    let x_train = x.select_rows(train_idx);
+                    let y_train: Vec<usize> = train_idx.iter().map(|&i| y[i]).collect();
+                    let x_valid = x.select_rows(valid_idx);
+                    let mut model = (self.candidates[cand].1)();
+                    model.fit(&x_train, &y_train)?;
+                    let proba = model.predict_proba(&x_valid)?;
+                    for (row_in_valid, &orig_row) in valid_idx.iter().enumerate() {
+                        for (class, slot) in block[orig_row].iter_mut().enumerate() {
+                            *slot = proba[row_in_valid].get(class).copied().unwrap_or(0.0);
+                        }
                     }
                 }
+                Ok(block)
+            })?;
+        let n_meta_cols = self.selected.len() * k;
+        let mut meta = vec![vec![0.0; n_meta_cols]; n];
+        for (slot, block) in blocks.iter().enumerate() {
+            for (row, probs) in block.iter().enumerate() {
+                meta[row][slot * k..(slot + 1) * k].copy_from_slice(probs);
             }
         }
         FeatureMatrix::from_rows(&meta)
@@ -162,18 +178,19 @@ impl Classifier for StackingEnsemble {
             ));
         }
         self.n_classes = crate::data::n_classes(y);
-        // 1. score every candidate
-        let mut scored: Vec<(usize, f64)> = Vec::with_capacity(self.candidates.len());
-        for (idx, (_, builder)) in self.candidates.iter().enumerate() {
+        let pool = ThreadPool::new(self.params.n_threads);
+        // 1. score every candidate (independent CV runs on shared folds)
+        let indices: Vec<usize> = (0..self.candidates.len()).collect();
+        let mut scored: Vec<(usize, f64)> = pool.try_map(&indices, |&idx| {
             let loss = cross_val_log_loss(
-                builder.as_ref(),
+                self.candidates[idx].1.as_ref(),
                 x,
                 y,
                 self.params.cv_folds,
                 self.params.seed,
             )?;
-            scored.push((idx, loss));
-        }
+            Ok((idx, loss))
+        })?;
         scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         // 2. keep the top-k
         let keep = self.params.top_k.max(1).min(scored.len());
@@ -196,12 +213,11 @@ impl Classifier for StackingEnsemble {
         meta.fit(&meta_x, y)?;
         self.meta = Some(meta);
         // refit selected bases on the full training data
-        self.fitted_bases.clear();
-        for &cand in &self.selected {
+        self.fitted_bases = pool.try_map(&self.selected, |&cand| {
             let mut model = (self.candidates[cand].1)();
             model.fit(x, y)?;
-            self.fitted_bases.push(model);
-        }
+            Ok(model)
+        })?;
         Ok(())
     }
 
@@ -256,6 +272,7 @@ mod tests {
             top_k,
             cv_folds: 3,
             seed: 1,
+            ..Default::default()
         });
         ens.add_candidate(
             "gbt",
@@ -332,6 +349,30 @@ mod tests {
         stump.fit(&x, &y).unwrap();
         let stump_acc = accuracy(&y, &stump.predict(&x).unwrap());
         assert!(stack_acc >= stump_acc);
+    }
+
+    #[test]
+    fn thread_count_invariant() {
+        let (x, y) = dataset();
+        let fit_with = |n_threads: usize| {
+            let mut ens = make_ensemble(2);
+            ens.params.n_threads = n_threads;
+            ens.fit(&x, &y).unwrap();
+            let scores: Vec<u64> = ens
+                .candidate_scores()
+                .iter()
+                .map(|s| s.log_loss.to_bits())
+                .collect();
+            (scores, ens.predict_proba(&x).unwrap())
+        };
+        let (ref_scores, ref_proba) = fit_with(1);
+        for threads in [2, 7] {
+            let (scores, proba) = fit_with(threads);
+            assert_eq!(scores, ref_scores, "n_threads = {threads}");
+            for (a, b) in proba.iter().flatten().zip(ref_proba.iter().flatten()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "n_threads = {threads}");
+            }
+        }
     }
 
     #[test]

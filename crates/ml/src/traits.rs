@@ -7,7 +7,11 @@ use crate::Result;
 ///
 /// Labels are dense `0..k` class indices. `predict_proba` returns one
 /// probability vector per row, summing to 1.
-pub trait Classifier: Send {
+///
+/// `Send + Sync` is part of the contract so fitted models can be shared
+/// across worker threads (parallel grid search and stacking here, the
+/// serving layer on the roadmap); every concrete model is plain data.
+pub trait Classifier: Send + Sync {
     /// Fits the model to the training data.
     fn fit(&mut self, x: &FeatureMatrix, y: &[usize]) -> Result<()>;
 

@@ -1,0 +1,380 @@
+//! # tsg-parallel — the workspace's shared worker pool
+//!
+//! Every compute-heavy stage of the pipeline is embarrassingly parallel
+//! across independent units — series during feature extraction, candidates
+//! during grid search and stacking selection, trees during random-forest
+//! fitting. This crate provides the one [`ThreadPool`] all of them share.
+//!
+//! The pool is built on `std::thread::scope` (no unsafe, no external
+//! dependencies): a call to [`ThreadPool::map`] / [`ThreadPool::try_map`]
+//! spawns up to `n_threads` scoped workers which *self-schedule* over the
+//! input — each worker repeatedly claims the next unprocessed chunk from an
+//! atomic cursor until the input is exhausted. This dynamic chunking keeps
+//! all workers busy even when per-item cost is highly skewed (long series
+//! next to short ones, deep grids next to stumps), unlike a one-shot even
+//! split where the unluckiest worker determines the wall time.
+//!
+//! Results are always returned in input order, and closures receive no
+//! information about which worker runs them, so for pure closures the output
+//! is **bit-identical for every thread count** — the property pinned down by
+//! `tests/determinism.rs` at the workspace root.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Cap on the *derived* default worker count. Feature extraction saturates
+/// memory bandwidth around 8 workers on typical hardware; beyond that extra
+/// threads only add scheduling overhead. An explicit [`THREADS_ENV_VAR`]
+/// override or an explicit `ThreadPool::new(n)` is not capped.
+pub const MAX_DEFAULT_THREADS: usize = 8;
+
+/// Environment variable overriding the default worker count process-wide.
+pub const THREADS_ENV_VAR: &str = "TSC_MVG_THREADS";
+
+/// Chunks each worker's share of the input is split into, so faster workers
+/// can steal leftover chunks from slower ones.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// The default worker count: the `TSC_MVG_THREADS` environment variable if
+/// set to a positive integer (uncapped — an explicit override is trusted),
+/// otherwise the machine's available parallelism capped at
+/// [`MAX_DEFAULT_THREADS`].
+pub fn default_threads() -> usize {
+    if let Ok(raw) = std::env::var(THREADS_ENV_VAR) {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_DEFAULT_THREADS)
+}
+
+/// Resolves a caller-supplied thread count: `0` means "use the process-wide
+/// default" ([`default_threads`]), anything else is taken literally.
+pub fn resolve_threads(n_threads: usize) -> usize {
+    if n_threads == 0 {
+        default_threads()
+    } else {
+        n_threads
+    }
+}
+
+/// A scoped-thread worker pool with dynamic chunking.
+///
+/// The pool itself is a small value (it holds only its thread budget);
+/// workers are scoped threads spawned per call and joined before the call
+/// returns, so borrowed inputs need no `'static` bound. Use
+/// [`ThreadPool::global`] for the process-wide default pool.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    n_threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `n_threads` workers; `0` resolves to
+    /// [`default_threads`].
+    pub fn new(n_threads: usize) -> Self {
+        ThreadPool {
+            n_threads: resolve_threads(n_threads),
+        }
+    }
+
+    /// The process-wide default pool. Its size is fixed on first use from
+    /// [`default_threads`] (honouring `TSC_MVG_THREADS`).
+    pub fn global() -> &'static ThreadPool {
+        static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| ThreadPool::new(0))
+    }
+
+    /// Number of workers this pool runs.
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Hands a `std::thread::scope` spawner plus this pool's thread budget to
+    /// `f`, for callers whose parallel structure does not fit `map`.
+    pub fn scope<'env, T, F>(&self, f: F) -> T
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>, usize) -> T,
+    {
+        std::thread::scope(|s| f(s, self.n_threads))
+    }
+
+    /// Applies `f` to every element of `items` on the pool, preserving input
+    /// order. A single worker (or a single item) runs inline on the caller.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        match self.try_map(items, |item| Ok::<R, std::convert::Infallible>(f(item))) {
+            Ok(results) => results,
+            Err(never) => match never {},
+        }
+    }
+
+    /// Fallible [`ThreadPool::map`]: stops scheduling new work as soon as any
+    /// item fails and returns one of the observed errors (the one with the
+    /// lowest input index among those actually evaluated).
+    pub fn try_map<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(&T) -> Result<R, E> + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let threads = self.n_threads.clamp(1, n);
+        if threads == 1 {
+            return items.iter().map(&f).collect();
+        }
+        let chunk_size = n.div_ceil(threads * CHUNKS_PER_THREAD).max(1);
+        let n_chunks = n.div_ceil(chunk_size);
+        let cursor = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        // per-chunk result slots; each chunk is claimed by exactly one worker,
+        // so the mutexes are uncontended and only make the sharing safe
+        let slots: Vec<Mutex<Vec<R>>> = (0..n_chunks).map(|_| Mutex::new(Vec::new())).collect();
+        let first_error: Mutex<Option<(usize, E)>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    while !abort.load(Ordering::Relaxed) {
+                        let chunk = cursor.fetch_add(1, Ordering::Relaxed);
+                        if chunk >= n_chunks {
+                            break;
+                        }
+                        let start = chunk * chunk_size;
+                        let end = (start + chunk_size).min(n);
+                        let mut out = Vec::with_capacity(end - start);
+                        for (offset, item) in items[start..end].iter().enumerate() {
+                            match f(item) {
+                                Ok(r) => out.push(r),
+                                Err(e) => {
+                                    abort.store(true, Ordering::Relaxed);
+                                    let mut slot = first_error.lock().unwrap();
+                                    let index = start + offset;
+                                    match &*slot {
+                                        Some((prev, _)) if *prev <= index => {}
+                                        _ => *slot = Some((index, e)),
+                                    }
+                                    return;
+                                }
+                            }
+                        }
+                        *slots[chunk].lock().unwrap() = out;
+                    }
+                });
+            }
+        });
+        if let Some((_, e)) = first_error.into_inner().unwrap() {
+            return Err(e);
+        }
+        let mut results = Vec::with_capacity(n);
+        for slot in slots {
+            results.append(&mut slot.into_inner().unwrap());
+        }
+        debug_assert_eq!(results.len(), n);
+        Ok(results)
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        ThreadPool::new(0)
+    }
+}
+
+/// Applies `f` to every element of `items` using up to `n_threads` workers,
+/// preserving order (`0` = process default). Convenience wrapper over
+/// [`ThreadPool::map`].
+pub fn parallel_map<T, R, F>(items: &[T], n_threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    ThreadPool::new(n_threads).map(items, f)
+}
+
+/// Fallible [`parallel_map`]: propagates an error instead of panicking.
+pub fn parallel_try_map<T, R, E, F>(items: &[T], n_threads: usize, f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(&T) -> Result<R, E> + Sync,
+{
+    ThreadPool::new(n_threads).try_map(items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialises tests that mutate `TSC_MVG_THREADS` (environment variables
+    /// are process-wide and the test harness is multi-threaded).
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Sets the override for the duration of `f`, restoring the previous
+    /// value afterwards even if the assertion panics.
+    fn with_env_override<T>(value: Option<&str>, f: impl FnOnce() -> T) -> T {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|poison| poison.into_inner());
+        let previous = std::env::var(THREADS_ENV_VAR).ok();
+        match value {
+            Some(v) => std::env::set_var(THREADS_ENV_VAR, v),
+            None => std::env::remove_var(THREADS_ENV_VAR),
+        }
+        let restore = Restore(previous);
+        struct Restore(Option<String>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                match &self.0 {
+                    Some(v) => std::env::set_var(THREADS_ENV_VAR, v),
+                    None => std::env::remove_var(THREADS_ENV_VAR),
+                }
+            }
+        }
+        let result = f();
+        drop(restore);
+        result
+    }
+
+    #[test]
+    fn preserves_order_and_values() {
+        let items: Vec<u64> = (0..103).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        for threads in [1, 2, 4, 7, 16] {
+            assert_eq!(
+                parallel_map(&items, threads, |&x| x * x),
+                expected,
+                "threads = {threads}"
+            );
+            assert_eq!(
+                ThreadPool::new(threads).map(&items, |&x| x * x),
+                expected,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let empty: Vec<i32> = Vec::new();
+        assert!(parallel_map(&empty, 4, |x| *x).is_empty());
+        assert_eq!(parallel_map(&[5], 4, |x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let items = [1, 2, 3];
+        assert_eq!(parallel_map(&items, 16, |x| x * 10), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn lengths_not_divisible_by_chunk_size() {
+        // with 2 threads and CHUNKS_PER_THREAD = 4 the chunk size for 101
+        // items is ceil(101 / 8) = 13; 101 = 7 * 13 + 10 exercises the
+        // short final chunk
+        let items: Vec<usize> = (0..101).collect();
+        let expected: Vec<usize> = items.iter().map(|&x| x + 1).collect();
+        assert_eq!(ThreadPool::new(2).map(&items, |&x| x + 1), expected);
+    }
+
+    #[test]
+    fn try_map_collects_successes() {
+        let items: Vec<i32> = (0..50).collect();
+        let out: Result<Vec<i32>, String> = ThreadPool::new(3).try_map(&items, |&x| Ok(x * 2));
+        assert_eq!(out.unwrap(), (0..50).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_map_propagates_error_for_every_thread_count() {
+        let items: Vec<i32> = (0..64).collect();
+        for threads in [1, 2, 7] {
+            let out: Result<Vec<i32>, String> = ThreadPool::new(threads).try_map(&items, |&x| {
+                if x == 40 {
+                    Err(format!("item {x} failed"))
+                } else {
+                    Ok(x)
+                }
+            });
+            assert_eq!(out.unwrap_err(), "item 40 failed", "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn scope_exposes_thread_budget() {
+        let pool = ThreadPool::new(3);
+        let budget = pool.scope(|_, n_threads| n_threads);
+        assert_eq!(budget, 3);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_positive() {
+        // ThreadPool::global() may read the env var on first init; hold the
+        // lock so sibling tests' set_var calls cannot race it
+        with_env_override(None, || {
+            let a = ThreadPool::global();
+            let b = ThreadPool::global();
+            assert!(std::ptr::eq(a, b));
+            assert!(a.n_threads() >= 1);
+        });
+    }
+
+    #[test]
+    fn default_thread_count_positive_and_capped() {
+        with_env_override(None, || {
+            let n = default_threads();
+            assert!((1..=MAX_DEFAULT_THREADS).contains(&n));
+        });
+    }
+
+    #[test]
+    fn env_override_respected_and_restored() {
+        with_env_override(Some("3"), || assert_eq!(default_threads(), 3));
+        // the override is trusted beyond the derived cap
+        with_env_override(Some("24"), || assert_eq!(default_threads(), 24));
+        with_env_override(Some("24"), || assert_eq!(resolve_threads(0), 24));
+        with_env_override(Some("24"), || assert_eq!(resolve_threads(2), 2));
+    }
+
+    #[test]
+    fn invalid_env_override_ignored() {
+        for bad in ["0", "-4", "lots", ""] {
+            with_env_override(Some(bad), || {
+                let n = default_threads();
+                assert!((1..=MAX_DEFAULT_THREADS).contains(&n), "override {bad:?}");
+            });
+        }
+    }
+
+    #[test]
+    fn zero_threads_means_process_default() {
+        with_env_override(Some("2"), || {
+            assert_eq!(ThreadPool::new(0).n_threads(), 2);
+            let items: Vec<u64> = (0..40).collect();
+            let expected: Vec<u64> = items.iter().map(|&x| x + 7).collect();
+            assert_eq!(parallel_map(&items, 0, |&x| x + 7), expected);
+            let tried: Result<Vec<u64>, std::convert::Infallible> =
+                parallel_try_map(&items, 0, |&x| Ok(x + 7));
+            assert_eq!(tried.unwrap(), expected);
+        });
+    }
+
+    #[test]
+    fn resolve_threads_passthrough() {
+        assert_eq!(resolve_threads(5), 5);
+        // resolve_threads(0) reads the env var; hold the lock against
+        // sibling tests' set_var calls
+        with_env_override(None, || assert!(resolve_threads(0) >= 1));
+    }
+}

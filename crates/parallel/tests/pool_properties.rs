@@ -1,0 +1,67 @@
+//! Property tests: the pool is a drop-in replacement for serial iteration.
+//!
+//! For any input length (including lengths not divisible by the internal
+//! chunk size), any thread count and any pure closure, `ThreadPool::map`,
+//! `ThreadPool::try_map` and the free-function wrappers must return exactly
+//! the serial result, in input order.
+
+use proptest::prelude::*;
+use tsg_parallel::{parallel_map, parallel_try_map, ThreadPool};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pool_map_equals_serial_map(
+        values in prop::collection::vec(-1.0e6..1.0e6f64, 0..257),
+        threads in 1usize..17,
+    ) {
+        let f = |x: &f64| (x * 1.5).sin() + x.abs().sqrt();
+        let expected: Vec<f64> = values.iter().map(f).collect();
+        let pooled = ThreadPool::new(threads).map(&values, f);
+        // bit-identical, not approximately equal
+        let as_bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        prop_assert_eq!(as_bits(&pooled), as_bits(&expected));
+        prop_assert_eq!(as_bits(&parallel_map(&values, threads, f)), as_bits(&expected));
+    }
+
+    #[test]
+    fn pool_try_map_equals_serial_on_success(
+        values in prop::collection::vec(0u64..1_000_000, 0..211),
+        threads in 1usize..13,
+    ) {
+        let f = |x: &u64| Ok::<u64, String>(x.wrapping_mul(0x9E37_79B9).rotate_left(7));
+        let expected: Vec<u64> = values.iter().map(|x| f(x).unwrap()).collect();
+        let pooled = ThreadPool::new(threads).try_map(&values, f);
+        prop_assert_eq!(pooled.as_deref(), Ok(&expected[..]));
+        let free = parallel_try_map(&values, threads, f);
+        prop_assert_eq!(free.as_deref(), Ok(&expected[..]));
+    }
+
+    #[test]
+    fn pool_try_map_always_errors_when_an_item_fails(
+        len in 1usize..151,
+        bad_offset in 0usize..151,
+        threads in 1usize..9,
+    ) {
+        let bad = bad_offset % len;
+        let values: Vec<usize> = (0..len).collect();
+        let out: Result<Vec<usize>, usize> = ThreadPool::new(threads)
+            .try_map(&values, |&x| if x == bad { Err(x) } else { Ok(x) });
+        // scheduling decides which error surfaces first; with a single
+        // failing item the value is fully determined
+        prop_assert_eq!(out, Err(bad));
+    }
+
+    #[test]
+    fn thread_count_is_invisible_in_the_output(
+        values in prop::collection::vec(-1.0e3..1.0e3f64, 1..128),
+        a in 1usize..9,
+        b in 1usize..9,
+    ) {
+        let f = |x: &f64| (x.exp_m1() * 0.25).to_bits();
+        let left = ThreadPool::new(a).map(&values, f);
+        let right = ThreadPool::new(b).map(&values, f);
+        prop_assert_eq!(left, right);
+    }
+}

@@ -1,0 +1,223 @@
+//! Determinism harness: parallel == serial, bit for bit.
+//!
+//! The worker pool (`tsg_parallel::ThreadPool`) drives feature extraction,
+//! grid search, random-forest tree fitting and the stacking ensemble. Every
+//! one of those stages must produce *bit-identical* output for every thread
+//! count — parallelism is an implementation detail that may never leak into
+//! results. Each test below runs one stage with `n_threads ∈ {1, 2, 7}` and
+//! compares raw `f64` bit patterns against the serial run.
+
+use tsc_mvg::datasets::archive::{generate_by_name_scaled, ArchiveOptions};
+use tsc_mvg::ml::forest::{RandomForest, RandomForestParams};
+use tsc_mvg::ml::gbt::{GradientBoosting, GradientBoostingParams};
+use tsc_mvg::ml::knn::KnnClassifier;
+use tsc_mvg::ml::stacking::{StackingEnsemble, StackingParams};
+use tsc_mvg::ml::traits::Classifier;
+use tsc_mvg::ml::tree::{DecisionTree, DecisionTreeParams};
+use tsc_mvg::ml::{FeatureMatrix, GridSearch};
+use tsc_mvg::mvg::{extract_dataset_features, FeatureConfig, MvgClassifier, MvgConfig};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 7];
+
+/// Raw bit patterns of a probability/feature table; equality here is
+/// stricter than `==` on floats (it distinguishes `-0.0` from `0.0` and
+/// never treats NaN specially).
+fn bits(table: &[Vec<f64>]) -> Vec<Vec<u64>> {
+    table
+        .iter()
+        .map(|row| row.iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+fn matrix_bits(m: &FeatureMatrix) -> Vec<Vec<u64>> {
+    m.rows()
+        .map(|row| row.iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+fn labeled_features() -> (FeatureMatrix, Vec<usize>) {
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    let mut state = 77u64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
+    };
+    for i in 0..72 {
+        let label = i % 3;
+        rows.push(vec![
+            label as f64 * 2.0 + next() * 0.7,
+            next(),
+            label as f64 - next() * 0.4,
+        ]);
+        labels.push(label);
+    }
+    (FeatureMatrix::from_rows(&rows).unwrap(), labels)
+}
+
+#[test]
+fn feature_extraction_is_bit_identical_across_thread_counts() {
+    let (train, _) = generate_by_name_scaled("BeetleFly", ArchiveOptions::bounded(10, 128, 5))
+        .expect("catalogue dataset");
+    let config = FeatureConfig::mvg();
+    let (reference, names) = extract_dataset_features(&train, &config, 1);
+    assert!(!names.is_empty());
+    for n_threads in THREAD_COUNTS {
+        let (features, _) = extract_dataset_features(&train, &config, n_threads);
+        assert_eq!(
+            matrix_bits(&features),
+            matrix_bits(&reference),
+            "n_threads = {n_threads}"
+        );
+    }
+}
+
+fn grid_with(n_threads: usize) -> GridSearch {
+    let mut grid = GridSearch::new(3);
+    grid.n_threads = n_threads;
+    for &(lr, n, d) in &[(0.1, 15usize, 3usize), (0.3, 10, 2), (0.2, 20, 4)] {
+        let params = GradientBoostingParams {
+            n_estimators: n,
+            learning_rate: lr,
+            max_depth: d,
+            ..Default::default()
+        };
+        grid.add(
+            format!("xgb(lr={lr},n={n},d={d})"),
+            Box::new(move || Box::new(GradientBoosting::new(params)) as Box<dyn Classifier>),
+        );
+    }
+    grid.add(
+        "tree",
+        Box::new(|| {
+            Box::new(DecisionTree::new(DecisionTreeParams::default())) as Box<dyn Classifier>
+        }),
+    );
+    grid
+}
+
+#[test]
+fn grid_search_cv_losses_are_bit_identical_across_thread_counts() {
+    let (x, y) = labeled_features();
+    let reference = grid_with(1).evaluate(&x, &y).unwrap();
+    for n_threads in THREAD_COUNTS {
+        let results = grid_with(n_threads).evaluate(&x, &y).unwrap();
+        assert_eq!(results.len(), reference.len());
+        // same winner, same ranking, same exact fold losses
+        for (got, want) in results.iter().zip(reference.iter()) {
+            assert_eq!(got.candidate, want.candidate, "n_threads = {n_threads}");
+            assert_eq!(got.description, want.description, "n_threads = {n_threads}");
+            assert_eq!(
+                got.log_loss.to_bits(),
+                want.log_loss.to_bits(),
+                "n_threads = {n_threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn forest_predictions_are_bit_identical_across_thread_counts() {
+    let (x, y) = labeled_features();
+    let fit_with = |n_threads: usize| {
+        let mut rf = RandomForest::new(RandomForestParams {
+            n_estimators: 24,
+            max_depth: 8,
+            seed: 13,
+            n_threads,
+            ..Default::default()
+        });
+        rf.fit(&x, &y).unwrap();
+        (rf.predict(&x).unwrap(), rf.predict_proba(&x).unwrap())
+    };
+    let (ref_pred, ref_proba) = fit_with(1);
+    for n_threads in THREAD_COUNTS {
+        let (pred, proba) = fit_with(n_threads);
+        assert_eq!(pred, ref_pred, "n_threads = {n_threads}");
+        assert_eq!(bits(&proba), bits(&ref_proba), "n_threads = {n_threads}");
+    }
+}
+
+fn stacking_with(n_threads: usize) -> StackingEnsemble {
+    let mut ens = StackingEnsemble::new(StackingParams {
+        top_k: 2,
+        cv_folds: 3,
+        seed: 5,
+        n_threads,
+    });
+    for &(lr, n, d) in &[(0.1, 15usize, 3usize), (0.3, 12, 2)] {
+        let params = GradientBoostingParams {
+            n_estimators: n,
+            learning_rate: lr,
+            max_depth: d,
+            ..Default::default()
+        };
+        ens.add_candidate(
+            format!("xgb(lr={lr},n={n},d={d})"),
+            Box::new(move || Box::new(GradientBoosting::new(params)) as Box<dyn Classifier>),
+        );
+    }
+    ens.add_candidate(
+        "rf",
+        Box::new(|| {
+            Box::new(RandomForest::new(RandomForestParams {
+                n_estimators: 10,
+                max_depth: 6,
+                seed: 5,
+                n_threads: 1,
+                ..Default::default()
+            })) as Box<dyn Classifier>
+        }),
+    );
+    ens.add_candidate(
+        "knn",
+        Box::new(|| Box::new(KnnClassifier::new(3)) as Box<dyn Classifier>),
+    );
+    ens
+}
+
+#[test]
+fn stacked_probabilities_are_bit_identical_across_thread_counts() {
+    let (x, y) = labeled_features();
+    let fit_with = |n_threads: usize| {
+        let mut ens = stacking_with(n_threads);
+        ens.fit(&x, &y).unwrap();
+        let scores: Vec<(String, u64, bool)> = ens
+            .candidate_scores()
+            .iter()
+            .map(|s| (s.description.clone(), s.log_loss.to_bits(), s.selected))
+            .collect();
+        (scores, ens.predict_proba(&x).unwrap())
+    };
+    let (ref_scores, ref_proba) = fit_with(1);
+    for n_threads in THREAD_COUNTS {
+        let (scores, proba) = fit_with(n_threads);
+        assert_eq!(scores, ref_scores, "n_threads = {n_threads}");
+        assert_eq!(bits(&proba), bits(&ref_proba), "n_threads = {n_threads}");
+    }
+}
+
+#[test]
+fn end_to_end_pipeline_is_bit_identical_across_thread_counts() {
+    let (train, test) = generate_by_name_scaled("BeetleFly", ArchiveOptions::bounded(8, 96, 3))
+        .expect("catalogue dataset");
+    let fit_with = |n_threads: usize| {
+        let config = MvgConfig {
+            n_threads,
+            ..MvgConfig::fast()
+        };
+        let mut clf = MvgClassifier::new(config);
+        clf.fit(&train).unwrap();
+        clf.predict_proba(&test).unwrap()
+    };
+    let reference = fit_with(1);
+    for n_threads in THREAD_COUNTS {
+        assert_eq!(
+            bits(&fit_with(n_threads)),
+            bits(&reference),
+            "n_threads = {n_threads}"
+        );
+    }
+}

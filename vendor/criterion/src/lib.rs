@@ -6,11 +6,14 @@
 //! `BenchmarkId`, `Bencher::iter`, and the `criterion_group!` /
 //! `criterion_main!` macros — as a small wall-clock harness: each benchmark
 //! is warmed up, then timed over `sample_size` samples, and the median,
-//! minimum and maximum per-iteration times are printed. There is no
-//! statistical analysis, HTML report, or baseline persistence; the bench
-//! *targets* stay source-compatible with the real crate.
+//! minimum and maximum per-iteration times are printed. Every measurement is
+//! also persisted as a JSON [`BaselineRecord`] under
+//! `target/criterion-baselines/` so perf PRs can diff runs. There is no
+//! statistical analysis or HTML report; the bench *targets* stay
+//! source-compatible with the real crate.
 
 use std::fmt::Display;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Re-export of `std::hint::black_box` under criterion's name.
@@ -77,6 +80,126 @@ impl Bencher {
     }
 }
 
+/// One persisted benchmark measurement (median / min / max nanoseconds per
+/// iteration), written as a small JSON file so successive runs can be
+/// compared out-of-band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineRecord {
+    /// Full benchmark id, `group/function/parameter`.
+    pub id: String,
+    /// Median per-iteration nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+}
+
+impl BaselineRecord {
+    /// Serialises the record as JSON (hand-formatted; the workspace has no
+    /// serde_json).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"id\": \"{}\",\n  \"median_ns\": {},\n  \"min_ns\": {},\n  \"max_ns\": {}\n}}\n",
+            self.id.replace('\\', "\\\\").replace('"', "\\\""),
+            self.median_ns,
+            self.min_ns,
+            self.max_ns
+        )
+    }
+
+    /// Parses a record written by [`BaselineRecord::to_json`]. Returns `None`
+    /// on any malformed field.
+    pub fn from_json(text: &str) -> Option<Self> {
+        let id = json_string_field(text, "id")?;
+        Some(BaselineRecord {
+            id,
+            median_ns: json_number_field(text, "median_ns")?,
+            min_ns: json_number_field(text, "min_ns")?,
+            max_ns: json_number_field(text, "max_ns")?,
+        })
+    }
+}
+
+fn json_string_field(text: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let rest = &text[text.find(&needle)? + needle.len()..];
+    let rest = &rest[rest.find('"')? + 1..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            other => out.push(other),
+        }
+    }
+    None
+}
+
+fn json_number_field(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let rest = text[text.find(&needle)? + needle.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Directory baselines are persisted to: `criterion-baselines/` under the
+/// cargo target directory — `$CARGO_TARGET_DIR` if set, otherwise located by
+/// walking up from the running bench executable (which lives in
+/// `<target>/<profile>/deps`; `cargo bench` sets the *package* directory as
+/// cwd, so a cwd-relative `target/` would scatter baselines per crate).
+pub fn baseline_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(dir).join("criterion-baselines");
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        for ancestor in exe.ancestors() {
+            if ancestor.file_name().is_some_and(|name| name == "target") {
+                return ancestor.join("criterion-baselines");
+            }
+        }
+    }
+    PathBuf::from("target").join("criterion-baselines")
+}
+
+/// File a benchmark id is persisted under (path separators and other
+/// non-filename characters mapped to `_`).
+pub fn baseline_path(id: &str) -> PathBuf {
+    let sanitized: String = id
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '.') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    baseline_dir().join(format!("{sanitized}.json"))
+}
+
+/// Writes `record` under [`baseline_dir`], creating the directory on demand,
+/// and returns the file path.
+pub fn save_baseline(record: &BaselineRecord) -> std::io::Result<PathBuf> {
+    let path = baseline_path(&record.id);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(&path, record.to_json())?;
+    Ok(path)
+}
+
+/// Loads the persisted baseline for `id`, if one exists and parses.
+pub fn load_baseline(id: &str) -> Option<BaselineRecord> {
+    let text = std::fs::read_to_string(baseline_path(id)).ok()?;
+    // distinct ids can sanitize to the same filename; the JSON keeps the
+    // exact id, so reject a record that belongs to a different benchmark
+    BaselineRecord::from_json(&text).filter(|record| record.id == id)
+}
+
 fn human_time(ns: f64) -> String {
     if ns < 1_000.0 {
         format!("{ns:.1} ns")
@@ -110,13 +233,24 @@ impl BenchmarkGroup<'_> {
         };
         f(&mut bencher);
         match bencher.result {
-            Some((median, min, max)) => println!(
-                "{}/{id:<28} median {:>10}   (min {}, max {})",
-                self.name,
-                human_time(median),
-                human_time(min),
-                human_time(max),
-            ),
+            Some((median, min, max)) => {
+                println!(
+                    "{}/{id:<28} median {:>10}   (min {}, max {})",
+                    self.name,
+                    human_time(median),
+                    human_time(min),
+                    human_time(max),
+                );
+                let record = BaselineRecord {
+                    id: format!("{}/{id}", self.name),
+                    median_ns: median,
+                    min_ns: min,
+                    max_ns: max,
+                };
+                if let Err(e) = save_baseline(&record) {
+                    eprintln!("  failed to persist baseline for {}: {e}", record.id);
+                }
+            }
             None => println!(
                 "{}/{id}: no measurement (Bencher::iter never called)",
                 self.name
@@ -193,4 +327,74 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_record_round_trips_through_json() {
+        let record = BaselineRecord {
+            id: "motifs/count_motifs/512".to_string(),
+            median_ns: 12345.678,
+            min_ns: 9876.5,
+            max_ns: 23456.0,
+        };
+        let parsed = BaselineRecord::from_json(&record.to_json()).unwrap();
+        assert_eq!(parsed, record);
+    }
+
+    #[test]
+    fn baseline_file_round_trips_on_disk() {
+        // point the target dir at a scratch location so the test leaves the
+        // real baselines untouched; CARGO_TARGET_DIR is read per call
+        let scratch = std::env::temp_dir().join("criterion-baseline-roundtrip-test");
+        let record = BaselineRecord {
+            id: "group/bench with spaces/7".to_string(),
+            median_ns: 1.5e6,
+            min_ns: 1.0e6,
+            max_ns: 2.0e6,
+        };
+        let previous = std::env::var("CARGO_TARGET_DIR").ok();
+        std::env::set_var("CARGO_TARGET_DIR", &scratch);
+        let saved = save_baseline(&record);
+        let loaded = load_baseline(&record.id);
+        let missing = load_baseline("never/benchmarked");
+        // sanitizes to the same file as record.id but is a different
+        // benchmark: the stored id must not be attributed to it
+        let collided = load_baseline("group/bench_with/spaces/7");
+        match previous {
+            Some(v) => std::env::set_var("CARGO_TARGET_DIR", v),
+            None => std::env::remove_var("CARGO_TARGET_DIR"),
+        }
+        let path = saved.unwrap();
+        assert!(path.starts_with(&scratch));
+        assert_eq!(loaded.unwrap(), record);
+        assert!(missing.is_none());
+        assert!(collided.is_none());
+        std::fs::remove_dir_all(&scratch).ok();
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(BaselineRecord::from_json("").is_none());
+        assert!(BaselineRecord::from_json("{\"id\": \"x\"}").is_none());
+        assert!(BaselineRecord::from_json(
+            "{\"id\": \"x\", \"median_ns\": abc, \"min_ns\": 1, \"max_ns\": 2}"
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn escaped_ids_survive() {
+        let record = BaselineRecord {
+            id: "odd\"chars\\here".to_string(),
+            median_ns: 1.0,
+            min_ns: 1.0,
+            max_ns: 1.0,
+        };
+        let parsed = BaselineRecord::from_json(&record.to_json()).unwrap();
+        assert_eq!(parsed.id, record.id);
+    }
 }
