@@ -20,7 +20,7 @@ fn graph(n: usize) -> tsg_graph::Graph {
 fn bench_motifs(c: &mut Criterion) {
     let mut group = c.benchmark_group("motif_counting");
     group.sample_size(15);
-    for &n in &[128usize, 512, 1024] {
+    for &n in &[250usize, 1000, 4000] {
         let g = graph(n);
         group.bench_with_input(BenchmarkId::new("pgd_style", n), &g, |b, g| {
             b.iter(|| count_motifs(std::hint::black_box(g)))
@@ -35,11 +35,11 @@ fn bench_motifs(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("graph_statistics");
     group.sample_size(20);
-    let g = graph(1024);
-    group.bench_function("kcore_1024", |b| {
+    let g = graph(1000);
+    group.bench_function("kcore_1000", |b| {
         b.iter(|| max_coreness(std::hint::black_box(&g)))
     });
-    group.bench_function("assortativity_1024", |b| {
+    group.bench_function("assortativity_1000", |b| {
         b.iter(|| degree_assortativity(std::hint::black_box(&g)))
     });
     group.finish();

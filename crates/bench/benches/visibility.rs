@@ -23,7 +23,7 @@ fn series(n: usize) -> Vec<f64> {
 fn bench_visibility(c: &mut Criterion) {
     let mut group = c.benchmark_group("visibility_graph");
     group.sample_size(20);
-    for &n in &[128usize, 512, 2048] {
+    for &n in &[250usize, 1000, 4000] {
         let values = series(n);
         group.bench_with_input(BenchmarkId::new("vg_divide_conquer", n), &values, |b, v| {
             b.iter(|| visibility_graph(std::hint::black_box(v)))

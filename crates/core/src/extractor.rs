@@ -9,11 +9,15 @@
 //! [`FeatureMatrix`] (in parallel), producing the input of the generic
 //! classifiers.
 
-use crate::graph_features::{block_len, graph_feature_block, graph_feature_names};
+use crate::graph_features::{
+    block_len, graph_feature_block, graph_feature_block_with, graph_feature_names,
+};
 use crate::parallel::parallel_map;
 use crate::representation::{ScaleMode, SeriesGraphs};
 use serde::{Deserialize, Serialize};
+use tsg_graph::motifs::MotifWorkspace;
 use tsg_graph::visibility::VisibilityKind;
+use tsg_graph::Graph;
 use tsg_ml::data::FeatureMatrix;
 use tsg_ts::multiscale::MultiscaleOptions;
 use tsg_ts::preprocess::detrend;
@@ -163,8 +167,31 @@ impl FeatureConfig {
     }
 }
 
-/// Extracts the feature vector of one series under `config` (Algorithm 1).
+/// Extracts the feature vector of one series under `config` (Algorithm 1),
+/// reusing the calling thread's motif workspace (the thread-local inside
+/// [`tsg_graph::motifs::count_motifs`]).
 pub fn extract_series_features(series: &TimeSeries, config: &FeatureConfig) -> Vec<f64> {
+    extract_features_impl(series, config, graph_feature_block)
+}
+
+/// [`extract_series_features`] with a caller-held motif workspace (the
+/// scratch memory of the hottest kernel; see
+/// [`tsg_graph::motifs::MotifWorkspace`]).
+pub fn extract_series_features_with(
+    series: &TimeSeries,
+    config: &FeatureConfig,
+    workspace: &mut MotifWorkspace,
+) -> Vec<f64> {
+    extract_features_impl(series, config, |graph, include| {
+        graph_feature_block_with(graph, include, workspace)
+    })
+}
+
+fn extract_features_impl(
+    series: &TimeSeries,
+    config: &FeatureConfig,
+    mut feature_block: impl FnMut(&Graph, bool) -> Vec<f64>,
+) -> Vec<f64> {
     let prepared;
     let series = if config.detrend {
         prepared = TimeSeries::new(detrend(series.values()));
@@ -175,7 +202,7 @@ pub fn extract_series_features(series: &TimeSeries, config: &FeatureConfig) -> V
     let graphs = SeriesGraphs::build(series, &config.kinds, config.scale_mode, config.multiscale);
     let mut features = Vec::with_capacity(graphs.len() * block_len(config.include_other_stats));
     for sg in &graphs.graphs {
-        features.extend(graph_feature_block(&sg.graph, config.include_other_stats));
+        features.extend(feature_block(&sg.graph, config.include_other_stats));
     }
     features
 }
@@ -185,7 +212,10 @@ pub fn extract_series_features(series: &TimeSeries, config: &FeatureConfig) -> V
 ///
 /// Rows are padded with zeros (or truncated) to the width implied by the
 /// longest series in the dataset, so datasets with slightly varying lengths
-/// still produce a rectangular matrix.
+/// still produce a rectangular matrix. Each pool worker reuses one
+/// thread-local [`MotifWorkspace`] across every series it claims; the
+/// workspace never influences results (`tests/determinism.rs` pins
+/// reused == fresh bit-for-bit), only allocation traffic.
 pub fn extract_dataset_features(
     dataset: &Dataset,
     config: &FeatureConfig,

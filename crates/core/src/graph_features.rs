@@ -7,7 +7,7 @@
 //! Table 2.
 
 use crate::motif_groups::{motif_feature_names, motif_probability_distribution};
-use tsg_graph::motifs::count_motifs;
+use tsg_graph::motifs::{count_motifs, count_motifs_with, MotifWorkspace};
 use tsg_graph::stats::GraphStatistics;
 use tsg_graph::Graph;
 
@@ -16,8 +16,33 @@ use tsg_graph::Graph;
 /// * `include_other_stats = false` → 17 motif probabilities.
 /// * `include_other_stats = true`  → 17 motif probabilities followed by 7
 ///   scalar statistics.
+///
+/// Motif counting reuses the calling thread's [`MotifWorkspace`]; use
+/// [`graph_feature_block_with`] to hold the workspace explicitly.
 pub fn graph_feature_block(graph: &Graph, include_other_stats: bool) -> Vec<f64> {
-    let counts = count_motifs(graph);
+    features_from_counts(count_motifs(graph), graph, include_other_stats)
+}
+
+/// [`graph_feature_block`] with a caller-held motif workspace, so a worker
+/// processing a stream of graphs performs zero motif-kernel allocations
+/// after the first one.
+pub fn graph_feature_block_with(
+    graph: &Graph,
+    include_other_stats: bool,
+    workspace: &mut MotifWorkspace,
+) -> Vec<f64> {
+    features_from_counts(
+        count_motifs_with(graph, workspace),
+        graph,
+        include_other_stats,
+    )
+}
+
+fn features_from_counts(
+    counts: tsg_graph::MotifCounts,
+    graph: &Graph,
+    include_other_stats: bool,
+) -> Vec<f64> {
     let mut features = motif_probability_distribution(&counts);
     if include_other_stats {
         features.extend(GraphStatistics::compute(graph).to_features());

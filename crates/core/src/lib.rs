@@ -28,7 +28,9 @@ pub mod parallel;
 pub mod representation;
 
 pub use classifier::{ClassifierChoice, MvgClassifier, MvgConfig};
-pub use extractor::{extract_dataset_features, extract_series_features, FeatureConfig};
+pub use extractor::{
+    extract_dataset_features, extract_series_features, extract_series_features_with, FeatureConfig,
+};
 pub use graph_features::{graph_feature_block, graph_feature_names};
 pub use importance::{rank_features, FeatureImportance};
 pub use motif_groups::{motif_probability_distribution, MotifGroup, MOTIF_GROUPS};

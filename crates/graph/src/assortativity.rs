@@ -27,12 +27,20 @@ pub fn degree_assortativity(graph: &Graph) -> f64 {
     let mut sum_jk = 0.0;
     let mut sum_half = 0.0;
     let mut sum_sq_half = 0.0;
-    for (u, v) in graph.edges() {
+    // walk the CSR lists directly: the left endpoint's degree is loaded once
+    // per vertex instead of once per edge
+    for u in 0..graph.n_vertices() {
         let j = graph.degree(u) as f64;
-        let k = graph.degree(v) as f64;
-        sum_jk += j * k;
-        sum_half += 0.5 * (j + k);
-        sum_sq_half += 0.5 * (j * j + k * k);
+        for &v in graph.neighbors(u) {
+            let v = v as usize;
+            if v <= u {
+                continue; // count each undirected edge once
+            }
+            let k = graph.degree(v) as f64;
+            sum_jk += j * k;
+            sum_half += 0.5 * (j + k);
+            sum_sq_half += 0.5 * (j * j + k * k);
+        }
     }
     let num = sum_jk / m - (sum_half / m).powi(2);
     let den = sum_sq_half / m - (sum_half / m).powi(2);

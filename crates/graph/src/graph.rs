@@ -1,16 +1,23 @@
-//! A compact undirected simple graph.
+//! A compact undirected simple graph in CSR (compressed sparse row) form.
 //!
 //! Vertices are dense `0..n` indices (visibility graphs have one vertex per
-//! time step). Adjacency is stored as sorted neighbor lists, which gives
-//! `O(log d)` adjacency queries, cache-friendly sorted-merge set
-//! intersections for triangle/graphlet counting, and cheap iteration.
+//! time step). Adjacency lives in two flat arrays — `offsets` (length
+//! `n + 1`) and `neighbors` (length `2m`, ascending within each vertex's
+//! slice) — built in one `O(n + m)` counting-sort pass from an edge buffer.
+//! This keeps construction allocation-light (three exact-size arrays, no
+//! per-vertex `Vec`s, no `O(d)` memmove per inserted edge), makes
+//! `degree()` a subtraction of two offsets, and lays every neighborhood out
+//! contiguously for the cache-bound motif kernel.
 
 use serde::{Deserialize, Serialize};
 
-/// An undirected simple graph over vertices `0..n`.
+/// An undirected simple graph over vertices `0..n`, stored as CSR.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Graph {
-    adjacency: Vec<Vec<u32>>,
+    /// `offsets[u]..offsets[u + 1]` indexes `u`'s slice of `neighbors`.
+    offsets: Vec<u32>,
+    /// Concatenated neighbor lists, ascending within each vertex's slice.
+    neighbors: Vec<u32>,
     n_edges: usize,
 }
 
@@ -18,24 +25,122 @@ impl Graph {
     /// Creates a graph with `n` vertices and no edges.
     pub fn new(n: usize) -> Self {
         Graph {
-            adjacency: vec![Vec::new(); n],
+            offsets: vec![0; n + 1],
+            neighbors: Vec::new(),
             n_edges: 0,
         }
     }
 
     /// Builds a graph from an edge list. Self-loops are ignored and parallel
-    /// edges are deduplicated.
+    /// edges are deduplicated; out-of-range endpoints panic (vertex indices
+    /// are created up-front).
     pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
-        let mut g = Graph::new(n);
-        for (u, v) in edges {
-            g.add_edge(u, v);
+        let buffer: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(u, v)| {
+                assert!(
+                    u < n && v < n,
+                    "edge ({u}, {v}) out of range for {n} vertices"
+                );
+                (u as u32, v as u32)
+            })
+            .collect();
+        Graph::from_edge_buffer(n, &buffer)
+    }
+
+    /// Builds the CSR layout from a raw edge buffer in `O(n + m)`.
+    ///
+    /// This is the finalize step the visibility-graph builders use: they emit
+    /// edges into a plain `Vec<(u32, u32)>` and hand it over once. Self-loops
+    /// are dropped and duplicates (in either orientation) deduplicated; both
+    /// endpoints of every edge must be `< n`.
+    pub fn from_edge_buffer(n: usize, edges: &[(u32, u32)]) -> Self {
+        let n32 = n as u32;
+        for &(u, v) in edges {
+            assert!(
+                u < n32 && v < n32,
+                "edge ({u}, {v}) out of range for {n} vertices"
+            );
         }
-        g
+        // Two-pass counting sort of the 2m directed arcs by (src, dst):
+        // pass 1 buckets by dst, pass 2 stably re-buckets by src, leaving
+        // each vertex's neighbor run sorted ascending.
+        let n_arcs = edges
+            .iter()
+            .filter(|&&(u, v)| u != v)
+            .count()
+            .checked_mul(2)
+            .expect("arc count overflow");
+        let mut by_dst: Vec<(u32, u32)> = Vec::with_capacity(n_arcs);
+        let mut counts = vec![0u32; n + 1];
+        for &(u, v) in edges {
+            if u != v {
+                counts[v as usize + 1] += 1;
+                counts[u as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        // SAFETY-free bucket fill: write positions come from the prefix sums
+        by_dst.resize(n_arcs, (0, 0));
+        {
+            let mut cursor = counts.clone();
+            for &(u, v) in edges {
+                if u != v {
+                    let slot = cursor[v as usize];
+                    cursor[v as usize] += 1;
+                    by_dst[slot as usize] = (u, v);
+                    let slot = cursor[u as usize];
+                    cursor[u as usize] += 1;
+                    by_dst[slot as usize] = (v, u);
+                }
+            }
+        }
+        // pass 2: stable bucket by src, so dst order from pass 1 is preserved
+        let mut src_counts = vec![0u32; n + 1];
+        for &(src, _) in &by_dst {
+            src_counts[src as usize + 1] += 1;
+        }
+        for i in 0..n {
+            src_counts[i + 1] += src_counts[i];
+        }
+        let mut sorted: Vec<(u32, u32)> = vec![(0, 0); n_arcs];
+        {
+            let mut cursor = src_counts.clone();
+            for &(src, dst) in &by_dst {
+                let slot = cursor[src as usize];
+                cursor[src as usize] += 1;
+                sorted[slot as usize] = (src, dst);
+            }
+        }
+        // compact: drop consecutive duplicate (src, dst) arcs while building
+        // the final offsets/neighbors arrays
+        let mut offsets = vec![0u32; n + 1];
+        let mut neighbors: Vec<u32> = Vec::with_capacity(n_arcs);
+        let mut previous: Option<(u32, u32)> = None;
+        for &(src, dst) in &sorted {
+            if previous == Some((src, dst)) {
+                continue;
+            }
+            previous = Some((src, dst));
+            offsets[src as usize + 1] += 1;
+            neighbors.push(dst);
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let n_edges = neighbors.len() / 2;
+        Graph {
+            offsets,
+            neighbors,
+            n_edges,
+        }
     }
 
     /// Number of vertices.
     pub fn n_vertices(&self) -> usize {
-        self.adjacency.len()
+        self.offsets.len() - 1
     }
 
     /// Number of edges.
@@ -43,58 +148,36 @@ impl Graph {
         self.n_edges
     }
 
-    /// Adds the undirected edge `(u, v)`.
-    ///
-    /// Self-loops and duplicate edges are silently ignored; out-of-range
-    /// endpoints panic (vertex indices are created up-front).
-    pub fn add_edge(&mut self, u: usize, v: usize) {
-        assert!(
-            u < self.n_vertices() && v < self.n_vertices(),
-            "edge ({u}, {v}) out of range for {} vertices",
-            self.n_vertices()
-        );
-        if u == v {
-            return;
-        }
-        let (u32u, u32v) = (u as u32, v as u32);
-        match self.adjacency[u].binary_search(&u32v) {
-            Ok(_) => return, // already present
-            Err(pos) => self.adjacency[u].insert(pos, u32v),
-        }
-        match self.adjacency[v].binary_search(&u32u) {
-            Ok(_) => {}
-            Err(pos) => self.adjacency[v].insert(pos, u32u),
-        }
-        self.n_edges += 1;
-    }
-
     /// Whether the edge `(u, v)` exists.
     pub fn has_edge(&self, u: usize, v: usize) -> bool {
         if u >= self.n_vertices() || v >= self.n_vertices() || u == v {
             return false;
         }
-        self.adjacency[u].binary_search(&(v as u32)).is_ok()
+        self.neighbors(u).binary_search(&(v as u32)).is_ok()
     }
 
-    /// Sorted neighbors of `u`.
+    /// Sorted neighbors of `u` — a contiguous slice of the CSR array.
     pub fn neighbors(&self, u: usize) -> &[u32] {
-        &self.adjacency[u]
+        &self.neighbors[self.offsets[u] as usize..self.offsets[u + 1] as usize]
     }
 
-    /// Degree of `u`.
+    /// Degree of `u`: one subtraction on the offset array.
     pub fn degree(&self, u: usize) -> usize {
-        self.adjacency[u].len()
+        (self.offsets[u + 1] - self.offsets[u]) as usize
     }
 
-    /// Degrees of all vertices.
-    pub fn degrees(&self) -> Vec<usize> {
-        self.adjacency.iter().map(|a| a.len()).collect()
+    /// Degrees of all vertices, derived from the offset array without
+    /// walking adjacency (and without allocating: callers that need an owned
+    /// buffer collect explicitly).
+    pub fn degrees(&self) -> impl ExactSizeIterator<Item = usize> + Clone + '_ {
+        self.offsets.windows(2).map(|w| (w[1] - w[0]) as usize)
     }
 
     /// Iterates over every undirected edge once, as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.adjacency.iter().enumerate().flat_map(|(u, nbrs)| {
-            nbrs.iter()
+        (0..self.n_vertices()).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
                 .filter(move |&&v| (u as u32) < v)
                 .map(move |&v| (u, v as usize))
         })
@@ -102,12 +185,13 @@ impl Graph {
 
     /// Number of common neighbors of `u` and `v` (sorted-merge intersection).
     pub fn common_neighbor_count(&self, u: usize, v: usize) -> usize {
-        sorted_intersection_count(&self.adjacency[u], &self.adjacency[v])
+        sorted_intersection_count(self.neighbors(u), self.neighbors(v))
     }
 
-    /// Common neighbors of `u` and `v`.
+    /// Common neighbors of `u` and `v` (sorted-merge reference path; the
+    /// motif kernel uses the allocation-free marker path instead).
     pub fn common_neighbors(&self, u: usize, v: usize) -> Vec<u32> {
-        sorted_intersection(&self.adjacency[u], &self.adjacency[v])
+        sorted_intersection(self.neighbors(u), self.neighbors(v))
     }
 
     /// The union of this graph's edges with another graph over the same
@@ -178,7 +262,7 @@ mod tests {
         assert!(!g.has_edge(0, 0));
         assert_eq!(g.degree(0), 3);
         assert_eq!(g.degree(3), 1);
-        assert_eq!(g.degrees(), vec![3, 2, 2, 1]);
+        assert_eq!(g.degrees().collect::<Vec<_>>(), vec![3, 2, 2, 1]);
     }
 
     #[test]
@@ -186,6 +270,9 @@ mod tests {
         let g = Graph::from_edges(3, [(0, 1), (1, 0), (0, 1), (2, 2)]);
         assert_eq!(g.n_edges(), 1);
         assert!(!g.has_edge(2, 2));
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert!(g.neighbors(2).is_empty());
     }
 
     #[test]
@@ -202,6 +289,33 @@ mod tests {
     fn neighbors_are_sorted() {
         let g = Graph::from_edges(5, [(2, 4), (2, 0), (2, 3), (2, 1)]);
         assert_eq!(g.neighbors(2), &[0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn edge_buffer_finalize_matches_from_edges() {
+        // same edge set in scrambled order, with duplicates in both
+        // orientations and self-loops sprinkled in
+        let buffer: Vec<(u32, u32)> = vec![
+            (3, 0),
+            (1, 0),
+            (2, 2),
+            (0, 1),
+            (2, 1),
+            (0, 2),
+            (1, 2),
+            (0, 3),
+        ];
+        let g = Graph::from_edge_buffer(4, &buffer);
+        assert_eq!(g, triangle_with_tail());
+    }
+
+    #[test]
+    fn empty_edge_buffer() {
+        let g = Graph::from_edge_buffer(3, &[]);
+        assert_eq!(g.n_vertices(), 3);
+        assert_eq!(g.n_edges(), 0);
+        assert!(g.neighbors(1).is_empty());
+        assert_eq!(g, Graph::new(3));
     }
 
     #[test]
@@ -233,7 +347,12 @@ mod tests {
     #[test]
     #[should_panic]
     fn out_of_range_edge_panics() {
-        let mut g = Graph::new(2);
-        g.add_edge(0, 5);
+        Graph::from_edges(2, [(0, 5)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_edge_buffer_panics() {
+        Graph::from_edge_buffer(2, &[(0, 5)]);
     }
 }

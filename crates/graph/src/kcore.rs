@@ -16,7 +16,7 @@ pub fn core_numbers(graph: &Graph) -> Vec<usize> {
     if n == 0 {
         return Vec::new();
     }
-    let mut degree: Vec<usize> = graph.degrees();
+    let mut degree: Vec<usize> = graph.degrees().collect();
     let max_degree = degree.iter().copied().max().unwrap_or(0);
 
     // bucket sort vertices by degree
@@ -81,11 +81,11 @@ pub fn max_coreness(graph: &Graph) -> usize {
 pub fn core_numbers_naive(graph: &Graph) -> Vec<usize> {
     let n = graph.n_vertices();
     let mut core = vec![0usize; n];
-    let max_degree = graph.degrees().into_iter().max().unwrap_or(0);
+    let max_degree = graph.degrees().max().unwrap_or(0);
     for k in 1..=max_degree {
         // iteratively remove vertices with degree < k
         let mut alive = vec![true; n];
-        let mut degree = graph.degrees();
+        let mut degree: Vec<usize> = graph.degrees().collect();
         let mut changed = true;
         while changed {
             changed = false;

@@ -29,7 +29,7 @@ pub mod visibility;
 pub use assortativity::degree_assortativity;
 pub use graph::Graph;
 pub use kcore::{core_numbers, max_coreness};
-pub use motifs::{count_motifs, Motif, MotifCounts};
+pub use motifs::{count_motifs, count_motifs_with, Motif, MotifCounts, MotifWorkspace};
 pub use stats::{degree_statistics, density, DegreeStatistics, GraphStatistics};
 pub use traversal::{connected_components, is_connected};
 pub use visibility::{

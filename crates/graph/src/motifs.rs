@@ -10,8 +10,9 @@
 //! the complete distribution) in closed form. This module follows that
 //! strategy; a brute-force enumerator over all subsets is kept for tests.
 
-use crate::graph::{sorted_intersection, sorted_intersection_count, Graph};
+use crate::graph::Graph;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// The sixteen motif types of Table 1 (size 2, 3 and 4; connected and
 /// disconnected), identified by the paper's `M{size}{index}` naming.
@@ -267,16 +268,163 @@ impl MotifCounts {
     }
 }
 
-/// Counts all size-2, size-3 and size-4 induced motifs of `graph`.
+/// Reusable scratch memory for [`count_motifs_with`].
 ///
-/// Complexity is dominated by per-edge common-neighborhood processing:
-/// `O(Σ_e (d_u + d_v + Σ_{w ∈ tri(e)} d_w))`, plus wedge enumeration for
-/// 4-cycle counting — well within budget for visibility graphs of series up
-/// to a few thousand points.
+/// The kernel is allocation-free after warm-up: every buffer lives here and
+/// only ever grows. Hold one workspace per thread and feed it a stream of
+/// graphs — [`count_motifs`] does exactly that through a thread-local, so
+/// each worker of the extraction pool reuses one workspace across its whole
+/// chunk of series.
+#[derive(Debug, Default)]
+pub struct MotifWorkspace {
+    /// Epoch-stamped membership marker for the neighborhood of the vertex
+    /// currently being processed (`marker[x] == epoch` ⇔ `x ∈ N(u)`).
+    marker: Vec<u32>,
+    epoch: u32,
+    /// Second marker for the rank-filtered common neighborhood (K4 pairs).
+    marker2: Vec<u32>,
+    epoch2: u32,
+    /// Common neighbors of the current edge ranked above both endpoints.
+    ordered: Vec<u32>,
+    /// Reusable output buffer of [`MotifWorkspace::common_neighbors`].
+    common: Vec<u32>,
+    /// Degree-ascending rank (ties by index): a degeneracy-style order that
+    /// points every edge at its higher-degree endpoint.
+    rank: Vec<u32>,
+    /// CSR of the rank-increasing orientation (`out_neighbors[out_offsets[v]..
+    /// out_offsets[v + 1]]` are the neighbors of `v` ranked above it).
+    out_offsets: Vec<u32>,
+    out_neighbors: Vec<u32>,
+    /// Wedge co-degree accumulator + touched list for 4-cycle counting.
+    codeg: Vec<u32>,
+    touched: Vec<u32>,
+    /// Counting-sort scratch for rank construction.
+    buckets: Vec<u32>,
+}
+
+impl MotifWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        MotifWorkspace::default()
+    }
+
+    /// Grows the marker arrays to `n` vertices and resets the epoch counters
+    /// before they can wrap around (each call consumes at most `n` epochs and
+    /// `m` second-marker epochs).
+    fn prepare_markers(&mut self, n: usize, m: usize) {
+        self.marker.resize(n.max(self.marker.len()), 0);
+        self.marker2.resize(n.max(self.marker2.len()), 0);
+        if self.epoch as u64 + n as u64 + 2 > u32::MAX as u64 {
+            self.marker.iter_mut().for_each(|slot| *slot = 0);
+            self.epoch = 0;
+        }
+        if self.epoch2 as u64 + m as u64 + 2 > u32::MAX as u64 {
+            self.marker2.iter_mut().for_each(|slot| *slot = 0);
+            self.epoch2 = 0;
+        }
+    }
+
+    /// Computes the degree-ascending rank (ties broken by vertex index) and
+    /// the CSR of the rank-increasing orientation.
+    fn prepare_order(&mut self, graph: &Graph) {
+        let n = graph.n_vertices();
+        // counting sort over degrees; `buckets[d]` becomes the next rank to
+        // hand out among degree-d vertices
+        self.buckets.clear();
+        self.buckets.resize(n + 1, 0);
+        for d in graph.degrees() {
+            self.buckets[d] += 1;
+        }
+        let mut start = 0u32;
+        for bucket in self.buckets.iter_mut() {
+            let count = *bucket;
+            *bucket = start;
+            start += count;
+        }
+        self.rank.clear();
+        self.rank.resize(n, 0);
+        for v in 0..n {
+            let d = graph.degree(v);
+            self.rank[v] = self.buckets[d];
+            self.buckets[d] += 1;
+        }
+        // orientation CSR: per vertex, the neighbors ranked above it, in
+        // ascending index order (deterministic)
+        self.out_offsets.clear();
+        self.out_offsets.resize(n + 1, 0);
+        self.out_neighbors.clear();
+        for v in 0..n {
+            self.out_offsets[v] = self.out_neighbors.len() as u32;
+            let rv = self.rank[v];
+            for &w in graph.neighbors(v) {
+                if self.rank[w as usize] > rv {
+                    self.out_neighbors.push(w);
+                }
+            }
+        }
+        self.out_offsets[n] = self.out_neighbors.len() as u32;
+    }
+
+    fn out_neighbors(&self, v: usize) -> &[u32] {
+        &self.out_neighbors[self.out_offsets[v] as usize..self.out_offsets[v + 1] as usize]
+    }
+
+    /// Common neighbors of `u` and `v` via the epoch-stamped marker array —
+    /// the allocation-free path the motif kernel uses per edge, exposed so
+    /// tests can pin it against the sorted-merge reference
+    /// ([`Graph::common_neighbors`]). The returned slice is ascending and
+    /// valid until the next call on this workspace.
+    pub fn common_neighbors(&mut self, graph: &Graph, u: usize, v: usize) -> &[u32] {
+        self.prepare_markers(graph.n_vertices(), graph.n_edges());
+        self.epoch += 1;
+        for &x in graph.neighbors(u) {
+            self.marker[x as usize] = self.epoch;
+        }
+        self.common.clear();
+        for &w in graph.neighbors(v) {
+            if self.marker[w as usize] == self.epoch {
+                self.common.push(w);
+            }
+        }
+        &self.common
+    }
+}
+
+thread_local! {
+    static THREAD_WORKSPACE: RefCell<MotifWorkspace> = RefCell::new(MotifWorkspace::new());
+}
+
+/// Counts all size-2, size-3 and size-4 induced motifs of `graph`,
+/// reusing a thread-local [`MotifWorkspace`] so repeated calls on one thread
+/// (e.g. a pool worker extracting a chunk of series) allocate nothing after
+/// the first graph.
 pub fn count_motifs(graph: &Graph) -> MotifCounts {
-    let n = graph.n_vertices() as u64;
+    THREAD_WORKSPACE.with(|ws| count_motifs_with(graph, &mut ws.borrow_mut()))
+}
+
+/// Counts all size-2, size-3 and size-4 induced motifs of `graph` using a
+/// caller-held workspace. Allocation-free after workspace warm-up.
+///
+/// Edge-centric and degree-ordered, in the spirit of PGD (Ahmed et al.,
+/// ICDM 2015): every edge is processed once from its higher-ranked endpoint
+/// (rank = degree ascending, ties by index), whose neighborhood is marked
+/// once and shared by all of that vertex's edges. Per edge this yields the
+/// triangle count `t_e` and the paw attachment sum in `O(d_lower)` after the
+/// amortised marking; 4-cliques are found once each as adjacent pairs inside
+/// the rank-filtered common neighborhood (scanning only rank-increasing
+/// out-neighbors, so each K4 is discovered exactly once from its two
+/// lowest-ranked vertices); diamonds follow in closed form from
+/// `Σ_e C(t_e, 2) = diamonds + 6·K4`. Non-induced 4-cycles are counted once
+/// each by rank-filtered wedge co-degrees (Chiba–Nishizeki style), and every
+/// remaining motif — connected and disconnected — falls out of combinatorial
+/// identities on `n`, `m`, degrees and the exact counts above. Total work is
+/// `O(n + Σ_e d_lower(e))` ≈ `O(m·α)` for degeneracy `α`, instead of the
+/// previous `O(Σ_e (d_u + d_v + Σ_{w ∈ tri(e)} d_w))` with a `Vec` allocated
+/// per edge.
+pub fn count_motifs_with(graph: &Graph, ws: &mut MotifWorkspace) -> MotifCounts {
+    let nv = graph.n_vertices();
+    let n = nv as u64;
     let m = graph.n_edges() as u64;
-    let degrees = graph.degrees();
 
     let choose2 = |x: u64| if x >= 2 { x * (x - 1) / 2 } else { 0 };
     let choose3 = |x: u64| if x >= 3 { x * (x - 1) * (x - 2) / 6 } else { 0 };
@@ -288,80 +436,116 @@ pub fn count_motifs(graph: &Graph) -> MotifCounts {
         }
     };
 
+    ws.prepare_markers(nv, graph.n_edges());
+    ws.prepare_order(graph);
+
     // --- edge-centric exact counts -------------------------------------
-    // triangles, diamonds, 4-cliques and the "non-induced paw" sum
-    let mut triangle_x3 = 0u64; // 3 * #triangles
-    let mut clique4_x6 = 0u64; // 6 * #K4
-    let mut diamond = 0u64; // exact diamonds (counted once, via the chord)
+    // triangles, 4-cliques, Σ C(t_e, 2) and the "non-induced paw" sum
+    let mut triangle_x3 = 0u64; // 3 * #triangles (each edge contributes t_e)
+    let mut clique4 = 0u64; // exact K4s (counted once each)
+    let mut sum_ct2 = 0u64; // Σ_e C(t_e, 2) = diamonds + 6 * K4
     let mut nonind_paw = 0u64; // Σ_triangles (d_a + d_b + d_c - 6)
     let mut nonind_p4_pairs = 0u64; // Σ_e (d_u - 1)(d_v - 1)
-    for (u, v) in graph.edges() {
-        let common = sorted_intersection(graph.neighbors(u), graph.neighbors(v));
-        let t_e = common.len() as u64;
-        triangle_x3 += t_e;
-        // For every triangle (u, v, w) discovered via this edge, accumulate
-        // the paw attachment count once per triangle: handled by dividing by
-        // 3 at the end is wrong because each edge sees the triangle once;
-        // each triangle is seen by exactly 3 of its edges, so summing
-        // (d_w - 2) over common neighbours w for every edge counts each
-        // triangle's Σ(d - 2) exactly once per incident edge pairing:
-        //   edge (u,v) contributes d_w - 2 for the third vertex w.
-        // Over the 3 edges of the triangle this sums (d_u - 2)+(d_v - 2)+(d_w - 2),
-        // which is exactly the non-induced paw attachment count per triangle.
-        for &w in &common {
-            nonind_paw += degrees[w as usize] as u64 - 2;
-        }
-        // edges inside the common neighborhood: every such edge (w, x) forms
-        // a K4 {u, v, w, x}; counted once per edge of the K4 → 6 times total.
-        let mut edges_in_common = 0u64;
-        for &w in &common {
-            edges_in_common +=
-                sorted_intersection_count(&common, graph.neighbors(w as usize)) as u64;
-        }
-        edges_in_common /= 2;
-        clique4_x6 += edges_in_common;
-        // diamonds with chord (u, v): pairs of common neighbours that are NOT
-        // adjacent.
-        diamond += choose2(t_e) - edges_in_common;
-        nonind_p4_pairs += (degrees[u] as u64 - 1) * (degrees[v] as u64 - 1);
-    }
-    let triangle = triangle_x3 / 3;
-    let clique4 = clique4_x6 / 6;
-
-    // --- wedge enumeration for 4-cycles ---------------------------------
-    // Non-induced 4-cycles = ½ Σ_{unordered pairs {u,v}} C(codeg(u, v), 2).
-    // Enumerate wedges centred at every vertex w and accumulate co-degrees.
-    // To stay memory-friendly we process one "left endpoint" u at a time:
-    // codeg(u, v) = |N(u) ∩ N(v)| for v > u, accumulated via neighbours of
-    // neighbours of u.
-    let mut nc4_x2 = 0u64;
-    {
-        let nv = graph.n_vertices();
-        let mut codeg = vec![0u32; nv];
-        let mut touched: Vec<usize> = Vec::new();
-        for u in 0..nv {
-            for &w in graph.neighbors(u) {
-                for &v in graph.neighbors(w as usize) {
-                    let v = v as usize;
-                    if v > u {
-                        if codeg[v] == 0 {
-                            touched.push(v);
-                        }
-                        codeg[v] += 1;
+    for u in 0..nv {
+        let ru = ws.rank[u];
+        let du = graph.degree(u) as u64;
+        // mark N(u) lazily: only vertices that own at least one edge (their
+        // rank exceeds a neighbor's) pay the marking cost, and they pay it
+        // once for all of their edges
+        let mut marked = false;
+        for &v in graph.neighbors(u) {
+            let v = v as usize;
+            if ws.rank[v] >= ru {
+                continue; // edge handled from its higher-ranked endpoint
+            }
+            if !marked {
+                ws.epoch += 1;
+                for &x in graph.neighbors(u) {
+                    ws.marker[x as usize] = ws.epoch;
+                }
+                marked = true;
+            }
+            let dv = graph.degree(v) as u64;
+            nonind_p4_pairs += (du - 1) * (dv - 1);
+            // common neighborhood of the edge (u, v): scan the lower-degree
+            // endpoint's list against the marked one
+            let mut t_e = 0u64;
+            ws.ordered.clear();
+            for &w in graph.neighbors(v) {
+                let w = w as usize;
+                if ws.marker[w] == ws.epoch {
+                    t_e += 1;
+                    // every triangle is seen by its 3 edges once each, so the
+                    // third-vertex contributions sum to Σ (d - 2) per triangle
+                    nonind_paw += graph.degree(w) as u64 - 2;
+                    if ws.rank[w] > ru {
+                        ws.ordered.push(w as u32);
                     }
                 }
             }
-            for &v in &touched {
-                nc4_x2 += choose2(codeg[v] as u64);
-                codeg[v] = 0;
+            triangle_x3 += t_e;
+            sum_ct2 += choose2(t_e);
+            // K4 {a,b,c,d} with rank a < b < c < d is found exactly once:
+            // from edge (a, b), as the adjacent pair {c, d} of its
+            // rank-above-both common neighborhood. Adjacency inside that set
+            // is tested by scanning rank-increasing out-neighbors only, so
+            // each pair is probed from its lower-ranked member once.
+            if ws.ordered.len() >= 2 {
+                ws.epoch2 += 1;
+                for &w in &ws.ordered {
+                    ws.marker2[w as usize] = ws.epoch2;
+                }
+                for &w in &ws.ordered {
+                    for &x in ws.out_neighbors(w as usize) {
+                        if ws.marker2[x as usize] == ws.epoch2 {
+                            clique4 += 1;
+                        }
+                    }
+                }
             }
-            touched.clear();
         }
     }
-    // Each 4-cycle has two opposite pairs; with pairs restricted to u < v
-    // both opposite pairs are still seen exactly once each, so nc4_x2 counts
-    // every non-induced 4-cycle exactly twice.
-    let nonind_c4 = nc4_x2 / 2;
+    let triangle = triangle_x3 / 3;
+    // Σ_e C(t_e, 2) classifies each common-neighbor pair {w, x} of an edge:
+    // adjacent pairs close a K4 (6 such pairs per K4, one per edge),
+    // non-adjacent pairs witness a diamond via its chord (1 per diamond).
+    let diamond = sum_ct2 - 6 * clique4;
+
+    // --- rank-filtered wedge enumeration for 4-cycles --------------------
+    // Every non-induced 4-cycle is counted exactly once, at its
+    // highest-ranked vertex u: both wedge midpoints and the opposite corner
+    // rank below u, so the codegree accumulation filtered to rank < rank(u)
+    // sees C(codeg, 2) = 1 there and 0 at the other three corners
+    // (Chiba–Nishizeki processing order expressed as a rank filter).
+    let mut nonind_c4 = 0u64;
+    {
+        ws.codeg.clear();
+        ws.codeg.resize(nv, 0);
+        ws.touched.clear();
+        for u in 0..nv {
+            let ru = ws.rank[u];
+            for &w in graph.neighbors(u) {
+                let w = w as usize;
+                if ws.rank[w] >= ru {
+                    continue;
+                }
+                for &v in graph.neighbors(w) {
+                    let v = v as usize;
+                    if v != u && ws.rank[v] < ru {
+                        if ws.codeg[v] == 0 {
+                            ws.touched.push(v as u32);
+                        }
+                        ws.codeg[v] += 1;
+                    }
+                }
+            }
+            for &v in &ws.touched {
+                nonind_c4 += choose2(ws.codeg[v as usize] as u64);
+                ws.codeg[v as usize] = 0;
+            }
+            ws.touched.clear();
+        }
+    }
 
     // --- induced connected counts via identities ------------------------
     // non-induced 4-paths: subtract the w == x degenerate case (3 per triangle)
@@ -372,13 +556,13 @@ pub fn count_motifs(graph: &Graph) -> MotifCounts {
     // induced paw (tailed triangle)
     let tailed_triangle4 = nonind_paw - 12 * clique4 - 4 * diamond;
     // induced claw (4-star)
-    let nonind_claw: u64 = degrees.iter().map(|&d| choose3(d as u64)).sum();
+    let nonind_claw: u64 = graph.degrees().map(|d| choose3(d as u64)).sum();
     let star4 = nonind_claw - 4 * clique4 - 2 * diamond - tailed_triangle4;
     // induced 4-path
     let path4 = nonind_p4 - 12 * clique4 - 6 * diamond - 4 * cycle4 - 2 * tailed_triangle4;
 
     // --- size-3 counts ---------------------------------------------------
-    let wedge_nonind: u64 = degrees.iter().map(|&d| choose2(d as u64)).sum();
+    let wedge_nonind: u64 = graph.degrees().map(|d| choose2(d as u64)).sum();
     let path3 = wedge_nonind - 3 * triangle;
     let one_edge3 = m * (n.saturating_sub(2)) - 2 * path3 - 3 * triangle;
     let independent3 = choose3(n) - triangle - path3 - one_edge3;
@@ -488,10 +672,16 @@ pub fn count_motifs_bruteforce(graph: &Graph) -> MotifCounts {
                     }
                     let mut degs = deg;
                     degs.sort_unstable();
+                    // Edge count alone separates everything except the two
+                    // 4-edge shapes and the three 3-edge / two 2-edge shapes,
+                    // where the sorted degree signature is decisive: with 4
+                    // edges on 4 vertices only the cycle (2,2,2,2) and the
+                    // tailed triangle (1,2,2,3) exist — a signature like
+                    // (1,1,3,3) would need two vertices adjacent to all
+                    // others, which already forces 5 edges.
                     let motif = match (edges, degs) {
                         (6, _) => Motif::Clique4,
                         (5, _) => Motif::ChordalCycle4,
-                        (4, [1, 1, 3, 3]) => Motif::TailedTriangle4,
                         (4, [2, 2, 2, 2]) => Motif::Cycle4,
                         (4, _) => Motif::TailedTriangle4,
                         (3, [1, 1, 1, 3]) => Motif::Star4,
@@ -659,6 +849,89 @@ mod tests {
         let c = count_motifs(&Graph::from_edges(2, [(0, 1)]));
         assert_eq!(c.edge2, 1);
         assert_eq!(c.total_size4(), 0);
+    }
+
+    fn star(n_leaves: usize) -> Graph {
+        Graph::from_edges(n_leaves + 1, (1..=n_leaves).map(|leaf| (0, leaf)))
+    }
+
+    fn clique(n: usize) -> Graph {
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                edges.push((i, j));
+            }
+        }
+        Graph::from_edges(n, edges)
+    }
+
+    fn long_path(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1)))
+    }
+
+    #[test]
+    fn fast_matches_bruteforce_on_adversarial_graphs() {
+        // extreme degree skew (star), maximal triangle density (clique) and
+        // maximal diameter (path) stress the marker/rank machinery from
+        // opposite directions
+        for g in [star(12), clique(9), long_path(16)] {
+            assert_eq!(count_motifs(&g), count_motifs_bruteforce(&g));
+        }
+        // two stars joined at their hubs: hubs rank above all leaves
+        let mut edges: Vec<(usize, usize)> = (1..8).map(|leaf| (0, leaf)).collect();
+        edges.extend((9..16).map(|leaf| (8, leaf)));
+        edges.push((0, 8));
+        let barbell = Graph::from_edges(16, edges);
+        assert_eq!(count_motifs(&barbell), count_motifs_bruteforce(&barbell));
+    }
+
+    #[test]
+    fn marker_path_matches_sorted_merge_on_adversarial_graphs() {
+        // the per-edge marker-array common neighborhood must agree with the
+        // sorted-merge reference everywhere, including across graph switches
+        // on one reused workspace
+        let mut ws = MotifWorkspace::new();
+        for g in [star(10), clique(8), long_path(12)] {
+            for (u, v) in g.edges() {
+                assert_eq!(
+                    ws.common_neighbors(&g, u, v),
+                    g.common_neighbors(u, v).as_slice(),
+                    "edge ({u}, {v})"
+                );
+            }
+            // non-adjacent pairs exercise empty and large intersections too
+            for u in 0..g.n_vertices() {
+                for v in (u + 1)..g.n_vertices() {
+                    assert_eq!(
+                        ws.common_neighbors(&g, u, v),
+                        g.common_neighbors(u, v).as_slice(),
+                        "pair ({u}, {v})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh_workspace() {
+        // one workspace across many graphs of varying size == a fresh
+        // workspace per graph, bit for bit
+        let graphs: Vec<Graph> = vec![
+            star(9),
+            visibility_graph(&pseudo_series(3, 50)),
+            clique(7),
+            horizontal_visibility_graph(&pseudo_series(4, 30)),
+            long_path(25),
+            Graph::new(0),
+            visibility_graph(&pseudo_series(5, 64)),
+        ];
+        let mut reused = MotifWorkspace::new();
+        for g in &graphs {
+            let with_reuse = count_motifs_with(g, &mut reused);
+            let with_fresh = count_motifs_with(g, &mut MotifWorkspace::new());
+            assert_eq!(with_reuse, with_fresh);
+            assert_eq!(with_reuse, count_motifs_bruteforce(g));
+        }
     }
 
     #[test]

@@ -29,23 +29,30 @@ pub struct DegreeStatistics {
     pub std: f64,
 }
 
-/// Computes degree statistics; all zeros for the empty graph.
+/// Computes degree statistics; all zeros for the empty graph. With the CSR
+/// graph, degrees stream straight off the offset array — no allocation.
 pub fn degree_statistics(graph: &Graph) -> DegreeStatistics {
-    let degrees = graph.degrees();
-    if degrees.is_empty() {
+    let n = graph.n_vertices();
+    if n == 0 {
         return DegreeStatistics::default();
     }
-    let min = *degrees.iter().min().unwrap() as f64;
-    let max = *degrees.iter().max().unwrap() as f64;
-    let mean = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
-    let var = degrees
-        .iter()
-        .map(|&d| (d as f64 - mean) * (d as f64 - mean))
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut sum = 0usize;
+    for d in graph.degrees() {
+        min = min.min(d);
+        max = max.max(d);
+        sum += d;
+    }
+    let mean = sum as f64 / n as f64;
+    let var = graph
+        .degrees()
+        .map(|d| (d as f64 - mean) * (d as f64 - mean))
         .sum::<f64>()
-        / degrees.len() as f64;
+        / n as f64;
     DegreeStatistics {
-        min,
-        max,
+        min: min as f64,
+        max: max as f64,
         mean,
         std: var.sqrt(),
     }

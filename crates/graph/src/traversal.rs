@@ -33,12 +33,23 @@ pub fn connected_components(graph: &Graph) -> (Vec<usize>, usize) {
     let n = graph.n_vertices();
     let mut component = vec![usize::MAX; n];
     let mut count = 0;
+    // one shared queue across components: the component array doubles as the
+    // visited set, so the whole decomposition allocates exactly twice
+    let mut queue = VecDeque::new();
     for start in 0..n {
         if component[start] != usize::MAX {
             continue;
         }
-        for v in bfs_order(graph, start) {
-            component[v] = count;
+        component[start] = count;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in graph.neighbors(u) {
+                let v = v as usize;
+                if component[v] == usize::MAX {
+                    component[v] = count;
+                    queue.push_back(v);
+                }
+            }
         }
         count += 1;
     }

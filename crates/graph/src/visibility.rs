@@ -46,22 +46,22 @@ impl VisibilityKind {
 
 /// Reference natural visibility graph: for every start vertex `i`, sweep
 /// right keeping the maximum slope seen so far; `j` is visible from `i` iff
-/// its slope exceeds every intermediate slope. `O(n²)` worst case, `O(1)`
-/// extra memory.
+/// its slope exceeds every intermediate slope. `O(n²)` worst case; edges are
+/// emitted into a flat buffer and finalized into CSR in one `O(n + m)` pass.
 pub fn visibility_graph_naive(values: &[f64]) -> Graph {
     let n = values.len();
-    let mut g = Graph::new(n);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(4 * n);
     for i in 0..n {
         let mut max_slope = f64::NEG_INFINITY;
         for j in (i + 1)..n {
             let slope = (values[j] - values[i]) / (j - i) as f64;
             if slope > max_slope {
-                g.add_edge(i, j);
+                edges.push((i as u32, j as u32));
             }
             max_slope = max_slope.max(slope);
         }
     }
-    g
+    Graph::from_edge_buffer(n, &edges)
 }
 
 /// Divide-and-conquer natural visibility graph.
@@ -73,10 +73,10 @@ pub fn visibility_graph_naive(values: &[f64]) -> Graph {
 /// monotone runs; worst case `O(n²)` (same asymptotics as the naive builder).
 pub fn visibility_graph(values: &[f64]) -> Graph {
     let n = values.len();
-    let mut g = Graph::new(n);
     if n == 0 {
-        return g;
+        return Graph::new(0);
     }
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(4 * n);
     // Explicit stack of (lo, hi) inclusive ranges to avoid deep recursion on
     // monotone series.
     let mut stack: Vec<(usize, usize)> = vec![(0, n - 1)];
@@ -97,7 +97,7 @@ pub fn visibility_graph(values: &[f64]) -> Graph {
             for j in (lo..max_idx).rev() {
                 let slope = (values[j] - values[max_idx]) / (max_idx - j) as f64;
                 if slope > max_slope {
-                    g.add_edge(max_idx, j);
+                    edges.push((max_idx as u32, j as u32));
                 }
                 max_slope = max_slope.max(slope);
             }
@@ -108,7 +108,7 @@ pub fn visibility_graph(values: &[f64]) -> Graph {
             for j in (max_idx + 1)..=hi {
                 let slope = (values[j] - values[max_idx]) / (j - max_idx) as f64;
                 if slope > max_slope {
-                    g.add_edge(max_idx, j);
+                    edges.push((max_idx as u32, j as u32));
                 }
                 max_slope = max_slope.max(slope);
             }
@@ -120,6 +120,7 @@ pub fn visibility_graph(values: &[f64]) -> Graph {
             stack.push((max_idx + 1, hi));
         }
     }
+    let g = Graph::from_edge_buffer(n, &edges);
     // The divide-and-conquer recursion only links vertices to range maxima;
     // visibility pairs fully inside one side of a split that do not involve
     // that side's maximum are discovered deeper in the recursion, but pairs
@@ -132,13 +133,14 @@ pub fn visibility_graph(values: &[f64]) -> Graph {
 /// Horizontal visibility graph via a monotone stack, `O(n)`.
 pub fn horizontal_visibility_graph(values: &[f64]) -> Graph {
     let n = values.len();
-    let mut g = Graph::new(n);
+    // every bar is pushed and popped at most once, so m ≤ 2n - 3
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(2 * n);
     // stack of indices with strictly decreasing values from bottom to top
-    let mut stack: Vec<usize> = Vec::new();
+    let mut stack: Vec<u32> = Vec::new();
     for j in 0..n {
         while let Some(&top) = stack.last() {
-            if values[top] < values[j] {
-                g.add_edge(top, j);
+            if values[top as usize] < values[j] {
+                edges.push((top, j as u32));
                 stack.pop();
             } else {
                 break;
@@ -146,15 +148,15 @@ pub fn horizontal_visibility_graph(values: &[f64]) -> Graph {
         }
         if let Some(&top) = stack.last() {
             // the first element ≥ values[j] is still horizontally visible
-            g.add_edge(top, j);
-            if values[top] == values[j] {
+            edges.push((top, j as u32));
+            if values[top as usize] == values[j] {
                 // an equal bar blocks everything behind it from seeing past j
                 stack.pop();
             }
         }
-        stack.push(j);
+        stack.push(j as u32);
     }
-    g
+    Graph::from_edge_buffer(n, &edges)
 }
 
 /// Checks the Definition 2.3 visibility predicate directly (used by tests).
@@ -193,7 +195,7 @@ mod tests {
 
     fn brute_force(values: &[f64], horizontal: bool) -> Graph {
         let n = values.len();
-        let mut g = Graph::new(n);
+        let mut edges = Vec::new();
         for i in 0..n {
             for j in (i + 1)..n {
                 let visible = if horizontal {
@@ -202,11 +204,11 @@ mod tests {
                     naturally_visible(values, i, j)
                 };
                 if visible {
-                    g.add_edge(i, j);
+                    edges.push((i, j));
                 }
             }
         }
-        g
+        Graph::from_edges(n, edges)
     }
 
     #[test]

@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use tsg_graph::graph::Graph;
 use tsg_graph::kcore::{core_numbers, core_numbers_naive};
-use tsg_graph::motifs::{count_motifs, count_motifs_bruteforce};
+use tsg_graph::motifs::{count_motifs, count_motifs_bruteforce, count_motifs_with, MotifWorkspace};
 use tsg_graph::stats::density;
 use tsg_graph::traversal::is_connected;
 use tsg_graph::visibility::{
@@ -31,6 +31,34 @@ fn random_graph_strategy() -> impl Strategy<Value = Graph> {
                     .filter(|(u, v)| u < &n && v < &n && u != v),
             )
         })
+}
+
+/// Erdős–Rényi G(n, p) over n ≤ 25: every vertex pair is an edge with
+/// probability `p`, decided by a splitmix64 stream seeded from the strategy
+/// input. Unlike `random_graph_strategy` (bounded edge lists, so sparse) or
+/// visibility graphs (planar-ish), this covers the whole density spectrum up
+/// to near-complete graphs.
+fn erdos_renyi_strategy() -> impl Strategy<Value = Graph> {
+    (2usize..26, 0u64..u64::MAX, 0.0..1.0f64).prop_map(|(n, seed, p)| {
+        let mut state = seed;
+        let mut next_unit = move || {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if next_unit() < p {
+                    edges.push((u, v));
+                }
+            }
+        }
+        Graph::from_edges(n, edges)
+    })
 }
 
 proptest! {
@@ -111,6 +139,41 @@ proptest! {
     #[test]
     fn motif_fast_equals_bruteforce(g in random_graph_strategy()) {
         prop_assert_eq!(count_motifs(&g), count_motifs_bruteforce(&g));
+    }
+
+    #[test]
+    fn motif_fast_equals_bruteforce_on_erdos_renyi(g in erdos_renyi_strategy()) {
+        prop_assert_eq!(count_motifs(&g), count_motifs_bruteforce(&g));
+    }
+
+    #[test]
+    fn motif_counts_partition_subsets_on_erdos_renyi(g in erdos_renyi_strategy()) {
+        let c = count_motifs(&g);
+        let n = g.n_vertices() as u64;
+        // saturating: the strategy includes n = 2, where there are no
+        // size-3/size-4 subsets at all
+        prop_assert_eq!(c.total_size3(), n * (n - 1) * n.saturating_sub(2) / 6);
+        prop_assert_eq!(
+            c.total_size4(),
+            n * (n - 1) * n.saturating_sub(2) * n.saturating_sub(3) / 24
+        );
+    }
+
+    #[test]
+    fn reused_workspace_equals_fresh_on_erdos_renyi(
+        a in erdos_renyi_strategy(),
+        b in erdos_renyi_strategy(),
+        c in erdos_renyi_strategy(),
+    ) {
+        // one workspace across differently-sized graphs must behave exactly
+        // like a fresh workspace per graph
+        let mut reused = MotifWorkspace::new();
+        for g in [&a, &b, &c] {
+            prop_assert_eq!(
+                count_motifs_with(g, &mut reused),
+                count_motifs_with(g, &mut MotifWorkspace::new())
+            );
+        }
     }
 
     #[test]

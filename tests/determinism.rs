@@ -8,6 +8,8 @@
 //! compares raw `f64` bit patterns against the serial run.
 
 use tsc_mvg::datasets::archive::{generate_by_name_scaled, ArchiveOptions};
+use tsc_mvg::graph::motifs::{count_motifs_with, MotifWorkspace};
+use tsc_mvg::graph::visibility::{horizontal_visibility_graph, visibility_graph};
 use tsc_mvg::ml::forest::{RandomForest, RandomForestParams};
 use tsc_mvg::ml::gbt::{GradientBoosting, GradientBoostingParams};
 use tsc_mvg::ml::knn::KnnClassifier;
@@ -15,6 +17,7 @@ use tsc_mvg::ml::stacking::{StackingEnsemble, StackingParams};
 use tsc_mvg::ml::traits::Classifier;
 use tsc_mvg::ml::tree::{DecisionTree, DecisionTreeParams};
 use tsc_mvg::ml::{FeatureMatrix, GridSearch};
+use tsc_mvg::mvg::extract_series_features_with;
 use tsc_mvg::mvg::{extract_dataset_features, FeatureConfig, MvgClassifier, MvgConfig};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 7];
@@ -72,6 +75,59 @@ fn feature_extraction_is_bit_identical_across_thread_counts() {
             "n_threads = {n_threads}"
         );
     }
+}
+
+#[test]
+fn workspace_reuse_is_bit_identical_to_fresh_workspaces() {
+    // The extraction path reuses one MotifWorkspace per pool worker across
+    // its whole chunk of series. Scratch reuse may never leak into results:
+    // a workspace that has seen many graphs of varying size must produce the
+    // same motif counts — and the same feature vectors, bit for bit — as a
+    // fresh workspace per graph.
+    let (train, _) = generate_by_name_scaled("BeetleFly", ArchiveOptions::bounded(8, 160, 5))
+        .expect("catalogue dataset");
+    let config = FeatureConfig::mvg();
+
+    // graph-level counts: one long-lived workspace vs fresh ones
+    let mut reused = MotifWorkspace::new();
+    for series in train.series() {
+        let vg = visibility_graph(series.values());
+        let hvg = horizontal_visibility_graph(series.values());
+        for g in [&vg, &hvg] {
+            assert_eq!(
+                count_motifs_with(g, &mut reused),
+                count_motifs_with(g, &mut MotifWorkspace::new())
+            );
+        }
+    }
+
+    // feature-level: the same reused workspace (already warmed by every
+    // graph above) against a fresh workspace per series, compared on raw
+    // f64 bit patterns
+    let with_reuse: Vec<Vec<f64>> = train
+        .series()
+        .iter()
+        .map(|s| extract_series_features_with(s, &config, &mut reused))
+        .collect();
+    let with_fresh: Vec<Vec<f64>> = train
+        .series()
+        .iter()
+        .map(|s| extract_series_features_with(s, &config, &mut MotifWorkspace::new()))
+        .collect();
+    assert_eq!(bits(&with_reuse), bits(&with_fresh));
+
+    // and the parallel pipeline (thread-local reuse inside pool workers)
+    // still matches the per-series explicit path
+    let (matrix, _) = extract_dataset_features(&train, &config, 3);
+    let width = matrix.n_cols();
+    let padded: Vec<Vec<f64>> = with_fresh
+        .into_iter()
+        .map(|mut row| {
+            row.resize(width, 0.0);
+            row
+        })
+        .collect();
+    assert_eq!(matrix_bits(&matrix), bits(&padded));
 }
 
 fn grid_with(n_threads: usize) -> GridSearch {

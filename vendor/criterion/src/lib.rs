@@ -14,6 +14,7 @@
 
 use std::fmt::Display;
 use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Re-export of `std::hint::black_box` under criterion's name.
@@ -146,12 +147,21 @@ fn json_number_field(text: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// Directory baselines are persisted to: `criterion-baselines/` under the
+/// Environment variable overriding [`baseline_dir`] wholesale. Point it at a
+/// directory of committed baseline JSONs to gate a run against a historical
+/// reference instead of the target-dir scratch baselines.
+pub const BASELINE_DIR_ENV_VAR: &str = "CRITERION_BASELINE_DIR";
+
+/// Directory baselines are persisted to and compared against:
+/// `$CRITERION_BASELINE_DIR` if set, else `criterion-baselines/` under the
 /// cargo target directory — `$CARGO_TARGET_DIR` if set, otherwise located by
 /// walking up from the running bench executable (which lives in
 /// `<target>/<profile>/deps`; `cargo bench` sets the *package* directory as
 /// cwd, so a cwd-relative `target/` would scatter baselines per crate).
 pub fn baseline_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var(BASELINE_DIR_ENV_VAR) {
+        return PathBuf::from(dir);
+    }
     if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
         return PathBuf::from(dir).join("criterion-baselines");
     }
@@ -198,6 +208,133 @@ pub fn load_baseline(id: &str) -> Option<BaselineRecord> {
     // distinct ids can sanitize to the same filename; the JSON keeps the
     // exact id, so reject a record that belongs to a different benchmark
     BaselineRecord::from_json(&text).filter(|record| record.id == id)
+}
+
+/// How a bench run treats the persisted baselines: overwrite them (default),
+/// or compare against them and flag regressions (`--compare`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// `--compare`: diff against the stored baselines instead of overwriting.
+    pub compare: bool,
+    /// `--compare-threshold <pct>`: a benchmark regresses when its median is
+    /// more than this many percent above the baseline median (default 20).
+    pub threshold_pct: f64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            compare: false,
+            threshold_pct: 20.0,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Parses a `--compare` / `--compare-threshold <pct>` argument stream.
+    /// Unknown flags (e.g. the `--bench` cargo passes to harness-less bench
+    /// targets) are ignored, so the stub stays drop-in compatible.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut config = RunConfig::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--compare" => config.compare = true,
+                "--compare-threshold" => {
+                    if let Some(value) = args.next() {
+                        config.apply_threshold(&value);
+                    }
+                }
+                other => {
+                    if let Some(value) = other.strip_prefix("--compare-threshold=") {
+                        config.apply_threshold(value);
+                    }
+                }
+            }
+        }
+        config
+    }
+
+    /// Sets the threshold from a raw argument value; malformed, negative or
+    /// non-finite values are ignored (the default stands).
+    fn apply_threshold(&mut self, raw: &str) {
+        if let Ok(pct) = raw.trim().parse::<f64>() {
+            if pct.is_finite() && pct >= 0.0 {
+                self.threshold_pct = pct;
+            }
+        }
+    }
+
+    /// The process-wide config, parsed from `std::env::args` on first use.
+    pub fn from_env() -> &'static RunConfig {
+        static CONFIG: OnceLock<RunConfig> = OnceLock::new();
+        CONFIG.get_or_init(|| RunConfig::parse(std::env::args().skip(1)))
+    }
+}
+
+/// Outcome of diffing one measurement against its stored baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Median delta in percent (positive = slower than baseline).
+    pub delta_pct: f64,
+    /// Whether the delta exceeds the regression threshold.
+    pub regressed: bool,
+}
+
+/// Diffs `current` against `baseline`: median delta in percent, flagged as a
+/// regression when more than `threshold_pct` percent slower.
+pub fn compare_records(
+    current: &BaselineRecord,
+    baseline: &BaselineRecord,
+    threshold_pct: f64,
+) -> Comparison {
+    let delta_pct = if baseline.median_ns > 0.0 {
+        (current.median_ns - baseline.median_ns) / baseline.median_ns * 100.0
+    } else {
+        0.0
+    };
+    Comparison {
+        delta_pct,
+        regressed: delta_pct > threshold_pct,
+    }
+}
+
+fn regressions() -> &'static Mutex<Vec<String>> {
+    static REGRESSIONS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    &REGRESSIONS
+}
+
+fn record_regression(message: String) {
+    regressions().lock().unwrap().push(message);
+}
+
+/// Called by `criterion_main!` after all groups ran: in `--compare` mode,
+/// prints a summary and exits non-zero if any benchmark regressed past the
+/// threshold. A no-op in the default (baseline-recording) mode.
+pub fn finish_run() {
+    let config = RunConfig::from_env();
+    if !config.compare {
+        return;
+    }
+    let regressed = regressions().lock().unwrap();
+    if regressed.is_empty() {
+        println!(
+            "compare: all benchmarks within {:.1}% of baseline ({})",
+            config.threshold_pct,
+            baseline_dir().display()
+        );
+    } else {
+        eprintln!(
+            "compare: {} benchmark(s) regressed more than {:.1}% vs baseline ({}):",
+            regressed.len(),
+            config.threshold_pct,
+            baseline_dir().display()
+        );
+        for line in regressed.iter() {
+            eprintln!("  {line}");
+        }
+        std::process::exit(1);
+    }
 }
 
 fn human_time(ns: f64) -> String {
@@ -247,7 +384,39 @@ impl BenchmarkGroup<'_> {
                     min_ns: min,
                     max_ns: max,
                 };
-                if let Err(e) = save_baseline(&record) {
+                let config = RunConfig::from_env();
+                if config.compare {
+                    match load_baseline(&record.id) {
+                        Some(baseline) => {
+                            let cmp = compare_records(&record, &baseline, config.threshold_pct);
+                            let speedup = baseline.median_ns / record.median_ns.max(1e-9);
+                            println!(
+                                "  Δ vs baseline: {:+.1}% (median {} → {}, {:.2}x){}",
+                                cmp.delta_pct,
+                                human_time(baseline.median_ns),
+                                human_time(record.median_ns),
+                                speedup,
+                                if cmp.regressed {
+                                    "  ** REGRESSED **"
+                                } else {
+                                    ""
+                                },
+                            );
+                            if cmp.regressed {
+                                record_regression(format!(
+                                    "{}: {:+.1}% (median {} → {})",
+                                    record.id,
+                                    cmp.delta_pct,
+                                    human_time(baseline.median_ns),
+                                    human_time(record.median_ns),
+                                ));
+                            }
+                        }
+                        // compare mode never writes: the stored baselines are
+                        // the reference and must survive the gating run
+                        None => println!("  Δ vs baseline: no stored baseline, skipped"),
+                    }
+                } else if let Err(e) = save_baseline(&record) {
                     eprintln!("  failed to persist baseline for {}: {e}", record.id);
                 }
             }
@@ -319,12 +488,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generate `fn main` running the given groups.
+/// Generate `fn main` running the given groups, then settle the `--compare`
+/// gate (exits non-zero if any benchmark regressed past the threshold).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::finish_run();
         }
     };
 }
@@ -332,6 +503,10 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Serialises tests that mutate process-wide environment variables
+    /// (`CARGO_TARGET_DIR`, `CRITERION_BASELINE_DIR`).
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn baseline_record_round_trips_through_json() {
@@ -347,6 +522,7 @@ mod tests {
 
     #[test]
     fn baseline_file_round_trips_on_disk() {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|poison| poison.into_inner());
         // point the target dir at a scratch location so the test leaves the
         // real baselines untouched; CARGO_TARGET_DIR is read per call
         let scratch = std::env::temp_dir().join("criterion-baseline-roundtrip-test");
@@ -384,6 +560,68 @@ mod tests {
             "{\"id\": \"x\", \"median_ns\": abc, \"min_ns\": 1, \"max_ns\": 2}"
         )
         .is_none());
+    }
+
+    #[test]
+    fn run_config_parses_compare_flags() {
+        let to_args = |raw: &[&str]| raw.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(RunConfig::parse(to_args(&[])), RunConfig::default());
+        // cargo passes --bench to harness-less targets; it must be ignored
+        let config = RunConfig::parse(to_args(&["--bench", "--compare"]));
+        assert!(config.compare);
+        assert_eq!(config.threshold_pct, 20.0);
+        let config = RunConfig::parse(to_args(&["--compare", "--compare-threshold", "7.5"]));
+        assert_eq!(config.threshold_pct, 7.5);
+        let config = RunConfig::parse(to_args(&["--compare-threshold=40"]));
+        assert_eq!(config.threshold_pct, 40.0);
+        assert!(!config.compare);
+        // malformed or negative thresholds fall back to the default
+        for bad in ["--compare-threshold=abc", "--compare-threshold=-3"] {
+            assert_eq!(RunConfig::parse(to_args(&[bad])).threshold_pct, 20.0);
+        }
+    }
+
+    #[test]
+    fn compare_records_flags_only_regressions_past_threshold() {
+        let base = BaselineRecord {
+            id: "g/b/1".to_string(),
+            median_ns: 1000.0,
+            min_ns: 900.0,
+            max_ns: 1100.0,
+        };
+        let mut current = base.clone();
+        // 10% slower under a 20% threshold: reported but not a regression
+        current.median_ns = 1100.0;
+        let cmp = compare_records(&current, &base, 20.0);
+        assert!((cmp.delta_pct - 10.0).abs() < 1e-9);
+        assert!(!cmp.regressed);
+        // 30% slower: regression
+        current.median_ns = 1300.0;
+        assert!(compare_records(&current, &base, 20.0).regressed);
+        // 2x faster: large negative delta, never a regression
+        current.median_ns = 500.0;
+        let cmp = compare_records(&current, &base, 20.0);
+        assert!((cmp.delta_pct + 50.0).abs() < 1e-9);
+        assert!(!cmp.regressed);
+        // degenerate zero baseline never divides by zero
+        let zero = BaselineRecord {
+            median_ns: 0.0,
+            ..base.clone()
+        };
+        assert_eq!(compare_records(&current, &zero, 20.0).delta_pct, 0.0);
+    }
+
+    #[test]
+    fn baseline_dir_env_override_wins() {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|poison| poison.into_inner());
+        let previous = std::env::var(BASELINE_DIR_ENV_VAR).ok();
+        std::env::set_var(BASELINE_DIR_ENV_VAR, "/tmp/committed-baselines");
+        let dir = baseline_dir();
+        match previous {
+            Some(v) => std::env::set_var(BASELINE_DIR_ENV_VAR, v),
+            None => std::env::remove_var(BASELINE_DIR_ENV_VAR),
+        }
+        assert_eq!(dir, PathBuf::from("/tmp/committed-baselines"));
     }
 
     #[test]
