@@ -17,6 +17,7 @@ use tsg_ml::scaling::MinMaxScaler;
 use tsg_ml::stacking::{StackingEnsemble, StackingParams};
 use tsg_ml::svm::{SvmClassifier, SvmKernel, SvmParams};
 use tsg_ml::traits::Classifier;
+use tsg_serve::json::Json;
 
 fn boosting_candidates(seed: u64) -> Vec<(String, GradientBoostingParams)> {
     [(0.1, 30usize, 4usize), (0.2, 40, 4), (0.3, 60, 6)]
@@ -211,30 +212,23 @@ fn main() {
     if options.figures {
         options.write_artefact("fig6_single_classifiers.csv", &single_table.to_csv());
         options.write_artefact("fig7_stacking.csv", &stack_table.to_csv());
+        let document = Json::obj(vec![
+            ("fig6", cd_json(&single_methods, &cd6.average_ranks, cd6.cd)),
+            ("fig7", cd_json(&stack_labels, &cd7.average_ranks, cd7.cd)),
+        ]);
         options.write_artefact(
             "fig6_fig7_critical_difference.json",
-            &format!(
-                "{{\n  \"fig6\": {},\n  \"fig7\": {}\n}}\n",
-                cd_json(&single_methods, &cd6.average_ranks, cd6.cd),
-                cd_json(&stack_labels, &cd7.average_ranks, cd7.cd),
-            ),
+            &format!("{}\n", document.write()),
         );
     }
 }
 
-/// Hand-formatted JSON for one critical-difference record (the build
-/// environment has no serde_json; method names contain no characters that
-/// need escaping).
-fn cd_json(methods: &[&str], ranks: &[f64], cd: f64) -> String {
-    let methods = methods
-        .iter()
-        .map(|m| format!("\"{m}\""))
-        .collect::<Vec<_>>()
-        .join(", ");
-    let ranks = ranks
-        .iter()
-        .map(|r| format!("{r}"))
-        .collect::<Vec<_>>()
-        .join(", ");
-    format!("{{\"methods\": [{methods}], \"ranks\": [{ranks}], \"cd\": {cd}}}")
+/// One critical-difference record, built with the shared JSON writer
+/// (`tsg_serve::json`) instead of hand-formatted strings.
+fn cd_json(methods: &[&str], ranks: &[f64], cd: f64) -> Json {
+    Json::obj(vec![
+        ("methods", Json::strs(methods.iter().copied())),
+        ("ranks", Json::nums(ranks.iter().copied())),
+        ("cd", Json::Num(cd)),
+    ])
 }

@@ -6,7 +6,7 @@ use tsg_baselines::{
     NnDistance, SaxVsm, SaxVsmParams, TscClassifier,
 };
 use tsg_core::{ClassifierChoice, FeatureConfig, MvgClassifier, MvgConfig};
-use tsg_datasets::archive::generate_scaled;
+use tsg_datasets::cache::generate_scaled_cached;
 use tsg_datasets::DatasetSpec;
 use tsg_eval::Stopwatch;
 use tsg_ml::gbt::GradientBoostingParams;
@@ -32,9 +32,12 @@ impl MethodResult {
     }
 }
 
-/// Generates the `(train, test)` splits for a spec under the run options.
+/// Generates the `(train, test)` splits for a spec under the run options,
+/// through the on-disk dataset cache (`target/tsg-dataset-cache/`) — so
+/// repeated experiment runs, in particular `--full` ones, stop regenerating
+/// identical series.
 pub fn load_dataset(spec: &DatasetSpec, options: &RunOptions) -> (Dataset, Dataset) {
-    generate_scaled(spec, options.archive)
+    generate_scaled_cached(spec, options.archive)
 }
 
 /// The default boosting parameters used across experiment binaries (a fixed,

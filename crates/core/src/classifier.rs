@@ -302,19 +302,71 @@ impl MvgClassifier {
 
     fn transform(&self, dataset: &Dataset) -> crate::Result<FeatureMatrix> {
         let (features, _) = self.extract_features(dataset);
+        let rows: Vec<Vec<f64>> = features.rows().map(|r| r.to_vec()).collect();
+        self.transform_rows(rows)
+    }
+
+    /// Pads/truncates raw (unscaled) feature rows to the training width and
+    /// applies the fitted scaler. Rows must come from this classifier's
+    /// [`FeatureConfig`](crate::FeatureConfig) (e.g. via
+    /// [`crate::extract_series_features_with`]).
+    fn transform_rows(&self, mut rows: Vec<Vec<f64>>) -> crate::Result<FeatureMatrix> {
         let scaler = self.scaler.as_ref().ok_or(MlError::NotFitted)?;
         // pad/truncate to the training width (different-length test series)
         let width = self.feature_names.len();
-        let rows: Vec<Vec<f64>> = features
-            .rows()
-            .map(|r| {
-                let mut v = r.to_vec();
-                v.resize(width, 0.0);
-                v
-            })
-            .collect();
+        for row in &mut rows {
+            row.resize(width, 0.0);
+        }
         let matrix = FeatureMatrix::from_rows(&rows)?;
         scaler.transform(&matrix)
+    }
+
+    /// Predicts labels from pre-extracted raw feature rows (one per series,
+    /// as produced by [`crate::extract_series_features`] under this
+    /// classifier's feature configuration).
+    ///
+    /// This is the serving batch path: a caller that extracts features on its
+    /// own worker pool — reusing per-worker motif workspaces — gets
+    /// bit-identical predictions to [`MvgClassifier::predict`], because both
+    /// paths pad to the training width, scale with the fitted scaler and run
+    /// the same model.
+    pub fn predict_from_feature_rows(&self, rows: Vec<Vec<f64>>) -> crate::Result<Vec<usize>> {
+        let model = self.model.as_ref().ok_or(MlError::NotFitted)?;
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        let x = self.transform_rows(rows)?;
+        model.predict(&x)
+    }
+
+    /// Predicts class probabilities from pre-extracted raw feature rows; the
+    /// probability counterpart of [`MvgClassifier::predict_from_feature_rows`].
+    pub fn predict_proba_from_feature_rows(
+        &self,
+        rows: Vec<Vec<f64>>,
+    ) -> crate::Result<Vec<Vec<f64>>> {
+        let model = self.model.as_ref().ok_or(MlError::NotFitted)?;
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        let x = self.transform_rows(rows)?;
+        model.predict_proba(&x)
+    }
+
+    /// Labels *and* probabilities from pre-extracted raw feature rows,
+    /// padding and scaling the rows only once — the serving batch path when
+    /// a batch contains probability requests. Results are identical to
+    /// calling the two single-output methods separately.
+    pub fn predict_with_proba_from_feature_rows(
+        &self,
+        rows: Vec<Vec<f64>>,
+    ) -> crate::Result<(Vec<usize>, Vec<Vec<f64>>)> {
+        let model = self.model.as_ref().ok_or(MlError::NotFitted)?;
+        if rows.is_empty() {
+            return Ok((Vec::new(), Vec::new()));
+        }
+        let x = self.transform_rows(rows)?;
+        Ok((model.predict(&x)?, model.predict_proba(&x)?))
     }
 
     /// Predicts labels for a dataset.
@@ -468,6 +520,38 @@ mod tests {
         for pred in predictions {
             assert_eq!(pred, reference);
         }
+    }
+
+    #[test]
+    fn feature_row_predictions_match_dataset_predictions() {
+        use crate::extractor::extract_series_features;
+        let train = structured_dataset(6, 96, 10);
+        let test = structured_dataset(5, 96, 11);
+        let mut clf = MvgClassifier::new(MvgConfig::fast());
+        clf.fit(&train).unwrap();
+        let expected = clf.predict(&test).unwrap();
+        let expected_proba = clf.predict_proba(&test).unwrap();
+        let rows: Vec<Vec<f64>> = test
+            .series()
+            .iter()
+            .map(|s| extract_series_features(s, &clf.config().features))
+            .collect();
+        assert_eq!(
+            clf.predict_from_feature_rows(rows.clone()).unwrap(),
+            expected
+        );
+        assert_eq!(
+            clf.predict_proba_from_feature_rows(rows.clone()).unwrap(),
+            expected_proba
+        );
+        let (combined_pred, combined_proba) =
+            clf.predict_with_proba_from_feature_rows(rows).unwrap();
+        assert_eq!(combined_pred, expected);
+        assert_eq!(combined_proba, expected_proba);
+        assert!(clf
+            .predict_from_feature_rows(Vec::new())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! On-disk cache for generated datasets.
+//!
+//! Generating a full-size catalogue dataset (thousands of instances, series
+//! up to length 2709) costs seconds per call, and both repeated `--full`
+//! experiment runs and server model fits request the *same* `(dataset name,
+//! seed, size budget)` combinations over and over. This cache keys the
+//! generated `(train, test)` pair on exactly those parameters and stores it
+//! under `target/tsg-dataset-cache/` (override with
+//! [`CACHE_DIR_ENV`]), so the second request is a file read.
+//!
+//! The format is a small versioned binary layout (little-endian, `f64` bits
+//! for values) written atomically via a temp file + rename, so concurrent
+//! writers — e.g. parallel CI jobs — can only ever install a complete file.
+//! Any read failure (missing file, truncation, version bump, corruption)
+//! falls back to regeneration and rewrites the entry; the cache can never
+//! change results, only skip work. Cached bytes round-trip the exact `f64`
+//! bits, so cached and freshly generated datasets are bit-identical —
+//! `tests/` below pin this.
+
+use crate::archive::{generate_scaled, spec_by_name, ArchiveOptions, DatasetSpec};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use tsg_ts::{Dataset, TimeSeries};
+
+/// Environment variable overriding the cache directory.
+pub const CACHE_DIR_ENV: &str = "TSG_DATASET_CACHE_DIR";
+
+/// Default cache directory (relative to the working directory, which for
+/// `cargo run` is the workspace root).
+pub const DEFAULT_CACHE_DIR: &str = "target/tsg-dataset-cache";
+
+/// Format magic + version; bump the version on any layout change.
+const MAGIC: &[u8; 8] = b"TSGDSC1\n";
+
+/// Version of the *generators* behind the cache, part of every cache key.
+/// Bump this whenever [`crate::families`] or the generation logic in
+/// [`crate::archive`] changes observable output — otherwise previously
+/// cached files would keep serving pre-change series and silently break the
+/// "the cache can never change results" invariant.
+pub const GENERATOR_VERSION: u32 = 1;
+
+/// The cache directory currently in effect.
+pub fn cache_dir() -> PathBuf {
+    match std::env::var(CACHE_DIR_ENV) {
+        Ok(dir) if !dir.trim().is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from(DEFAULT_CACHE_DIR),
+    }
+}
+
+fn budget_component(value: usize) -> String {
+    if value == usize::MAX {
+        "full".to_string()
+    } else {
+        value.to_string()
+    }
+}
+
+/// The cache file path for one `(spec, options, generator version)` key.
+pub fn cache_path(spec: &DatasetSpec, options: ArchiveOptions) -> PathBuf {
+    cache_dir().join(format!(
+        "{}-s{}-tr{}-te{}-len{}-g{GENERATOR_VERSION}.bin",
+        spec.name,
+        options.seed,
+        budget_component(options.max_train),
+        budget_component(options.max_test),
+        budget_component(options.max_length),
+    ))
+}
+
+/// [`generate_scaled`] with the on-disk cache in front of it.
+pub fn generate_scaled_cached(spec: &DatasetSpec, options: ArchiveOptions) -> (Dataset, Dataset) {
+    let path = cache_path(spec, options);
+    if let Some(pair) = read_pair(&path) {
+        return pair;
+    }
+    let pair = generate_scaled(spec, options);
+    // failure to persist is not an error: the cache is an optimisation
+    let _ = write_pair(&path, &pair);
+    pair
+}
+
+/// [`crate::archive::generate_by_name_scaled`] with the cache in front.
+pub fn generate_by_name_scaled_cached(
+    name: &str,
+    options: ArchiveOptions,
+) -> Result<(Dataset, Dataset), String> {
+    let spec = spec_by_name(name).ok_or_else(|| format!("unknown dataset `{name}`"))?;
+    Ok(generate_scaled_cached(spec, options))
+}
+
+fn read_pair(path: &Path) -> Option<(Dataset, Dataset)> {
+    let bytes = std::fs::read(path).ok()?;
+    let mut cursor = &bytes[..];
+    let mut magic = [0u8; 8];
+    cursor.read_exact(&mut magic).ok()?;
+    if &magic != MAGIC {
+        return None;
+    }
+    let train = read_dataset(&mut cursor)?;
+    let test = read_dataset(&mut cursor)?;
+    if !cursor.is_empty() {
+        return None; // trailing garbage: treat as corrupt
+    }
+    Some((train, test))
+}
+
+fn write_pair(path: &Path, pair: &(Dataset, Dataset)) -> std::io::Result<()> {
+    let dir = path.parent().expect("cache path has a parent");
+    std::fs::create_dir_all(dir)?;
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(MAGIC);
+    write_dataset(&mut bytes, &pair.0);
+    write_dataset(&mut bytes, &pair.1);
+    // unique temp name per writer so concurrent processes never interleave;
+    // rename is atomic within the directory
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(&bytes)?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)
+}
+
+fn write_dataset(out: &mut Vec<u8>, dataset: &Dataset) {
+    let name = dataset.name.as_bytes();
+    out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+    out.extend_from_slice(name);
+    out.extend_from_slice(&(dataset.len() as u32).to_le_bytes());
+    for series in dataset.series() {
+        match series.label() {
+            Some(label) => {
+                out.push(1);
+                out.extend_from_slice(&(label as u64).to_le_bytes());
+            }
+            None => {
+                out.push(0);
+                out.extend_from_slice(&0u64.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(series.len() as u32).to_le_bytes());
+        for value in series.values() {
+            out.extend_from_slice(&value.to_bits().to_le_bytes());
+        }
+    }
+}
+
+fn read_dataset(cursor: &mut &[u8]) -> Option<Dataset> {
+    let name_len = read_u32(cursor)? as usize;
+    if cursor.len() < name_len {
+        return None;
+    }
+    let name = std::str::from_utf8(&cursor[..name_len]).ok()?.to_string();
+    *cursor = &cursor[name_len..];
+    let n_series = read_u32(cursor)? as usize;
+    let mut dataset = Dataset::new(name);
+    for _ in 0..n_series {
+        let has_label = read_u8(cursor)?;
+        let label = read_u64(cursor)?;
+        let len = read_u32(cursor)? as usize;
+        if cursor.len() < len * 8 {
+            return None;
+        }
+        let mut values = Vec::with_capacity(len);
+        for chunk in cursor[..len * 8].chunks_exact(8) {
+            values.push(f64::from_bits(u64::from_le_bytes(
+                chunk.try_into().unwrap(),
+            )));
+        }
+        *cursor = &cursor[len * 8..];
+        dataset.push(match has_label {
+            1 => TimeSeries::with_label(values, label as usize),
+            0 => TimeSeries::new(values),
+            _ => return None,
+        });
+    }
+    Some(dataset)
+}
+
+fn read_u8(cursor: &mut &[u8]) -> Option<u8> {
+    let (&first, rest) = cursor.split_first()?;
+    *cursor = rest;
+    Some(first)
+}
+
+fn read_u32(cursor: &mut &[u8]) -> Option<u32> {
+    if cursor.len() < 4 {
+        return None;
+    }
+    let value = u32::from_le_bytes(cursor[..4].try_into().unwrap());
+    *cursor = &cursor[4..];
+    Some(value)
+}
+
+fn read_u64(cursor: &mut &[u8]) -> Option<u64> {
+    if cursor.len() < 8 {
+        return None;
+    }
+    let value = u64::from_le_bytes(cursor[..8].try_into().unwrap());
+    *cursor = &cursor[8..];
+    Some(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Mutex;
+
+    /// `CACHE_DIR_ENV` is process-wide; serialise the tests that set it.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+    static DIR_COUNTER: AtomicU32 = AtomicU32::new(0);
+
+    fn with_temp_cache<T>(f: impl FnOnce(&Path) -> T) -> T {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let dir = std::env::temp_dir().join(format!(
+            "tsg-cache-test-{}-{}",
+            std::process::id(),
+            DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let previous = std::env::var(CACHE_DIR_ENV).ok();
+        std::env::set_var(CACHE_DIR_ENV, &dir);
+        let result = f(&dir);
+        match previous {
+            Some(v) => std::env::set_var(CACHE_DIR_ENV, v),
+            None => std::env::remove_var(CACHE_DIR_ENV),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        result
+    }
+
+    #[test]
+    fn cached_pair_is_bit_identical_to_generated() {
+        with_temp_cache(|dir| {
+            let spec = spec_by_name("Wine").unwrap();
+            let options = ArchiveOptions::bounded(10, 64, 5);
+            let fresh = generate_scaled(spec, options);
+            let first = generate_scaled_cached(spec, options);
+            assert_eq!(first, fresh);
+            let path = cache_path(spec, options);
+            assert!(path.starts_with(dir));
+            assert!(path.exists(), "cache file not written");
+            // second call must hit the file; prove it by comparing equality
+            // after corrupting nothing
+            let second = generate_scaled_cached(spec, options);
+            assert_eq!(second, fresh);
+        });
+    }
+
+    #[test]
+    fn second_call_reads_the_file_not_the_generator() {
+        with_temp_cache(|_| {
+            let spec = spec_by_name("BeetleFly").unwrap();
+            let options = ArchiveOptions::bounded(6, 48, 9);
+            let first = generate_scaled_cached(spec, options);
+            // plant a marker: rewrite the cache with train/test swapped; if
+            // the second call reads the file it must return the swapped pair
+            let path = cache_path(spec, options);
+            let swapped = (first.1.clone(), first.0.clone());
+            write_pair(&path, &swapped).unwrap();
+            let second = generate_scaled_cached(spec, options);
+            assert_eq!(second, swapped, "cache file was not used");
+        });
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_files() {
+        with_temp_cache(|_| {
+            let spec = spec_by_name("Wine").unwrap();
+            let a = cache_path(spec, ArchiveOptions::bounded(10, 64, 5));
+            let b = cache_path(spec, ArchiveOptions::bounded(10, 64, 6));
+            let c = cache_path(spec, ArchiveOptions::bounded(12, 64, 5));
+            let d = cache_path(spec, ArchiveOptions::full(5));
+            assert_ne!(a, b);
+            assert_ne!(a, c);
+            assert_ne!(a, d);
+            assert!(d.to_string_lossy().contains("full"));
+        });
+    }
+
+    #[test]
+    fn corrupt_cache_falls_back_to_regeneration() {
+        with_temp_cache(|_| {
+            let spec = spec_by_name("Herring").unwrap();
+            let options = ArchiveOptions::bounded(6, 48, 2);
+            let fresh = generate_scaled(spec, options);
+            let path = cache_path(spec, options);
+            for corrupt in [
+                b"garbage".to_vec(),
+                MAGIC.to_vec(),                        // truncated after magic
+                b"WRONGMAG followed by junk".to_vec(), // bad magic
+            ] {
+                std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+                std::fs::write(&path, &corrupt).unwrap();
+                let pair = generate_scaled_cached(spec, options);
+                assert_eq!(pair, fresh, "corrupt cache changed results");
+                // the entry must have been repaired with a valid file
+                assert_eq!(read_pair(&path).unwrap(), fresh);
+            }
+        });
+    }
+
+    #[test]
+    fn unlabeled_series_roundtrip() {
+        with_temp_cache(|_| {
+            let mut train = Dataset::new("u_train");
+            train.push(TimeSeries::new(vec![1.5, -2.25, f64::MIN_POSITIVE]));
+            train.push(TimeSeries::with_label(vec![0.0, -0.0], 3));
+            let test = Dataset::new("u_test");
+            let path = cache_dir().join("unlabeled.bin");
+            write_pair(&path, &(train.clone(), test.clone())).unwrap();
+            let (train2, test2) = read_pair(&path).unwrap();
+            assert_eq!(train2, train);
+            assert_eq!(test2, test);
+            // -0.0 must survive as -0.0 (bit-exact, not value-equal)
+            assert_eq!(
+                train2.series()[1].values()[1].to_bits(),
+                (-0.0f64).to_bits()
+            );
+        });
+    }
+
+    #[test]
+    fn by_name_wrapper_validates_names() {
+        with_temp_cache(|_| {
+            let options = ArchiveOptions::bounded(6, 48, 1);
+            assert!(generate_by_name_scaled_cached("Wine", options).is_ok());
+            assert!(generate_by_name_scaled_cached("Nope", options).is_err());
+        });
+    }
+}

@@ -1,0 +1,625 @@
+//! The micro-batch scheduler.
+//!
+//! Concurrent `POST /models/{name}/classify` requests for one model land in
+//! a bounded queue. A dedicated dispatcher thread coalesces them: it waits
+//! until either [`BatchConfig::max_batch`] series have accumulated or
+//! [`BatchConfig::max_wait`] has elapsed since the oldest queued request,
+//! then extracts features for the whole batch on the shared
+//! [`tsg_parallel::ThreadPool`] — each worker checking one warmed-up
+//! [`MotifWorkspace`] out of a per-model pool and driving
+//! [`extract_series_features_with`] with it, so the motif kernel's scratch
+//! memory survives across batches — and runs the model once over the batch.
+//! Results are fanned back out to the waiting request handlers.
+//!
+//! Backpressure: when the queue already holds [`BatchConfig::queue_depth`]
+//! series, [`Batcher::classify`] returns [`ClassifyError::Saturated`] and
+//! the HTTP layer answers `429 Too Many Requests`.
+//!
+//! Batching never changes results: feature extraction is per-series and
+//! deterministic (workspace reuse is bit-neutral, pinned by the workspace
+//! determinism tests), and the model predicts rows independently — so a
+//! series classified in a batch of 64 gets the same label as one classified
+//! alone. The end-to-end test in `tests/e2e.rs` asserts exactly this against
+//! direct [`MvgClassifier::predict`] calls.
+
+use crate::metrics::ServerMetrics;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use tsg_core::{extract_series_features_with, MvgClassifier};
+use tsg_graph::motifs::MotifWorkspace;
+use tsg_parallel::ThreadPool;
+use tsg_ts::TimeSeries;
+
+/// Tuning knobs of the micro-batch scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Maximum series per dispatched batch.
+    pub max_batch: usize,
+    /// How long the oldest queued request may wait for co-batching.
+    pub max_wait: Duration,
+    /// Maximum queued series before new requests are rejected with 429.
+    pub queue_depth: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 32,
+            max_wait: Duration::from_millis(2),
+            queue_depth: 256,
+        }
+    }
+}
+
+/// Why a classify call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClassifyError {
+    /// The queue is full; the client should retry later (maps to 429).
+    Saturated,
+    /// The batcher is shutting down (maps to 503).
+    ShuttingDown,
+    /// The underlying model failed (maps to 500).
+    Model(String),
+}
+
+impl std::fmt::Display for ClassifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClassifyError::Saturated => write!(f, "classify queue is full"),
+            ClassifyError::ShuttingDown => write!(f, "server is shutting down"),
+            ClassifyError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+/// Result of one classify request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassifyOutput {
+    /// Predicted class label per submitted series.
+    pub predictions: Vec<usize>,
+    /// Class probabilities per series (only when requested).
+    pub probabilities: Option<Vec<Vec<f64>>>,
+    /// Size (in series) of the micro-batch this request was dispatched in —
+    /// observability for how well coalescing works.
+    pub batch_size: usize,
+}
+
+/// One queued classify request.
+struct Job {
+    series: Vec<TimeSeries>,
+    want_proba: bool,
+    slot: Arc<Slot>,
+}
+
+/// Rendezvous between the request handler and the dispatcher.
+struct Slot {
+    result: Mutex<Option<Result<ClassifyOutput, ClassifyError>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Slot> {
+        Arc::new(Slot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, result: Result<ClassifyOutput, ClassifyError>) {
+        *self.result.lock().unwrap() = Some(result);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<ClassifyOutput, ClassifyError> {
+        let mut guard = self.result.lock().unwrap();
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            guard = self.ready.wait(guard).unwrap();
+        }
+    }
+}
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    /// Total series across `jobs` (the backpressure unit).
+    queued_series: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    /// Signalled when a job arrives or shutdown is requested.
+    wake: Condvar,
+    config: BatchConfig,
+    model: Arc<MvgClassifier>,
+    pool: ThreadPool,
+    metrics: Arc<ServerMetrics>,
+    workspaces: WorkspacePool,
+}
+
+/// A checkout pool of [`MotifWorkspace`]s. The `tsg_parallel` pool spawns
+/// fresh scoped worker threads per `map` call, so a `thread_local` workspace
+/// would die with each batch's workers; keeping the warmed-up workspaces
+/// here instead makes the reuse survive across batches (the pool grows to at
+/// most the number of concurrent workers). The checkout lock is touched once
+/// per series, which is noise next to a motif-kernel run.
+#[derive(Default)]
+struct WorkspacePool {
+    stack: Mutex<Vec<MotifWorkspace>>,
+}
+
+impl WorkspacePool {
+    fn with<R>(&self, f: impl FnOnce(&mut MotifWorkspace) -> R) -> R {
+        let mut workspace = self.stack.lock().unwrap().pop().unwrap_or_default();
+        let result = f(&mut workspace);
+        self.stack.lock().unwrap().push(workspace);
+        result
+    }
+}
+
+/// The per-model micro-batch scheduler. Owns one dispatcher thread; dropping
+/// the batcher drains the queue with `ShuttingDown` errors and joins it.
+pub struct Batcher {
+    shared: Arc<Shared>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+    accepting: AtomicBool,
+}
+
+impl Batcher {
+    /// Spawns the dispatcher for a fitted model.
+    pub fn new(
+        model: Arc<MvgClassifier>,
+        config: BatchConfig,
+        pool: ThreadPool,
+        metrics: Arc<ServerMetrics>,
+    ) -> Batcher {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                queued_series: 0,
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            config,
+            model,
+            pool,
+            metrics,
+            workspaces: WorkspacePool::default(),
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("tsg-serve-batcher".into())
+                .spawn(move || dispatch_loop(&shared))
+                .expect("failed to spawn batcher thread")
+        };
+        Batcher {
+            shared,
+            dispatcher: Some(dispatcher),
+            accepting: AtomicBool::new(true),
+        }
+    }
+
+    /// The model this batcher serves.
+    pub fn model(&self) -> &Arc<MvgClassifier> {
+        &self.shared.model
+    }
+
+    /// Submits one request and blocks until its batch has been dispatched.
+    pub fn classify(
+        &self,
+        series: Vec<TimeSeries>,
+        want_proba: bool,
+    ) -> Result<ClassifyOutput, ClassifyError> {
+        if series.is_empty() {
+            return Ok(ClassifyOutput {
+                predictions: Vec::new(),
+                probabilities: want_proba.then(Vec::new),
+                batch_size: 0,
+            });
+        }
+        if !self.accepting.load(Ordering::Acquire) {
+            return Err(ClassifyError::ShuttingDown);
+        }
+        let slot = Slot::new();
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            if queue.shutdown {
+                return Err(ClassifyError::ShuttingDown);
+            }
+            // a single oversized request is still accepted when the queue is
+            // otherwise empty, so queue_depth bounds memory without imposing
+            // a hard cap on request size
+            if queue.queued_series + series.len() > self.shared.config.queue_depth
+                && queue.queued_series > 0
+            {
+                self.shared.metrics.classify_rejected_total.inc();
+                return Err(ClassifyError::Saturated);
+            }
+            queue.queued_series += series.len();
+            queue.jobs.push_back(Job {
+                series,
+                want_proba,
+                slot: Arc::clone(&slot),
+            });
+        }
+        self.shared.wake.notify_one();
+        slot.wait()
+    }
+
+    /// Stops accepting new work, fails queued jobs and joins the dispatcher.
+    pub fn shutdown(&mut self) {
+        self.accepting.store(false, Ordering::Release);
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            queue.shutdown = true;
+            for job in queue.jobs.drain(..) {
+                job.slot.fill(Err(ClassifyError::ShuttingDown));
+            }
+            queue.queued_series = 0;
+        }
+        self.shared.wake.notify_all();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn dispatch_loop(shared: &Shared) {
+    loop {
+        let batch = collect_batch(shared);
+        let Some(batch) = batch else {
+            return; // shutdown with an empty queue
+        };
+        run_batch(shared, batch);
+    }
+}
+
+/// Blocks until at least one job is queued, then keeps collecting jobs until
+/// the batch is full or the oldest job has waited `max_wait`. Returns `None`
+/// on shutdown.
+fn collect_batch(shared: &Shared) -> Option<Vec<Job>> {
+    let mut queue = shared.queue.lock().unwrap();
+    loop {
+        if queue.shutdown {
+            return None;
+        }
+        if !queue.jobs.is_empty() {
+            break;
+        }
+        queue = shared.wake.wait(queue).unwrap();
+    }
+    let deadline = Instant::now() + shared.config.max_wait;
+    loop {
+        if queue.shutdown {
+            return None;
+        }
+        let queued: usize = queue.queued_series;
+        if queued >= shared.config.max_batch {
+            break;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let (next, timeout) = shared.wake.wait_timeout(queue, deadline - now).unwrap();
+        queue = next;
+        if timeout.timed_out() {
+            break;
+        }
+    }
+    // take whole jobs until the batch is full (always at least one job, so
+    // an oversized request still dispatches)
+    let mut batch = Vec::new();
+    let mut batch_series = 0usize;
+    while let Some(job) = queue.jobs.front() {
+        if !batch.is_empty() && batch_series + job.series.len() > shared.config.max_batch {
+            break;
+        }
+        let job = queue.jobs.pop_front().unwrap();
+        batch_series += job.series.len();
+        queue.queued_series -= job.series.len();
+        batch.push(job);
+    }
+    Some(batch)
+}
+
+/// Extracts features for every series of the batch on the pool and runs the
+/// model once, then distributes per-job results.
+///
+/// Panic-safe: a panic anywhere in the compute path (extraction, model,
+/// slicing) is caught and every job's slot is filled with an error, so no
+/// connection handler is ever left waiting on a condvar forever and the
+/// dispatcher thread survives to serve the next batch.
+fn run_batch(shared: &Shared, batch: Vec<Job>) {
+    let batch_size: usize = batch.iter().map(|j| j.series.len()).sum();
+    shared.metrics.classify_batches_total.inc();
+    shared.metrics.classify_series_total.add(batch_size as u64);
+    shared.metrics.batch_size.observe(batch_size as f64);
+
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        compute_batch(shared, &batch, batch_size)
+    }));
+    match outcome {
+        Ok(Ok(outputs)) => {
+            for (job, output) in batch.into_iter().zip(outputs) {
+                job.slot.fill(Ok(output));
+            }
+        }
+        Ok(Err(error)) => {
+            for job in batch {
+                job.slot.fill(Err(error.clone()));
+            }
+        }
+        Err(_) => {
+            let error = ClassifyError::Model("batch dispatch panicked".to_string());
+            for job in batch {
+                job.slot.fill(Err(error.clone()));
+            }
+        }
+    }
+}
+
+/// The compute path of one batch: pooled feature extraction (reusing warmed
+/// workspaces) plus one padded/scaled model pass; probabilities are computed
+/// on the same transformed matrix only when some job asked for them.
+fn compute_batch(
+    shared: &Shared,
+    batch: &[Job],
+    batch_size: usize,
+) -> Result<Vec<ClassifyOutput>, ClassifyError> {
+    let all_series: Vec<&TimeSeries> = batch.iter().flat_map(|j| j.series.iter()).collect();
+    let features = shared.model.config().features.clone();
+    let rows: Vec<Vec<f64>> = shared.pool.map(&all_series, |series| {
+        shared
+            .workspaces
+            .with(|ws| extract_series_features_with(series, &features, ws))
+    });
+
+    let want_any_proba = batch.iter().any(|j| j.want_proba);
+    let (predictions, probabilities) = if want_any_proba {
+        let (p, proba) = shared
+            .model
+            .predict_with_proba_from_feature_rows(rows)
+            .map_err(|e| ClassifyError::Model(e.to_string()))?;
+        (p, Some(proba))
+    } else {
+        let p = shared
+            .model
+            .predict_from_feature_rows(rows)
+            .map_err(|e| ClassifyError::Model(e.to_string()))?;
+        (p, None)
+    };
+    if predictions.len() != batch_size {
+        return Err(ClassifyError::Model(format!(
+            "model returned {} predictions for {batch_size} series",
+            predictions.len()
+        )));
+    }
+
+    let mut outputs = Vec::with_capacity(batch.len());
+    let mut offset = 0usize;
+    for job in batch {
+        let n = job.series.len();
+        outputs.push(ClassifyOutput {
+            predictions: predictions[offset..offset + n].to_vec(),
+            probabilities: if job.want_proba {
+                probabilities
+                    .as_ref()
+                    .map(|p| p[offset..offset + n].to_vec())
+            } else {
+                None
+            },
+            batch_size,
+        });
+        offset += n;
+    }
+    Ok(outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsg_core::{ClassifierChoice, FeatureConfig, MvgConfig};
+    use tsg_ml::gbt::GradientBoostingParams;
+    use tsg_ts::Dataset;
+
+    fn tiny_model() -> Arc<MvgClassifier> {
+        let mut train = Dataset::new("tiny");
+        for i in 0..8 {
+            let label = i % 2;
+            let values: Vec<f64> = (0..64)
+                .map(|t| {
+                    if label == 0 {
+                        ((t as f64) * 0.4).sin()
+                    } else {
+                        ((t * 31 + i * 17) % 23) as f64 / 23.0
+                    }
+                })
+                .collect();
+            train.push(TimeSeries::with_label(values, label));
+        }
+        let config = MvgConfig {
+            features: FeatureConfig::uvg(),
+            classifier: ClassifierChoice::GradientBoosting(GradientBoostingParams {
+                n_estimators: 10,
+                max_depth: 2,
+                ..Default::default()
+            }),
+            oversample: false,
+            n_threads: 1,
+            seed: 1,
+        };
+        let mut clf = MvgClassifier::new(config);
+        clf.fit(&train).unwrap();
+        Arc::new(clf)
+    }
+
+    fn test_series(n: usize) -> Vec<TimeSeries> {
+        (0..n)
+            .map(|i| {
+                TimeSeries::new(
+                    (0..64)
+                        .map(|t| ((t as f64) * 0.1 * (i + 1) as f64).sin())
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    fn batcher(model: &Arc<MvgClassifier>, config: BatchConfig) -> Batcher {
+        Batcher::new(
+            Arc::clone(model),
+            config,
+            ThreadPool::new(2),
+            Arc::new(ServerMetrics::default()),
+        )
+    }
+
+    #[test]
+    fn batched_results_match_direct_predictions() {
+        let model = tiny_model();
+        let series = test_series(6);
+        let direct = model
+            .predict(&Dataset::from_series("q", series.clone()))
+            .unwrap();
+        let b = batcher(&model, BatchConfig::default());
+        let out = b.classify(series, true).unwrap();
+        assert_eq!(out.predictions, direct);
+        let proba = out.probabilities.unwrap();
+        assert_eq!(proba.len(), 6);
+        for p in proba {
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn concurrent_submissions_coalesce_and_match() {
+        let model = tiny_model();
+        let config = BatchConfig {
+            max_batch: 64,
+            max_wait: Duration::from_millis(30),
+            queue_depth: 256,
+        };
+        let b = batcher(&model, config);
+        let series = test_series(12);
+        let direct = model
+            .predict(&Dataset::from_series("q", series.clone()))
+            .unwrap();
+        let results: Vec<(usize, ClassifyOutput)> = std::thread::scope(|scope| {
+            series
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let b = &b;
+                    let s = s.clone();
+                    scope.spawn(move || (i, b.classify(vec![s], false).unwrap()))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let mut coalesced = false;
+        for (i, out) in results {
+            assert_eq!(out.predictions, vec![direct[i]], "series {i}");
+            if out.batch_size > 1 {
+                coalesced = true;
+            }
+        }
+        // 12 concurrent single-series requests with a 30 ms window on a
+        // model whose batch takes ~ms: at least some must share a batch
+        assert!(coalesced, "no request was ever co-batched");
+    }
+
+    #[test]
+    fn saturation_returns_queue_full() {
+        let model = tiny_model();
+        let config = BatchConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            queue_depth: 2,
+        };
+        let metrics = Arc::new(ServerMetrics::default());
+        let b = Batcher::new(
+            Arc::clone(&model),
+            config,
+            ThreadPool::new(1),
+            Arc::clone(&metrics),
+        );
+        // submit from many threads; with depth 2 some must be rejected,
+        // while every accepted one completes correctly
+        let series = test_series(1);
+        let outcomes: Vec<Result<ClassifyOutput, ClassifyError>> = std::thread::scope(|scope| {
+            (0..24)
+                .map(|_| {
+                    let b = &b;
+                    let s = series[0].clone();
+                    scope.spawn(move || b.classify(vec![s], false))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let ok = outcomes.iter().filter(|r| r.is_ok()).count();
+        assert!(ok >= 1, "at least one request must be served");
+        for outcome in outcomes {
+            if let Err(e) = outcome {
+                assert_eq!(e, ClassifyError::Saturated);
+            }
+        }
+        assert_eq!(
+            metrics.classify_rejected_total.get() as usize,
+            24 - ok,
+            "every non-ok outcome must be a counted rejection"
+        );
+    }
+
+    #[test]
+    fn oversized_request_still_dispatches() {
+        let model = tiny_model();
+        let config = BatchConfig {
+            max_batch: 2,
+            max_wait: Duration::from_millis(1),
+            queue_depth: 4,
+        };
+        let b = batcher(&model, config);
+        let series = test_series(7); // bigger than both max_batch and depth
+        let direct = model
+            .predict(&Dataset::from_series("q", series.clone()))
+            .unwrap();
+        let out = b.classify(series, false).unwrap();
+        assert_eq!(out.predictions, direct);
+        assert_eq!(out.batch_size, 7);
+    }
+
+    #[test]
+    fn empty_request_short_circuits() {
+        let model = tiny_model();
+        let b = batcher(&model, BatchConfig::default());
+        let out = b.classify(Vec::new(), true).unwrap();
+        assert!(out.predictions.is_empty());
+        assert_eq!(out.probabilities, Some(Vec::new()));
+        assert_eq!(out.batch_size, 0);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work() {
+        let model = tiny_model();
+        let mut b = batcher(&model, BatchConfig::default());
+        b.shutdown();
+        let err = b.classify(test_series(1), false).unwrap_err();
+        assert_eq!(err, ClassifyError::ShuttingDown);
+    }
+}

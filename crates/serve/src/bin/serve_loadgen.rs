@@ -1,0 +1,332 @@
+//! `serve_loadgen` — load-generator harness for `tsg-serve`.
+//!
+//! Drives N concurrent keep-alive connections against a running server,
+//! sending deterministic synthetic series to `POST /models/{name}/classify`,
+//! and reports sustained throughput plus latency percentiles — so serving
+//! performance is measured the same way the motif kernel already is
+//! (numbers first, then tuning).
+//!
+//! ```sh
+//! serve_loadgen --addr 127.0.0.1:7878 [--model default] [--connections 8]
+//!               [--requests 400] [--series-per-request 1] [--series-len 128]
+//!               [--fit DATASET] [--config uvg-fast] [--seed 7]
+//! ```
+//!
+//! With `--fit DATASET` the model is fitted (or refitted) through the wire
+//! API before the measurement starts. 429 responses are counted separately:
+//! they are the server's backpressure working as designed, not a failure.
+//! After the run the tool scrapes `/metrics` and prints the server-side
+//! realized batch-size distribution, which shows how well micro-batching
+//! coalesced the concurrent stream.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+use tsg_serve::http;
+use tsg_serve::json::Json;
+
+struct Args {
+    addr: String,
+    model: String,
+    connections: usize,
+    requests: usize,
+    series_per_request: usize,
+    series_len: usize,
+    fit_dataset: Option<String>,
+    config_name: String,
+    seed: u64,
+    max_instances: usize,
+    max_length: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: String::new(),
+        model: "default".to_string(),
+        connections: 8,
+        requests: 400,
+        series_per_request: 1,
+        series_len: 128,
+        fit_dataset: None,
+        config_name: "uvg-fast".to_string(),
+        seed: 7,
+        max_instances: 24,
+        max_length: 128,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("flag `{}` needs a value", argv[*i - 1]))
+    };
+    let positive = |text: String, flag: &str| -> Result<usize, String> {
+        text.parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("{flag} expects a positive number"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => args.addr = value(&mut i)?,
+            "--model" => args.model = value(&mut i)?,
+            "--connections" => args.connections = positive(value(&mut i)?, "--connections")?,
+            "--requests" => args.requests = positive(value(&mut i)?, "--requests")?,
+            "--series-per-request" => {
+                args.series_per_request = positive(value(&mut i)?, "--series-per-request")?
+            }
+            "--series-len" => args.series_len = positive(value(&mut i)?, "--series-len")?,
+            "--fit" => args.fit_dataset = Some(value(&mut i)?),
+            "--config" => args.config_name = value(&mut i)?,
+            "--max-instances" => args.max_instances = positive(value(&mut i)?, "--max-instances")?,
+            "--max-length" => args.max_length = positive(value(&mut i)?, "--max-length")?,
+            "--seed" => {
+                args.seed = value(&mut i)?
+                    .parse()
+                    .map_err(|_| "--seed expects a number".to_string())?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "serve_loadgen: load generator for tsg-serve\n\n\
+                     flags:\n  \
+                     --addr HOST:PORT        server address (required)\n  \
+                     --model NAME            model to classify against (default `default`)\n  \
+                     --connections N         concurrent keep-alive connections (default 8)\n  \
+                     --requests N            total requests across all connections (default 400)\n  \
+                     --series-per-request N  series per classify request (default 1)\n  \
+                     --series-len N          length of each synthetic series (default 128)\n  \
+                     --fit DATASET           fit the model from this catalogue dataset first\n  \
+                     --config NAME           preset for --fit (default uvg-fast)\n  \
+                     --max-instances N       training budget for --fit (default 24)\n  \
+                     --max-length N          training series length budget for --fit (default 128)\n  \
+                     --seed N                series + fit seed (default 7)"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+        i += 1;
+    }
+    if args.addr.is_empty() {
+        return Err("--addr is required".to_string());
+    }
+    Ok(args)
+}
+
+/// SplitMix64: small deterministic generator so the load is reproducible
+/// without pulling the rand crates into the binary.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// A plausible series: a sine of seeded frequency/phase plus seeded noise.
+fn synthetic_series(seed: u64, len: usize) -> Vec<f64> {
+    let mut state = seed;
+    let unit = |state: &mut u64| (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64;
+    let frequency = 4.0 + 28.0 * unit(&mut state);
+    let phase = std::f64::consts::TAU * unit(&mut state);
+    let noise = 0.05 + 0.3 * unit(&mut state);
+    (0..len)
+        .map(|t| {
+            let angle = std::f64::consts::TAU * frequency * t as f64 / len as f64 + phase;
+            angle.sin() + noise * (2.0 * unit(&mut state) - 1.0)
+        })
+        .collect()
+}
+
+#[derive(Default)]
+struct WorkerStats {
+    latencies_micros: Vec<u64>,
+    ok: usize,
+    backpressure: usize,
+    errors: usize,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank] as f64 / 1000.0
+}
+
+fn connect(addr: &str) -> std::io::Result<(TcpStream, BufReader<TcpStream>)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let reader = BufReader::new(stream.try_clone()?);
+    Ok((stream, reader))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    if let Some(dataset) = &args.fit_dataset {
+        let (mut stream, mut reader) = match connect(&args.addr) {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("error: cannot connect to {}: {e}", args.addr);
+                std::process::exit(1);
+            }
+        };
+        let body = Json::obj(vec![
+            ("dataset", Json::Str(dataset.clone())),
+            ("config", Json::Str(args.config_name.clone())),
+            ("seed", Json::Num(args.seed as f64)),
+            ("max_instances", Json::Num(args.max_instances as f64)),
+            ("max_length", Json::Num(args.max_length as f64)),
+        ]);
+        let path = format!("/models/{}/fit", args.model);
+        match http::roundtrip_json(&mut stream, &mut reader, "POST", &path, Some(&body)) {
+            Ok((200, info)) => println!(
+                "fitted `{}` from {dataset}: {} features, {:.2} s",
+                args.model,
+                info.get("n_features")
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0),
+                info.get("fit_seconds")
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0),
+            ),
+            Ok((status, body)) => {
+                eprintln!("error: fit returned {status}: {body}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("error: fit request failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let remaining = AtomicUsize::new(args.requests);
+    let started = Instant::now();
+    let stats: Vec<WorkerStats> = std::thread::scope(|scope| {
+        (0..args.connections)
+            .map(|worker| {
+                let args = &args;
+                let remaining = &remaining;
+                scope.spawn(move || {
+                    let mut stats = WorkerStats::default();
+                    let Ok((mut stream, mut reader)) = connect(&args.addr) else {
+                        stats.errors += 1;
+                        return stats;
+                    };
+                    let path = format!("/models/{}/classify", args.model);
+                    let mut request_index = 0u64;
+                    while remaining
+                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                        .is_ok()
+                    {
+                        request_index += 1;
+                        let series: Vec<Json> = (0..args.series_per_request)
+                            .map(|s| {
+                                let seed = args
+                                    .seed
+                                    .wrapping_add((worker as u64) << 40)
+                                    .wrapping_add(request_index << 8)
+                                    .wrapping_add(s as u64);
+                                Json::nums(synthetic_series(seed, args.series_len))
+                            })
+                            .collect();
+                        let body = Json::obj(vec![("series", Json::Arr(series))]);
+                        let sent = Instant::now();
+                        match http::roundtrip_json(
+                            &mut stream,
+                            &mut reader,
+                            "POST",
+                            &path,
+                            Some(&body),
+                        ) {
+                            Ok((200, _)) => {
+                                stats
+                                    .latencies_micros
+                                    .push(sent.elapsed().as_micros() as u64);
+                                stats.ok += 1;
+                            }
+                            Ok((429, _)) => stats.backpressure += 1,
+                            Ok((status, body)) => {
+                                eprintln!("request failed with {status}: {body}");
+                                stats.errors += 1;
+                            }
+                            Err(e) => {
+                                eprintln!("transport error: {e}");
+                                stats.errors += 1;
+                                // reconnect and continue
+                                match connect(&args.addr) {
+                                    Ok(pair) => (stream, reader) = pair,
+                                    Err(_) => return stats,
+                                }
+                            }
+                        }
+                    }
+                    stats
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|handle| handle.join().expect("worker panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<u64> = stats
+        .iter()
+        .flat_map(|s| s.latencies_micros.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let ok: usize = stats.iter().map(|s| s.ok).sum();
+    let backpressure: usize = stats.iter().map(|s| s.backpressure).sum();
+    let errors: usize = stats.iter().map(|s| s.errors).sum();
+    let series_done = ok * args.series_per_request;
+
+    println!(
+        "serve_loadgen: {ok} ok / {backpressure} backpressure (429) / {errors} errors over {} connections in {elapsed:.2} s",
+        args.connections
+    );
+    if ok > 0 {
+        println!(
+            "throughput: {:.1} req/s, {:.1} series/s",
+            ok as f64 / elapsed,
+            series_done as f64 / elapsed
+        );
+        println!(
+            "latency: p50 {:.2} ms  p90 {:.2} ms  p99 {:.2} ms  max {:.2} ms",
+            percentile(&latencies, 0.50),
+            percentile(&latencies, 0.90),
+            percentile(&latencies, 0.99),
+            percentile(&latencies, 1.0),
+        );
+    }
+
+    // scrape the realized batch-size distribution from the server
+    if let Ok((mut stream, mut reader)) = connect(&args.addr) {
+        if http::send_request(&mut stream, "GET", "/metrics", None).is_ok() {
+            if let Ok((200, body)) = http::read_response(&mut reader) {
+                let text = String::from_utf8_lossy(&body);
+                println!("server batch-size distribution (from /metrics):");
+                for line in text
+                    .lines()
+                    .filter(|l| l.starts_with("tsg_serve_batch_size"))
+                {
+                    println!("  {line}");
+                }
+            }
+        }
+    }
+
+    if ok == 0 || errors > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,166 @@
+//! `tsg-serve` — the batching classification server binary.
+//!
+//! ```sh
+//! tsg-serve [--addr 127.0.0.1:7878] [--threads N] [--max-batch 32]
+//!           [--max-wait-ms 2] [--queue-depth 256]
+//!           [--preload NAME[,NAME...]] [--config fast|paper|uvg-fast]
+//!           [--max-instances N] [--max-length N] [--seed N]
+//! ```
+//!
+//! `--preload` fits the named catalogue datasets before the listener starts
+//! serving (model name = dataset name). `--addr 127.0.0.1:0` binds an
+//! ephemeral port; the actual address is printed on the `listening on` line,
+//! which scripts (and the CI smoke test) parse. Stop the server with
+//! `POST /shutdown`.
+
+use std::time::Duration;
+use tsg_serve::registry::TrainingSource;
+use tsg_serve::server::{ServeConfig, Server};
+
+struct Args {
+    serve: ServeConfig,
+    preload: Vec<String>,
+    config_name: String,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        serve: ServeConfig::default(),
+        preload: Vec::new(),
+        config_name: "fast".to_string(),
+        seed: 7,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("flag `{}` needs a value", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => args.serve.addr = value(&mut i)?,
+            "--threads" => {
+                args.serve.n_threads = value(&mut i)?
+                    .parse()
+                    .map_err(|_| "--threads expects a number".to_string())?
+            }
+            "--max-batch" => {
+                args.serve.batch.max_batch = value(&mut i)?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "--max-batch expects a positive number".to_string())?
+            }
+            "--max-wait-ms" => {
+                let ms: u64 = value(&mut i)?
+                    .parse()
+                    .map_err(|_| "--max-wait-ms expects a number".to_string())?;
+                args.serve.batch.max_wait = Duration::from_millis(ms);
+            }
+            "--queue-depth" => {
+                args.serve.batch.queue_depth = value(&mut i)?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "--queue-depth expects a positive number".to_string())?
+            }
+            "--preload" => {
+                args.preload
+                    .extend(value(&mut i)?.split(',').map(|s| s.trim().to_string()));
+            }
+            "--config" => args.config_name = value(&mut i)?,
+            "--max-instances" => {
+                let n: usize = value(&mut i)?
+                    .parse()
+                    .map_err(|_| "--max-instances expects a number".to_string())?;
+                args.serve.archive.max_train = n;
+                args.serve.archive.max_test = n;
+            }
+            "--max-length" => {
+                args.serve.archive.max_length = value(&mut i)?
+                    .parse()
+                    .map_err(|_| "--max-length expects a number".to_string())?
+            }
+            "--seed" => {
+                args.seed = value(&mut i)?
+                    .parse()
+                    .map_err(|_| "--seed expects a number".to_string())?;
+                args.serve.archive.seed = args.seed;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "tsg-serve: batching classification server\n\n\
+                     flags:\n  \
+                     --addr HOST:PORT    bind address (default 127.0.0.1:7878; port 0 = ephemeral)\n  \
+                     --threads N         extraction pool workers (0 = process default)\n  \
+                     --max-batch N       max series per micro-batch (default 32)\n  \
+                     --max-wait-ms N     max co-batching wait for the oldest request (default 2)\n  \
+                     --queue-depth N     queued series before 429 backpressure (default 256)\n  \
+                     --preload A,B,...   fit catalogue datasets before serving\n  \
+                     --config NAME       preset for preloads: fast | paper | uvg-fast (default fast)\n  \
+                     --max-instances N   dataset budget for catalogue fits\n  \
+                     --max-length N      series length budget for catalogue fits\n  \
+                     --seed N            fit seed (default 7)"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let server = match Server::bind(args.serve.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: failed to bind {}: {e}", args.serve.addr);
+            std::process::exit(1);
+        }
+    };
+    for name in &args.preload {
+        let source = TrainingSource::Catalogue {
+            dataset: name.clone(),
+            options: args.serve.archive,
+        };
+        match server
+            .registry()
+            .fit(name, source, &args.config_name, args.seed)
+        {
+            Ok(info) => println!(
+                "fitted model `{name}` ({} config, {} train series, {} classes, {} features) in {:.2} s",
+                info.config, info.n_train, info.n_classes, info.n_features, info.fit_seconds
+            ),
+            Err(e) => {
+                eprintln!("error: preload of `{name}` failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let addr = server.local_addr().expect("listener has an address");
+    let batch = args.serve.batch;
+    println!(
+        "tsg-serve listening on http://{addr} (max batch {}, max wait {:?}, queue depth {})",
+        batch.max_batch, batch.max_wait, batch.queue_depth
+    );
+    // line-buffered stdout under redirection: flush so the CI smoke test can
+    // grep the address before the first request arrives
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    if let Err(e) = server.run() {
+        eprintln!("error: server failed: {e}");
+        std::process::exit(1);
+    }
+    println!("tsg-serve stopped cleanly");
+}

@@ -1,0 +1,504 @@
+//! A minimal HTTP/1.1 implementation over `std::net`.
+//!
+//! The build environment has no crates.io access, so the server hand-rolls
+//! the small slice of HTTP it needs: request-line + header parsing,
+//! `Content-Length` bodies, keep-alive, and response writing. A matching
+//! client half ([`send_request`] / [`read_response`]) is used by the
+//! load-generator binary and the end-to-end tests, so both sides of the wire
+//! live next to each other.
+
+use crate::json::Json;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Upper bound on an accepted request body (covers inline training sets for
+/// generously sized datasets while bounding memory per connection).
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// Upper bound on the header section of a request.
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path (query string stripped).
+    pub path: String,
+    /// Lowercased header names with their values.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Looks up a header by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked for the connection to stay open after this
+    /// request (HTTP/1.1 default unless `Connection: close`).
+    pub fn keep_alive(&self) -> bool {
+        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+    }
+
+    /// Parses the body as JSON.
+    pub fn json_body(&self) -> Result<Json, String> {
+        let text = std::str::from_utf8(&self.body).map_err(|_| "body is not UTF-8".to_string())?;
+        Json::parse(text).map_err(|e| e.to_string())
+    }
+}
+
+/// Outcome of one attempt to read a request from a keep-alive connection.
+#[derive(Debug)]
+pub enum RequestOutcome {
+    /// A complete request was read.
+    Request(Request),
+    /// The peer closed the connection before sending another request.
+    Closed,
+    /// The read timed out before the first byte of a request arrived; the
+    /// connection is still healthy (the caller typically checks its shutdown
+    /// flag and retries).
+    Idle,
+}
+
+/// Per-request budget for slow senders. Socket read timeouts are short (the
+/// server uses them to poll its shutdown flag on idle connections), so a
+/// request that has *started* tolerates individual timeouts and only fails
+/// once this much wall time has passed since its first byte — a stalling WAN
+/// upload is not cut off after one short timeout.
+const MID_REQUEST_BUDGET: Duration = Duration::from_secs(30);
+
+/// Tracks whether a request has started and how long it may still take.
+struct TimeoutBudget {
+    deadline: Option<Instant>,
+}
+
+impl TimeoutBudget {
+    fn new() -> TimeoutBudget {
+        TimeoutBudget { deadline: None }
+    }
+
+    /// Marks the request as started (first byte seen).
+    fn start(&mut self) {
+        if self.deadline.is_none() {
+            self.deadline = Some(Instant::now() + MID_REQUEST_BUDGET);
+        }
+    }
+
+    /// Whether a timeout error should be retried rather than propagated.
+    fn tolerates_timeout(&self) -> bool {
+        matches!(self.deadline, Some(d) if Instant::now() < d)
+    }
+}
+
+/// Reads one request. `Idle` is only reported when the timeout fires before
+/// any byte of the request was seen; once a request has started, timeouts
+/// are retried until [`MID_REQUEST_BUDGET`] is exhausted, after which they
+/// are errors (the connection is no longer aligned to message boundaries).
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<RequestOutcome> {
+    let mut budget = TimeoutBudget::new();
+    let mut line = Vec::new();
+    match read_crlf_line(reader, &mut line, MAX_HEADER_BYTES, &mut budget) {
+        Ok(0) => return Ok(RequestOutcome::Closed),
+        Ok(_) => {}
+        Err(e) if is_timeout(&e) && line.is_empty() => return Ok(RequestOutcome::Idle),
+        Err(e) => return Err(e),
+    }
+    let request_line = String::from_utf8(line)
+        .map_err(|_| bad_request("request line is not UTF-8"))?
+        .trim_end()
+        .to_string();
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| bad_request("empty request line"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| bad_request("missing request target"))?;
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad_request("unsupported HTTP version"));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    let mut header_bytes = 0usize;
+    loop {
+        let mut line = Vec::new();
+        let n = read_crlf_line(reader, &mut line, MAX_HEADER_BYTES, &mut budget)?;
+        if n == 0 {
+            return Err(bad_request("connection closed inside headers"));
+        }
+        header_bytes += n;
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(bad_request("header section too large"));
+        }
+        let text = String::from_utf8(line).map_err(|_| bad_request("header is not UTF-8"))?;
+        let text = text.trim_end();
+        if text.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = text.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| bad_request("invalid Content-Length"))?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(bad_request("body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    read_exact_budgeted(reader, &mut body, &mut budget)?;
+    Ok(RequestOutcome::Request(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+/// Reads bytes up to and including `\n` (headers are CRLF-delimited, but a
+/// bare `\n` is tolerated). Returns the number of bytes read; `0` means EOF.
+fn read_crlf_line(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut Vec<u8>,
+    max: usize,
+    budget: &mut TimeoutBudget,
+) -> std::io::Result<usize> {
+    let mut total = 0usize;
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => return Ok(total),
+            Ok(_) => {
+                budget.start();
+                total += 1;
+                if total > max {
+                    return Err(bad_request("line too long"));
+                }
+                if byte[0] == b'\n' {
+                    return Ok(total);
+                }
+                line.push(byte[0]);
+            }
+            Err(e) if is_timeout(&e) && budget.tolerates_timeout() => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// `read_exact` that retries socket timeouts within the request's budget.
+fn read_exact_budgeted(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut [u8],
+    budget: &mut TimeoutBudget,
+) -> std::io::Result<()> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => return Err(bad_request("connection closed inside body")),
+            Ok(n) => {
+                budget.start();
+                filled += n;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) && budget.tolerates_timeout() => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+fn bad_request(message: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message.to_string())
+}
+
+/// Whether an I/O error is a read timeout (platform-dependent kind).
+pub fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// An HTTP response ready to be written to a stream.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, value: &Json) -> Response {
+        let mut body = value.write().into_bytes();
+        body.push(b'\n');
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// A JSON error response with a standard `{"error": ...}` shape.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(
+            status,
+            &Json::obj(vec![("error", Json::Str(message.to_string()))]),
+        )
+    }
+
+    /// A plain-text response (used by `/metrics`).
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// Writes the response; `keep_alive` selects the `Connection` header.
+    pub fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> std::io::Result<()> {
+        let connection = if keep_alive { "keep-alive" } else { "close" };
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            reason_phrase(self.status),
+            self.content_type,
+            self.body.len(),
+            connection,
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Reason phrases for the status codes the server emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Client half: writes a request (JSON body optional) on an open stream.
+pub fn send_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: Option<&Json>,
+) -> std::io::Result<()> {
+    let body_bytes = body.map(|b| b.write().into_bytes()).unwrap_or_default();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: tsg-serve\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        body_bytes.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&body_bytes)?;
+    stream.flush()
+}
+
+/// Client half: reads one response, returning `(status, body)`.
+pub fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<(u16, Vec<u8>)> {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad_request("malformed status line"))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad_request("connection closed inside response headers"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad_request("invalid Content-Length"))?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok((status, body))
+}
+
+/// Client convenience: one request/response round-trip with a JSON reply.
+pub fn roundtrip_json(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    method: &str,
+    path: &str,
+    body: Option<&Json>,
+) -> std::io::Result<(u16, Json)> {
+    send_request(stream, method, path, body)?;
+    let (status, bytes) = read_response(reader)?;
+    let text = String::from_utf8(bytes).map_err(|_| bad_request("response body is not UTF-8"))?;
+    let json = Json::parse(text.trim())
+        .map_err(|e| bad_request(&format!("response body is not JSON: {e}")))?;
+    Ok((status, json))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Drives `read_request` over a real socket pair.
+    fn parse_raw(raw: &[u8]) -> std::io::Result<RequestOutcome> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(&raw).unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream);
+        let outcome = read_request(&mut reader);
+        writer.join().unwrap();
+        outcome
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /models/m/classify HTTP/1.1\r\nHost: x\r\nContent-Length: 15\r\n\r\n{\"series\": [[]]}";
+        // note: Content-Length intentionally one short of the full body to
+        // check exact-length reads; 15 bytes of the 16-byte body
+        match parse_raw(raw).unwrap() {
+            RequestOutcome::Request(r) => {
+                assert_eq!(r.method, "POST");
+                assert_eq!(r.path, "/models/m/classify");
+                assert_eq!(r.body.len(), 15);
+                assert!(r.keep_alive());
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_string_is_stripped_and_close_honoured() {
+        let raw = b"GET /metrics?verbose=1 HTTP/1.1\r\nConnection: close\r\n\r\n";
+        match parse_raw(raw).unwrap() {
+            RequestOutcome::Request(r) => {
+                assert_eq!(r.path, "/metrics");
+                assert!(!r.keep_alive());
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slow_sender_within_budget_is_not_cut_off() {
+        // the socket read timeout is much shorter than the sender's stall;
+        // the per-request budget must carry the read across it
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .write_all(b"POST /x HTTP/1.1\r\nContent-Length: 4\r\n\r\nab")
+                .unwrap();
+            std::thread::sleep(Duration::from_millis(150));
+            stream.write_all(b"cd").unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(20)))
+            .unwrap();
+        let mut reader = BufReader::new(stream);
+        match read_request(&mut reader).unwrap() {
+            RequestOutcome::Request(r) => assert_eq!(r.body, b"abcd"),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn eof_before_request_is_closed() {
+        assert!(matches!(parse_raw(b"").unwrap(), RequestOutcome::Closed));
+    }
+
+    #[test]
+    fn rejects_bad_version_and_bad_length() {
+        assert!(parse_raw(b"GET / SPDY/3\r\n\r\n").is_err());
+        assert!(parse_raw(b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn response_roundtrips_through_client_reader() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let outcome = read_request(&mut reader).unwrap();
+            let RequestOutcome::Request(request) = outcome else {
+                panic!("expected request");
+            };
+            assert_eq!(
+                request.json_body().unwrap().get("x").unwrap().as_f64(),
+                Some(2.0)
+            );
+            Response::json(200, &Json::obj(vec![("ok", Json::Bool(true))]))
+                .write_to(&mut stream, request.keep_alive())
+                .unwrap();
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let (status, json) = roundtrip_json(
+            &mut stream,
+            &mut reader,
+            "POST",
+            "/echo",
+            Some(&Json::obj(vec![("x", Json::Num(2.0))])),
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(json.get("ok").unwrap().as_bool(), Some(true));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn reason_phrases_cover_served_codes() {
+        for code in [200, 400, 404, 405, 408, 413, 429, 500, 501, 503] {
+            assert_ne!(reason_phrase(code), "Unknown");
+        }
+        assert_eq!(reason_phrase(418), "Unknown");
+    }
+}

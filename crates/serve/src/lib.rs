@@ -1,0 +1,44 @@
+//! # tsg-serve — the batching classification server
+//!
+//! The paper's pitch is *efficient* classification: fit once, then classify
+//! cheaply at scale. This crate exposes the fitted pipeline as a service —
+//! the repo's first serving layer on the road to the production north star.
+//! It is built entirely on `std` (the environment has no crates.io access):
+//! hand-rolled HTTP/1.1 over `std::net::TcpListener` ([`http`]), a minimal
+//! JSON reader/writer ([`json`]), and plain threads + condvars for the
+//! scheduler.
+//!
+//! Four layers:
+//!
+//! * [`registry`] — named, fitted [`MvgClassifier`](tsg_core::MvgClassifier)
+//!   instances behind `Arc`s, fitted from the [`tsg_datasets`] catalogue
+//!   (through its on-disk cache) or from series supplied in the request;
+//! * [`batcher`] — a micro-batch scheduler per model: concurrent classify
+//!   requests coalesce into batches (tunable max size / max wait), each
+//!   batch extracts features on the shared [`tsg_parallel::ThreadPool`] with
+//!   per-worker [`MotifWorkspace`](tsg_graph::motifs::MotifWorkspace) reuse,
+//!   and a bounded queue applies backpressure (HTTP 429) when saturated;
+//! * [`metrics`] — request counters, latency histograms and the realized
+//!   batch-size distribution at `/metrics`;
+//! * [`server`] — routing, keep-alive connection handling and graceful
+//!   shutdown, used by the `tsg-serve` binary; the `serve_loadgen` binary
+//!   drives N concurrent connections against it and reports throughput and
+//!   latency percentiles.
+//!
+//! Batching is *bit-neutral*: a series classified in a batch of 64 gets
+//! exactly the prediction a direct
+//! [`MvgClassifier::predict`](tsg_core::MvgClassifier::predict) call
+//! produces (`tests/e2e.rs` proves this over concurrent connections).
+
+pub mod batcher;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+
+pub use batcher::{BatchConfig, Batcher, ClassifyError, ClassifyOutput};
+pub use json::Json;
+pub use metrics::ServerMetrics;
+pub use registry::{config_named, ModelInfo, ModelRegistry, TrainingSource, CONFIG_PRESETS};
+pub use server::{ServeConfig, Server, ShutdownHandle};

@@ -1,0 +1,256 @@
+//! Server observability: request counters, a latency histogram and the
+//! realized micro-batch-size distribution, rendered in the Prometheus text
+//! exposition format at `/metrics`.
+//!
+//! Everything is lock-free (`AtomicU64`) so the hot classify path never
+//! serialises on a metrics mutex. Histogram sums are accumulated in
+//! micro-units (`value * 1e6` rounded) to stay in integer atomics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-bucket cumulative histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One counter per bound plus the `+Inf` bucket.
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending upper bounds.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        let bucket = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        let micros = (value * 1e6).round().max(0.0) as u64;
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Renders the histogram in Prometheus text format (cumulative buckets).
+    fn render(&self, name: &str, out: &mut String) {
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, bound) in self.bounds.iter().enumerate() {
+            cumulative += self.counts[i].load(Ordering::Relaxed);
+            out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+        }
+        cumulative += self.counts[self.bounds.len()].load(Ordering::Relaxed);
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!("{name}_sum {}\n", self.sum()));
+        out.push_str(&format!("{name}_count {}\n", self.count()));
+    }
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// All metrics exported by the server.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    /// Total HTTP requests accepted (any route).
+    pub requests_total: Counter,
+    /// Responses by status class: `[2xx, 4xx, 5xx]`.
+    pub responses_2xx: Counter,
+    /// 4xx responses.
+    pub responses_4xx: Counter,
+    /// 5xx responses.
+    pub responses_5xx: Counter,
+    /// Classify requests that entered the batch queue.
+    pub classify_requests_total: Counter,
+    /// Individual series classified.
+    pub classify_series_total: Counter,
+    /// Dispatched micro-batches.
+    pub classify_batches_total: Counter,
+    /// Classify requests rejected with 429 (queue saturated).
+    pub classify_rejected_total: Counter,
+    /// Models fitted since startup.
+    pub models_fitted_total: Counter,
+    /// End-to-end request latency in seconds (all routes).
+    pub request_latency_seconds: Histogram,
+    /// Classify request latency in seconds (queue wait + batch compute).
+    pub classify_latency_seconds: Histogram,
+    /// Series per dispatched micro-batch.
+    pub batch_size: Histogram,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        ServerMetrics {
+            requests_total: Counter::default(),
+            responses_2xx: Counter::default(),
+            responses_4xx: Counter::default(),
+            responses_5xx: Counter::default(),
+            classify_requests_total: Counter::default(),
+            classify_series_total: Counter::default(),
+            classify_batches_total: Counter::default(),
+            classify_rejected_total: Counter::default(),
+            models_fitted_total: Counter::default(),
+            request_latency_seconds: Histogram::new(&[
+                0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+                10.0,
+            ]),
+            classify_latency_seconds: Histogram::new(&[
+                0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+                10.0,
+            ]),
+            batch_size: Histogram::new(&[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0]),
+        }
+    }
+}
+
+impl ServerMetrics {
+    /// Records the status class of a finished response.
+    pub fn record_status(&self, status: u16) {
+        match status {
+            200..=299 => self.responses_2xx.inc(),
+            400..=499 => self.responses_4xx.inc(),
+            _ => self.responses_5xx.inc(),
+        }
+    }
+
+    /// Renders every metric in Prometheus text format.
+    pub fn render(&self, n_models: usize, uptime_seconds: f64) -> String {
+        let mut out = String::new();
+        let counters: [(&str, &Counter); 9] = [
+            ("tsg_serve_requests_total", &self.requests_total),
+            ("tsg_serve_responses_2xx_total", &self.responses_2xx),
+            ("tsg_serve_responses_4xx_total", &self.responses_4xx),
+            ("tsg_serve_responses_5xx_total", &self.responses_5xx),
+            (
+                "tsg_serve_classify_requests_total",
+                &self.classify_requests_total,
+            ),
+            (
+                "tsg_serve_classify_series_total",
+                &self.classify_series_total,
+            ),
+            (
+                "tsg_serve_classify_batches_total",
+                &self.classify_batches_total,
+            ),
+            (
+                "tsg_serve_classify_rejected_total",
+                &self.classify_rejected_total,
+            ),
+            ("tsg_serve_models_fitted_total", &self.models_fitted_total),
+        ];
+        for (name, counter) in counters {
+            out.push_str(&format!(
+                "# TYPE {name} counter\n{name} {}\n",
+                counter.get()
+            ));
+        }
+        out.push_str(&format!(
+            "# TYPE tsg_serve_models gauge\ntsg_serve_models {n_models}\n"
+        ));
+        out.push_str(&format!(
+            "# TYPE tsg_serve_uptime_seconds gauge\ntsg_serve_uptime_seconds {uptime_seconds}\n"
+        ));
+        self.request_latency_seconds
+            .render("tsg_serve_request_latency_seconds", &mut out);
+        self.classify_latency_seconds
+            .render("tsg_serve_classify_latency_seconds", &mut out);
+        self.batch_size.render("tsg_serve_batch_size", &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.0, 1.5, 3.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 106.0).abs() < 1e-6);
+        let mut out = String::new();
+        h.render("x", &mut out);
+        assert!(out.contains("x_bucket{le=\"1\"} 2\n"), "{out}");
+        assert!(out.contains("x_bucket{le=\"2\"} 3\n"), "{out}");
+        assert!(out.contains("x_bucket{le=\"4\"} 4\n"), "{out}");
+        assert!(out.contains("x_bucket{le=\"+Inf\"} 5\n"), "{out}");
+        assert!(out.contains("x_count 5\n"), "{out}");
+    }
+
+    #[test]
+    fn counters_and_status_classes() {
+        let m = ServerMetrics::default();
+        m.requests_total.add(3);
+        m.record_status(200);
+        m.record_status(404);
+        m.record_status(429);
+        m.record_status(503);
+        assert_eq!(m.responses_2xx.get(), 1);
+        assert_eq!(m.responses_4xx.get(), 2);
+        assert_eq!(m.responses_5xx.get(), 1);
+        let text = m.render(2, 1.5);
+        assert!(text.contains("tsg_serve_requests_total 3\n"));
+        assert!(text.contains("tsg_serve_models 2\n"));
+        assert!(text.contains("tsg_serve_batch_size_count 0\n"));
+    }
+
+    #[test]
+    fn concurrent_observations_are_not_lost() {
+        let h = std::sync::Arc::new(Histogram::new(&[0.5]));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let h = std::sync::Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        h.observe(if i % 2 == 0 { 0.1 } else { 0.9 });
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+    }
+}

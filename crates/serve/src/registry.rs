@@ -1,0 +1,360 @@
+//! The model registry: named, fitted [`MvgClassifier`] instances behind
+//! `Arc`s, each with its own micro-batch scheduler.
+//!
+//! Models are fitted either from the [`tsg_datasets`] catalogue (training
+//! splits come from the on-disk dataset cache, so refitting a known dataset
+//! does not regenerate its series) or from training series supplied inline
+//! in the fit request. Fitting replaces an existing model of the same name
+//! atomically: in-flight requests against the old model finish on the old
+//! batcher before it is torn down.
+
+use crate::batcher::{BatchConfig, Batcher, ClassifyError, ClassifyOutput};
+use crate::metrics::ServerMetrics;
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+use tsg_core::{ClassifierChoice, FeatureConfig, MvgClassifier, MvgConfig};
+use tsg_datasets::archive::ArchiveOptions;
+use tsg_ml::gbt::GradientBoostingParams;
+use tsg_parallel::ThreadPool;
+use tsg_ts::Dataset;
+
+/// Named classifier presets exposed on the wire (`"config"` field of a fit
+/// request). Kept as a function of `(name, seed, n_threads)` so a client and
+/// an in-process test can construct the *identical* configuration.
+pub fn config_named(name: &str, seed: u64, n_threads: usize) -> Option<MvgConfig> {
+    let base = match name {
+        // full MVG features, small fixed booster — the serving default
+        "fast" => MvgConfig::fast(),
+        // the paper's grid-searched configuration (slow to fit)
+        "paper" => MvgConfig::paper(),
+        // uniscale features with a small booster — cheapest to fit and serve
+        "uvg-fast" => MvgConfig {
+            features: FeatureConfig::uvg(),
+            classifier: ClassifierChoice::GradientBoosting(GradientBoostingParams {
+                n_estimators: 20,
+                max_depth: 3,
+                learning_rate: 0.2,
+                subsample: 0.8,
+                colsample_bytree: 0.8,
+                ..Default::default()
+            }),
+            oversample: true,
+            n_threads: 0,
+            seed: 0,
+        },
+        _ => return None,
+    };
+    Some(MvgConfig {
+        n_threads,
+        seed,
+        ..base
+    })
+}
+
+/// Names of the presets accepted by [`config_named`].
+pub const CONFIG_PRESETS: [&str; 3] = ["fast", "paper", "uvg-fast"];
+
+/// Where a model's training data came from.
+#[derive(Debug, Clone)]
+pub enum TrainingSource {
+    /// A named dataset of the synthetic catalogue under a size budget.
+    Catalogue {
+        /// UCR dataset name.
+        dataset: String,
+        /// Generation budget and seed.
+        options: ArchiveOptions,
+    },
+    /// Training series supplied inline in the fit request.
+    Inline(Dataset),
+}
+
+/// Metadata of a fitted model (returned by `/models` and fit responses).
+#[derive(Debug, Clone)]
+pub struct ModelInfo {
+    /// Registry name.
+    pub name: String,
+    /// Catalogue dataset the model was fitted on (`None` for inline fits).
+    pub dataset: Option<String>,
+    /// Configuration preset name.
+    pub config: String,
+    /// Training instances.
+    pub n_train: usize,
+    /// Classes seen during fitting.
+    pub n_classes: usize,
+    /// Extracted features per series.
+    pub n_features: usize,
+    /// Wall-clock fit time in seconds.
+    pub fit_seconds: f64,
+}
+
+/// A fitted model plus its scheduler.
+pub struct ModelEntry {
+    /// Metadata.
+    pub info: ModelInfo,
+    batcher: Batcher,
+}
+
+impl ModelEntry {
+    /// Submits series for classification through the micro-batch scheduler.
+    pub fn classify(
+        &self,
+        series: Vec<tsg_ts::TimeSeries>,
+        want_proba: bool,
+    ) -> Result<ClassifyOutput, ClassifyError> {
+        self.batcher.classify(series, want_proba)
+    }
+
+    /// The fitted classifier behind this entry.
+    pub fn classifier(&self) -> &Arc<MvgClassifier> {
+        self.batcher.model()
+    }
+}
+
+/// Errors surfaced by registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// No model with the requested name.
+    UnknownModel(String),
+    /// The preset name is not one of [`CONFIG_PRESETS`].
+    UnknownConfig(String),
+    /// The catalogue has no dataset with this name.
+    UnknownDataset(String),
+    /// Fitting failed.
+    Fit(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownModel(n) => write!(f, "unknown model `{n}`"),
+            RegistryError::UnknownConfig(n) => write!(
+                f,
+                "unknown config `{n}` (expected one of {})",
+                CONFIG_PRESETS.join(", ")
+            ),
+            RegistryError::UnknownDataset(n) => write!(f, "unknown dataset `{n}`"),
+            RegistryError::Fit(e) => write!(f, "fit failed: {e}"),
+        }
+    }
+}
+
+/// The registry proper.
+pub struct ModelRegistry {
+    models: RwLock<BTreeMap<String, Arc<ModelEntry>>>,
+    pool: ThreadPool,
+    batch_config: BatchConfig,
+    metrics: Arc<ServerMetrics>,
+    n_threads: usize,
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry. `n_threads` sizes the shared extraction
+    /// pool (`0` = process default).
+    pub fn new(n_threads: usize, batch_config: BatchConfig, metrics: Arc<ServerMetrics>) -> Self {
+        ModelRegistry {
+            models: RwLock::new(BTreeMap::new()),
+            pool: ThreadPool::new(n_threads),
+            batch_config,
+            metrics,
+            n_threads: tsg_parallel::resolve_threads(n_threads),
+        }
+    }
+
+    /// Fits a model and registers it under `name`, replacing any previous
+    /// model of that name. Returns the new model's metadata.
+    pub fn fit(
+        &self,
+        name: &str,
+        source: TrainingSource,
+        config_name: &str,
+        seed: u64,
+    ) -> Result<ModelInfo, RegistryError> {
+        let config = config_named(config_name, seed, self.n_threads)
+            .ok_or_else(|| RegistryError::UnknownConfig(config_name.to_string()))?;
+        let (train, dataset_name) = match source {
+            TrainingSource::Catalogue { dataset, options } => {
+                let (train, _test) =
+                    tsg_datasets::cache::generate_by_name_scaled_cached(&dataset, options)
+                        .map_err(|_| RegistryError::UnknownDataset(dataset.clone()))?;
+                (train, Some(dataset))
+            }
+            TrainingSource::Inline(train) => (train, None),
+        };
+        let started = Instant::now();
+        let mut clf = MvgClassifier::new(config);
+        clf.fit(&train)
+            .map_err(|e| RegistryError::Fit(e.to_string()))?;
+        let info = ModelInfo {
+            name: name.to_string(),
+            dataset: dataset_name,
+            config: config_name.to_string(),
+            n_train: train.len(),
+            n_classes: clf.n_classes(),
+            n_features: clf.feature_names().len(),
+            fit_seconds: started.elapsed().as_secs_f64(),
+        };
+        let entry = Arc::new(ModelEntry {
+            info: info.clone(),
+            batcher: Batcher::new(
+                Arc::new(clf),
+                self.batch_config,
+                self.pool.clone(),
+                Arc::clone(&self.metrics),
+            ),
+        });
+        self.metrics.models_fitted_total.inc();
+        // the replaced entry (if any) drops outside the lock; its Drop joins
+        // the old dispatcher once in-flight requests release their Arcs
+        let _previous = self.models.write().unwrap().insert(name.to_string(), entry);
+        Ok(info)
+    }
+
+    /// Looks up a model by name.
+    pub fn get(&self, name: &str) -> Result<Arc<ModelEntry>, RegistryError> {
+        self.models
+            .read()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RegistryError::UnknownModel(name.to_string()))
+    }
+
+    /// Removes a model; returns whether it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.models.write().unwrap().remove(name).is_some()
+    }
+
+    /// Metadata of every registered model, sorted by name.
+    pub fn list(&self) -> Vec<ModelInfo> {
+        self.models
+            .read()
+            .unwrap()
+            .values()
+            .map(|e| e.info.clone())
+            .collect()
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.read().unwrap().len()
+    }
+
+    /// Whether no models are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Shuts down every batcher (draining queues with 503s).
+    pub fn shutdown(&self) {
+        // drop all entries; each Drop joins its dispatcher when the last
+        // in-flight Arc releases
+        self.models.write().unwrap().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsg_ts::TimeSeries;
+
+    fn registry() -> ModelRegistry {
+        ModelRegistry::new(
+            1,
+            BatchConfig::default(),
+            Arc::new(ServerMetrics::default()),
+        )
+    }
+
+    fn catalogue_source() -> TrainingSource {
+        TrainingSource::Catalogue {
+            dataset: "BeetleFly".into(),
+            options: ArchiveOptions::bounded(8, 64, 3),
+        }
+    }
+
+    #[test]
+    fn fit_from_catalogue_and_classify() {
+        let r = registry();
+        let info = r.fit("demo", catalogue_source(), "uvg-fast", 3).unwrap();
+        assert_eq!(info.name, "demo");
+        assert_eq!(info.dataset.as_deref(), Some("BeetleFly"));
+        assert_eq!(info.n_classes, 2);
+        assert!(info.n_features > 0);
+        let entry = r.get("demo").unwrap();
+        let series = vec![TimeSeries::new((0..64).map(|t| (t as f64).sin()).collect())];
+        let out = entry.classify(series, false).unwrap();
+        assert_eq!(out.predictions.len(), 1);
+        assert_eq!(r.list().len(), 1);
+        assert!(r.remove("demo"));
+        assert!(r.get("demo").is_err());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn fit_from_inline_series() {
+        let r = registry();
+        let mut train = Dataset::new("inline");
+        for i in 0..6 {
+            let label = i % 2;
+            let values: Vec<f64> = (0..48)
+                .map(|t| {
+                    if label == 0 {
+                        ((t as f64) * 0.5).sin()
+                    } else {
+                        ((t * 13 + i * 7) % 11) as f64
+                    }
+                })
+                .collect();
+            train.push(TimeSeries::with_label(values, label));
+        }
+        let info = r
+            .fit("inline", TrainingSource::Inline(train), "uvg-fast", 1)
+            .unwrap();
+        assert!(info.dataset.is_none());
+        assert_eq!(info.n_train, 6);
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        let r = registry();
+        assert_eq!(
+            r.fit("m", catalogue_source(), "nope", 1).unwrap_err(),
+            RegistryError::UnknownConfig("nope".into())
+        );
+        let missing = TrainingSource::Catalogue {
+            dataset: "NotADataset".into(),
+            options: ArchiveOptions::bounded(8, 64, 3),
+        };
+        assert_eq!(
+            r.fit("m", missing, "uvg-fast", 1).unwrap_err(),
+            RegistryError::UnknownDataset("NotADataset".into())
+        );
+        assert!(matches!(
+            r.get("m").err(),
+            Some(RegistryError::UnknownModel(_))
+        ));
+    }
+
+    #[test]
+    fn refit_replaces_model() {
+        let r = registry();
+        r.fit("m", catalogue_source(), "uvg-fast", 1).unwrap();
+        let first = r.get("m").unwrap();
+        r.fit("m", catalogue_source(), "uvg-fast", 2).unwrap();
+        let second = r.get("m").unwrap();
+        assert!(!Arc::ptr_eq(&first, &second));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn presets_resolve() {
+        for preset in CONFIG_PRESETS {
+            assert!(config_named(preset, 1, 2).is_some(), "{preset}");
+        }
+        assert!(config_named("bogus", 1, 2).is_none());
+        let c = config_named("fast", 9, 3).unwrap();
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.n_threads, 3);
+    }
+}

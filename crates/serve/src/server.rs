@@ -1,0 +1,495 @@
+//! The HTTP server: accept loop, routing and graceful shutdown.
+//!
+//! ## Routes
+//!
+//! | method | path | purpose |
+//! |--------|------|---------|
+//! | `GET` | `/healthz` | liveness + model count |
+//! | `GET` | `/metrics` | Prometheus text metrics |
+//! | `GET` | `/models` | registered model metadata |
+//! | `POST` | `/models/{name}/fit` | fit/replace a model (catalogue or inline series) |
+//! | `POST` | `/models/{name}/classify` | classify series (micro-batched) |
+//! | `DELETE` | `/models/{name}` | unregister a model |
+//! | `POST` | `/shutdown` | graceful shutdown |
+//!
+//! Connections are HTTP/1.1 keep-alive, one handler thread per connection
+//! with short read timeouts so idle handlers observe the shutdown flag.
+//! Shutdown (via `POST /shutdown` or [`ShutdownHandle::shutdown`]) stops the
+//! accept loop, joins every connection handler, then tears down the registry
+//! (joining each model's batcher thread) — in-flight requests finish first.
+
+use crate::batcher::{BatchConfig, ClassifyError};
+use crate::http::{self, Request, RequestOutcome, Response};
+use crate::json::Json;
+use crate::metrics::ServerMetrics;
+use crate::registry::{ModelRegistry, RegistryError, TrainingSource};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use tsg_datasets::archive::ArchiveOptions;
+use tsg_ts::{Dataset, TimeSeries};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port `0` picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads of the shared extraction pool (`0` = process default).
+    pub n_threads: usize,
+    /// Micro-batch scheduler tuning.
+    pub batch: BatchConfig,
+    /// Default dataset budget for catalogue fits that do not override it.
+    pub archive: ArchiveOptions,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            n_threads: 0,
+            batch: BatchConfig::default(),
+            archive: ArchiveOptions::bounded(60, 512, 7),
+        }
+    }
+}
+
+/// Shared server state.
+struct ServerState {
+    registry: ModelRegistry,
+    metrics: Arc<ServerMetrics>,
+    shutdown: AtomicBool,
+    started: Instant,
+    archive: ArchiveOptions,
+}
+
+/// A bound (but not yet running) server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+/// Cloneable handle that can stop a running server from another thread.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    state: Arc<ServerState>,
+}
+
+impl ShutdownHandle {
+    /// Requests a graceful shutdown (idempotent).
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::Release);
+    }
+}
+
+/// Read timeout on connection sockets; bounds how long an idle handler takes
+/// to notice the shutdown flag.
+const READ_TIMEOUT: Duration = Duration::from_millis(200);
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+impl Server {
+    /// Binds the listener and builds an empty registry.
+    pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let metrics = Arc::new(ServerMetrics::default());
+        let state = Arc::new(ServerState {
+            registry: ModelRegistry::new(config.n_threads, config.batch, Arc::clone(&metrics)),
+            metrics,
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            archive: config.archive,
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (useful with port `0`).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The registry, for pre-loading models before `run`.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.state.registry
+    }
+
+    /// A handle that can stop the server from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Runs the accept loop until shutdown, then drains connections and
+    /// tears the registry down.
+    pub fn run(self) -> std::io::Result<()> {
+        let handles: Mutex<Vec<std::thread::JoinHandle<()>>> = Mutex::new(Vec::new());
+        while !self.state.shutdown.load(Ordering::Acquire) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let state = Arc::clone(&self.state);
+                    let handle = std::thread::Builder::new()
+                        .name("tsg-serve-conn".into())
+                        .spawn(move || handle_connection(stream, &state))
+                        .expect("failed to spawn connection thread");
+                    let mut guard = handles.lock().unwrap();
+                    guard.push(handle);
+                    // reap finished handlers so the vec stays bounded under
+                    // long-lived load
+                    guard.retain(|h| !h.is_finished());
+                }
+                Err(e) if http::is_timeout(&e) => std::thread::sleep(ACCEPT_POLL),
+                Err(e) => {
+                    // transient accept failures (EMFILE under connection
+                    // bursts, ECONNABORTED races) must not kill the server;
+                    // back off and keep serving the connections we have
+                    eprintln!("tsg-serve: accept failed (retrying): {e}");
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+            }
+        }
+        for handle in handles.into_inner().unwrap() {
+            let _ = handle.join();
+        }
+        self.state.registry.shutdown();
+        Ok(())
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let mut write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match http::read_request(&mut reader) {
+            Ok(RequestOutcome::Closed) => return,
+            Ok(RequestOutcome::Idle) => {
+                if state.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Ok(RequestOutcome::Request(request)) => {
+                let started = Instant::now();
+                state.metrics.requests_total.inc();
+                let keep_alive = request.keep_alive() && !state.shutdown.load(Ordering::Acquire);
+                let response = route(&request, state);
+                state.metrics.record_status(response.status);
+                state
+                    .metrics
+                    .request_latency_seconds
+                    .observe(started.elapsed().as_secs_f64());
+                if response.write_to(&mut write_half, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(e) if http::is_timeout(&e) => {
+                // timed out mid-request: the stream is no longer aligned to
+                // message boundaries, give up on the connection
+                let _ = Response::error(408, "timed out reading request")
+                    .write_to(&mut write_half, false);
+                return;
+            }
+            Err(_) => {
+                let _ = Response::error(400, "malformed request").write_to(&mut write_half, false);
+                return;
+            }
+        }
+    }
+}
+
+fn route(request: &Request, state: &Arc<ServerState>) -> Response {
+    // bodies are framed by Content-Length only; a chunked body would desync
+    // the keep-alive stream, so refuse it outright
+    if matches!(request.header("transfer-encoding"), Some(v) if !v.eq_ignore_ascii_case("identity"))
+    {
+        return Response::error(
+            501,
+            "Transfer-Encoding is not supported; send Content-Length",
+        );
+    }
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => healthz(state),
+        ("GET", ["metrics"]) => Response::text(
+            200,
+            state
+                .metrics
+                .render(state.registry.len(), state.started.elapsed().as_secs_f64()),
+        ),
+        ("GET", ["models"]) => list_models(state),
+        ("POST", ["models", name, "fit"]) => fit_model(request, state, name),
+        ("POST", ["models", name, "classify"]) => classify(request, state, name),
+        ("DELETE", ["models", name]) => {
+            if state.registry.remove(name) {
+                Response::json(
+                    200,
+                    &Json::obj(vec![("removed", Json::Str(name.to_string()))]),
+                )
+            } else {
+                Response::error(404, &format!("unknown model `{name}`"))
+            }
+        }
+        ("POST", ["shutdown"]) => {
+            state.shutdown.store(true, Ordering::Release);
+            Response::json(
+                200,
+                &Json::obj(vec![("status", Json::Str("shutting down".into()))]),
+            )
+        }
+        ("GET", _) | ("POST", _) | ("DELETE", _) => Response::error(404, "no such route"),
+        _ => Response::error(405, "method not allowed"),
+    }
+}
+
+fn healthz(state: &Arc<ServerState>) -> Response {
+    Response::json(
+        200,
+        &Json::obj(vec![
+            ("status", Json::Str("ok".into())),
+            ("models", Json::Num(state.registry.len() as f64)),
+            (
+                "uptime_seconds",
+                Json::Num(state.started.elapsed().as_secs_f64()),
+            ),
+        ]),
+    )
+}
+
+fn model_info_json(info: &crate::registry::ModelInfo) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(info.name.clone())),
+        (
+            "dataset",
+            info.dataset
+                .as_ref()
+                .map(|d| Json::Str(d.clone()))
+                .unwrap_or(Json::Null),
+        ),
+        ("config", Json::Str(info.config.clone())),
+        ("n_train", Json::Num(info.n_train as f64)),
+        ("n_classes", Json::Num(info.n_classes as f64)),
+        ("n_features", Json::Num(info.n_features as f64)),
+        ("fit_seconds", Json::Num(info.fit_seconds)),
+    ])
+}
+
+fn list_models(state: &Arc<ServerState>) -> Response {
+    let models = state.registry.list().iter().map(model_info_json).collect();
+    Response::json(200, &Json::obj(vec![("models", Json::Arr(models))]))
+}
+
+/// Parses `{"values": [...], "label": n}` or a bare `[...]` array.
+fn parse_series(value: &Json, require_label: bool) -> Result<TimeSeries, String> {
+    let (values_json, label) = match value {
+        Json::Arr(_) => (value, None),
+        Json::Obj(_) => {
+            let values = value
+                .get("values")
+                .ok_or_else(|| "series object needs a `values` array".to_string())?;
+            let label = match value.get("label") {
+                Some(l) => Some(
+                    l.as_usize()
+                        .ok_or_else(|| "`label` must be a non-negative integer".to_string())?,
+                ),
+                None => None,
+            };
+            (values, label)
+        }
+        _ => return Err("series must be an array of numbers or an object".to_string()),
+    };
+    let items = values_json
+        .as_array()
+        .ok_or_else(|| "series values must be an array".to_string())?;
+    let mut values = Vec::with_capacity(items.len());
+    for item in items {
+        let v = item
+            .as_f64()
+            .ok_or_else(|| "series values must be numbers".to_string())?;
+        if !v.is_finite() {
+            return Err("series values must be finite".to_string());
+        }
+        values.push(v);
+    }
+    if values.is_empty() {
+        return Err("series must not be empty".to_string());
+    }
+    match (label, require_label) {
+        (Some(label), _) => Ok(TimeSeries::with_label(values, label)),
+        (None, false) => Ok(TimeSeries::new(values)),
+        (None, true) => Err("training series need a `label`".to_string()),
+    }
+}
+
+fn fit_model(request: &Request, state: &Arc<ServerState>, name: &str) -> Response {
+    let body = match request.json_body() {
+        Ok(b) => b,
+        Err(e) => return Response::error(400, &e),
+    };
+    let config_name = body
+        .get("config")
+        .and_then(|c| c.as_str())
+        .unwrap_or("fast")
+        .to_string();
+    // invalid numeric fields are rejected, never silently replaced by
+    // defaults — a model fitted under the wrong seed/budget looks healthy
+    let seed = match body.get("seed") {
+        None => state.archive.seed,
+        Some(s) => match s.as_u64() {
+            Some(seed) => seed,
+            None => return Response::error(400, "`seed` must be a whole number below 2^53"),
+        },
+    };
+    let numeric_field = |key: &str| -> Result<Option<usize>, Response> {
+        match body.get(key) {
+            None => Ok(None),
+            Some(v) => v.as_usize().map(Some).ok_or_else(|| {
+                Response::error(400, &format!("`{key}` must be a non-negative integer"))
+            }),
+        }
+    };
+    let source = if let Some(dataset) = body.get("dataset").and_then(|d| d.as_str()) {
+        let mut options = state.archive;
+        options.seed = seed;
+        match numeric_field("max_instances") {
+            Ok(Some(n)) => {
+                options.max_train = n;
+                options.max_test = n;
+            }
+            Ok(None) => {}
+            Err(response) => return response,
+        }
+        match numeric_field("max_length") {
+            Ok(Some(n)) => options.max_length = n,
+            Ok(None) => {}
+            Err(response) => return response,
+        }
+        TrainingSource::Catalogue {
+            dataset: dataset.to_string(),
+            options,
+        }
+    } else if let Some(train) = body.get("train") {
+        let items = match train.get("series").and_then(|s| s.as_array()) {
+            Some(items) => items,
+            None => return Response::error(400, "`train` needs a `series` array"),
+        };
+        let mut dataset = Dataset::new(format!("{name}_inline"));
+        for item in items {
+            match parse_series(item, true) {
+                Ok(series) => dataset.push(series),
+                Err(e) => return Response::error(400, &e),
+            }
+        }
+        TrainingSource::Inline(dataset)
+    } else {
+        return Response::error(400, "fit request needs `dataset` or `train`");
+    };
+    match state.registry.fit(name, source, &config_name, seed) {
+        Ok(info) => Response::json(200, &model_info_json(&info)),
+        Err(e @ (RegistryError::UnknownConfig(_) | RegistryError::UnknownDataset(_))) => {
+            Response::error(400, &e.to_string())
+        }
+        Err(e @ RegistryError::UnknownModel(_)) => Response::error(404, &e.to_string()),
+        Err(e @ RegistryError::Fit(_)) => Response::error(500, &e.to_string()),
+    }
+}
+
+fn classify(request: &Request, state: &Arc<ServerState>, name: &str) -> Response {
+    let entry = match state.registry.get(name) {
+        Ok(entry) => entry,
+        Err(e) => return Response::error(404, &e.to_string()),
+    };
+    let body = match request.json_body() {
+        Ok(b) => b,
+        Err(e) => return Response::error(400, &e),
+    };
+    let items = match body.get("series").and_then(|s| s.as_array()) {
+        Some(items) => items,
+        None => return Response::error(400, "classify request needs a `series` array"),
+    };
+    let want_proba = body.get("proba").and_then(|p| p.as_bool()).unwrap_or(false);
+    let mut series = Vec::with_capacity(items.len());
+    for item in items {
+        match parse_series(item, false) {
+            Ok(s) => series.push(s),
+            Err(e) => return Response::error(400, &e),
+        }
+    }
+    state.metrics.classify_requests_total.inc();
+    let started = Instant::now();
+    let outcome = entry.classify(series, want_proba);
+    state
+        .metrics
+        .classify_latency_seconds
+        .observe(started.elapsed().as_secs_f64());
+    match outcome {
+        Ok(output) => {
+            let mut members = vec![
+                ("model", Json::Str(name.to_string())),
+                (
+                    "predictions",
+                    Json::Arr(
+                        output
+                            .predictions
+                            .iter()
+                            .map(|&p| Json::Num(p as f64))
+                            .collect(),
+                    ),
+                ),
+                ("batch_size", Json::Num(output.batch_size as f64)),
+            ];
+            if let Some(probabilities) = output.probabilities {
+                members.push((
+                    "probabilities",
+                    Json::Arr(probabilities.into_iter().map(Json::nums).collect()),
+                ));
+            }
+            Response::json(200, &Json::obj(members))
+        }
+        Err(ClassifyError::Saturated) => Response::error(429, "classify queue is full"),
+        Err(ClassifyError::ShuttingDown) => Response::error(503, "server is shutting down"),
+        Err(ClassifyError::Model(e)) => Response::error(500, &e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_series_accepts_both_shapes() {
+        let bare = Json::parse("[1, 2.5, -3]").unwrap();
+        let s = parse_series(&bare, false).unwrap();
+        assert_eq!(s.values(), &[1.0, 2.5, -3.0]);
+        assert_eq!(s.label(), None);
+
+        let labeled = Json::parse(r#"{"values": [1, 2], "label": 4}"#).unwrap();
+        let s = parse_series(&labeled, true).unwrap();
+        assert_eq!(s.label(), Some(4));
+    }
+
+    #[test]
+    fn parse_series_rejects_bad_input() {
+        for (text, require_label) in [
+            ("[]", false),
+            ("[1, \"x\"]", false),
+            ("[1, null]", false),
+            ("3", false),
+            (r#"{"values": [1]}"#, true),
+            (r#"{"label": 1}"#, false),
+            (r#"{"values": [1], "label": -2}"#, true),
+        ] {
+            let value = Json::parse(text).unwrap();
+            assert!(
+                parse_series(&value, require_label).is_err(),
+                "accepted {text}"
+            );
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! End-to-end serving test: fit a model through the wire API, fire
+//! concurrent classify requests from multiple client threads, and assert the
+//! predictions are bit-identical to direct [`MvgClassifier::predict`] calls
+//! — the serving-path extension of the workspace determinism harness.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::Duration;
+use tsg_core::MvgClassifier;
+use tsg_datasets::archive::ArchiveOptions;
+use tsg_serve::batcher::BatchConfig;
+use tsg_serve::http::roundtrip_json;
+use tsg_serve::json::Json;
+use tsg_serve::registry::config_named;
+use tsg_serve::server::{ServeConfig, Server};
+
+const DATASET: &str = "BeetleFly";
+const SEED: u64 = 7;
+const CONFIG: &str = "uvg-fast";
+
+/// Points the dataset cache at a per-process temp directory so the test
+/// neither depends on nor litters the workspace (integration tests run with
+/// the package directory as cwd).
+fn isolate_dataset_cache() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let dir = std::env::temp_dir().join(format!("tsg-serve-e2e-cache-{}", std::process::id()));
+        std::env::set_var(tsg_datasets::cache::CACHE_DIR_ENV, dir);
+    });
+}
+
+fn archive_options() -> ArchiveOptions {
+    ArchiveOptions::bounded(16, 96, SEED)
+}
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Client { stream, reader }
+    }
+
+    fn call(&mut self, method: &str, path: &str, body: Option<&Json>) -> (u16, Json) {
+        roundtrip_json(&mut self.stream, &mut self.reader, method, path, body).expect("roundtrip")
+    }
+}
+
+/// Starts a server on an ephemeral port; returns its address and a closure
+/// handle for shutdown via the wire.
+fn start_server() -> (String, std::thread::JoinHandle<()>) {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        n_threads: 2,
+        batch: BatchConfig {
+            max_batch: 16,
+            max_wait: Duration::from_millis(5),
+            queue_depth: 128,
+        },
+        archive: archive_options(),
+    };
+    let server = Server::bind(config).expect("bind ephemeral port");
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+/// The reference: the identical model fitted directly against the identical
+/// (cached) training split.
+fn direct_classifier() -> MvgClassifier {
+    let (train, _test) =
+        tsg_datasets::cache::generate_by_name_scaled_cached(DATASET, archive_options()).unwrap();
+    let mut clf = MvgClassifier::new(config_named(CONFIG, SEED, 1).unwrap());
+    clf.fit(&train).unwrap();
+    clf
+}
+
+fn series_json(series: &tsg_ts::TimeSeries) -> Json {
+    Json::nums(series.values().iter().copied())
+}
+
+#[test]
+fn concurrent_serving_is_bit_identical_to_direct_classification() {
+    isolate_dataset_cache();
+    let (addr, server_handle) = start_server();
+    let mut admin = Client::connect(&addr);
+
+    // health before any model exists
+    let (status, health) = admin.call("GET", "/healthz", None);
+    assert_eq!(status, 200);
+    assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(health.get("models").unwrap().as_usize(), Some(0));
+
+    // classify against a missing model → 404
+    let probe = Json::obj(vec![("series", Json::parse("[[1, 2, 3]]").unwrap())]);
+    let (status, _) = admin.call("POST", "/models/nope/classify", Some(&probe));
+    assert_eq!(status, 404);
+
+    // fit through the wire API
+    let fit_body = Json::obj(vec![
+        ("dataset", Json::Str(DATASET.into())),
+        ("config", Json::Str(CONFIG.into())),
+        ("seed", Json::Num(SEED as f64)),
+        ("max_instances", Json::Num(16.0)),
+        ("max_length", Json::Num(96.0)),
+    ]);
+    let (status, info) = admin.call("POST", "/models/demo/fit", Some(&fit_body));
+    assert_eq!(status, 200, "fit failed: {info}");
+    assert_eq!(info.get("n_classes").unwrap().as_usize(), Some(2));
+
+    // the reference model, fitted directly from the identical training split
+    let direct = direct_classifier();
+    assert_eq!(
+        direct.feature_names().len(),
+        info.get("n_features").unwrap().as_usize().unwrap(),
+        "served model extracted a different feature set"
+    );
+    let (_train, test) =
+        tsg_datasets::cache::generate_by_name_scaled_cached(DATASET, archive_options()).unwrap();
+    let expected = direct.predict(&test).unwrap();
+    let expected_proba = direct.predict_proba(&test).unwrap();
+
+    // ≥4 client threads, each with its own connection, firing concurrent
+    // requests that partition the test split
+    const CLIENTS: usize = 5;
+    let chunks: Vec<Vec<usize>> = (0..CLIENTS)
+        .map(|c| {
+            (0..test.len())
+                .filter(|i| i % CLIENTS == c)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let results: Vec<Vec<(usize, usize, Vec<f64>)>> = std::thread::scope(|scope| {
+        chunks
+            .iter()
+            .map(|indices| {
+                let addr = addr.clone();
+                let test = &test;
+                scope.spawn(move || {
+                    let mut client = Client::connect(&addr);
+                    let mut out = Vec::new();
+                    for &i in indices {
+                        let body = Json::obj(vec![
+                            ("series", Json::Arr(vec![series_json(&test.series()[i])])),
+                            ("proba", Json::Bool(true)),
+                        ]);
+                        let (status, reply) =
+                            client.call("POST", "/models/demo/classify", Some(&body));
+                        assert_eq!(status, 200, "classify failed: {reply}");
+                        let prediction = reply.get("predictions").unwrap().as_array().unwrap()[0]
+                            .as_usize()
+                            .unwrap();
+                        let proba: Vec<f64> =
+                            reply.get("probabilities").unwrap().as_array().unwrap()[0]
+                                .as_array()
+                                .unwrap()
+                                .iter()
+                                .map(|v| v.as_f64().unwrap())
+                                .collect();
+                        assert!(reply.get("batch_size").unwrap().as_usize().unwrap() >= 1);
+                        out.push((i, prediction, proba));
+                    }
+                    out
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+
+    let mut seen = 0usize;
+    for chunk in results {
+        for (i, prediction, proba) in chunk {
+            assert_eq!(
+                prediction, expected[i],
+                "served prediction diverged for test series {i}"
+            );
+            // probabilities travelled through JSON (shortest round-trip f64
+            // formatting), so bit-equality must hold end to end
+            assert_eq!(
+                proba.len(),
+                expected_proba[i].len(),
+                "probability width diverged for series {i}"
+            );
+            for (a, b) in proba.iter().zip(&expected_proba[i]) {
+                assert_eq!(a.to_bits(), b.to_bits(), "probability bits diverged");
+            }
+            seen += 1;
+        }
+    }
+    assert_eq!(seen, test.len());
+
+    // one multi-series request must also match (batch path with n > 1)
+    let body = Json::obj(vec![(
+        "series",
+        Json::Arr(test.series().iter().map(series_json).collect()),
+    )]);
+    let (status, reply) = admin.call("POST", "/models/demo/classify", Some(&body));
+    assert_eq!(status, 200);
+    let all: Vec<usize> = reply
+        .get("predictions")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_usize().unwrap())
+        .collect();
+    assert_eq!(all, expected);
+
+    // observability: metrics reflect the traffic that just happened
+    let (status, models) = admin.call("GET", "/models", None);
+    assert_eq!(status, 200);
+    assert_eq!(models.get("models").unwrap().as_array().unwrap().len(), 1);
+    let mut metrics_client = Client::connect(&addr);
+    tsg_serve::http::send_request(&mut metrics_client.stream, "GET", "/metrics", None).unwrap();
+    let (status, body) = tsg_serve::http::read_response(&mut metrics_client.reader).unwrap();
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    let series_total = test.len() * 2; // partitioned pass + full-batch pass
+                                       // match full lines (trailing newline) so e.g. a count of 320 cannot
+                                       // satisfy an expected 32 by prefix
+    assert!(
+        text.contains(&format!("tsg_serve_classify_series_total {series_total}\n")),
+        "unexpected series total in metrics:\n{text}"
+    );
+    assert!(text.contains("tsg_serve_batch_size_count"), "{text}");
+    assert!(text.contains("tsg_serve_models 1\n"), "{text}");
+
+    // graceful shutdown over the wire
+    let (status, _) = admin.call("POST", "/shutdown", None);
+    assert_eq!(status, 200);
+    server_handle.join().expect("server thread panicked");
+}
+
+#[test]
+fn invalid_requests_are_rejected_not_fatal() {
+    isolate_dataset_cache();
+    let (addr, server_handle) = start_server();
+    let mut client = Client::connect(&addr);
+
+    // fit with a bad config name
+    let bad_fit = Json::obj(vec![
+        ("dataset", Json::Str(DATASET.into())),
+        ("config", Json::Str("warp-speed".into())),
+    ]);
+    let (status, reply) = client.call("POST", "/models/m/fit", Some(&bad_fit));
+    assert_eq!(status, 400, "{reply}");
+
+    // fit with an unknown dataset
+    let bad_dataset = Json::obj(vec![("dataset", Json::Str("NotADataset".into()))]);
+    let (status, _) = client.call("POST", "/models/m/fit", Some(&bad_dataset));
+    assert_eq!(status, 400);
+
+    // unknown route and unsupported method
+    let (status, _) = client.call("GET", "/nope", None);
+    assert_eq!(status, 404);
+
+    // a real fit, then malformed classify payloads
+    let fit = Json::obj(vec![
+        ("dataset", Json::Str(DATASET.into())),
+        ("config", Json::Str(CONFIG.into())),
+        ("max_instances", Json::Num(8.0)),
+        ("max_length", Json::Num(64.0)),
+    ]);
+    let (status, _) = client.call("POST", "/models/m/fit", Some(&fit));
+    assert_eq!(status, 200);
+    for bad in [
+        Json::obj(vec![("series", Json::Str("nope".into()))]),
+        Json::obj(vec![("series", Json::parse("[[]]").unwrap())]),
+        Json::obj(vec![("series", Json::parse("[[1, null]]").unwrap())]),
+        Json::obj(vec![("wrong_key", Json::Num(1.0))]),
+    ] {
+        let (status, _) = client.call("POST", "/models/m/classify", Some(&bad));
+        assert_eq!(status, 400, "accepted {bad}");
+    }
+    // the connection and model survive all of the above
+    let ok = Json::obj(vec![(
+        "series",
+        Json::parse("[[1, 2, 3, 2, 1, 2, 3, 2]]").unwrap(),
+    )]);
+    let (status, reply) = client.call("POST", "/models/m/classify", Some(&ok));
+    assert_eq!(status, 200, "{reply}");
+
+    // delete the model, classify now 404s
+    let (status, _) = client.call("DELETE", "/models/m", None);
+    assert_eq!(status, 200);
+    let (status, _) = client.call("POST", "/models/m/classify", Some(&ok));
+    assert_eq!(status, 404);
+
+    let (status, _) = client.call("POST", "/shutdown", None);
+    assert_eq!(status, 200);
+    server_handle.join().expect("server thread panicked");
+}

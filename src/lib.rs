@@ -17,6 +17,9 @@
 //! * [`datasets`] — the synthetic stand-in for the UCR archive.
 //! * [`eval`] — Wilcoxon / Friedman–Nemenyi tests, ranks, scatter and table
 //!   helpers used by the experiment binaries.
+//! * [`serve`] — the batching classification server: model registry,
+//!   micro-batch scheduler, metrics, and the `tsg-serve` / `serve_loadgen`
+//!   binaries.
 //!
 //! ## Quick start
 //!
@@ -39,4 +42,5 @@ pub use tsg_datasets as datasets;
 pub use tsg_eval as eval;
 pub use tsg_graph as graph;
 pub use tsg_ml as ml;
+pub use tsg_serve as serve;
 pub use tsg_ts as ts;
