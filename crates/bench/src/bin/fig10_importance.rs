@@ -11,11 +11,13 @@ use tsg_eval::Table;
 fn main() {
     let options = RunOptions::from_args();
     let spec = tsg_datasets::archive::spec_by_name("FordA").expect("FordA in catalogue");
-    let (train, test) = load_dataset(spec, &options);
+    let loaded = load_dataset(spec, &options);
+    let (train, test) = (loaded.train, loaded.test);
     println!(
-        "Figure 10: feature importances on FordA ({} train / {} test instances)\n",
+        "Figure 10: feature importances on FordA ({} train / {} test instances, {})\n",
         train.len(),
-        test.len()
+        test.len(),
+        loaded.train_provenance.describe()
     );
 
     let config = mvg_fixed_config(FeatureConfig::mvg(), options.seed, options.n_threads);

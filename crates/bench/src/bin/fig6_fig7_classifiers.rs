@@ -4,11 +4,18 @@
 //! Figure 6 compares single classifiers (XGBoost-style boosting, Random
 //! Forest, SVM). Figure 7 compares stacked generalization restricted to one
 //! family at a time against stacking across all three families.
+//!
+//! Datasets are consumed through the streaming `DatasetSource` pipeline:
+//! each split is opened as an instance-at-a-time stream (real UCR files via
+//! `--ucr-dir` / `TSG_UCR_DIR`, else the cached synthetic catalogue) and
+//! features are extracted chunk-wise on the shared worker pool, so no full
+//! `Vec<TimeSeries>` is ever resident. Per-split provenance (source kind,
+//! backing file, content hash) is printed and embedded in the JSON artefact.
 
-use tsg_bench::experiments::load_dataset;
 use tsg_bench::RunOptions;
-use tsg_core::{extract_dataset_features, FeatureConfig};
-use tsg_eval::tables::fmt3;
+use tsg_core::{extract_features_streaming, FeatureConfig, StreamedFeatures};
+use tsg_datasets::{Split, SplitProvenance};
+use tsg_eval::tables::{fmt3, fmt_hash, fmt_hash_opt};
 use tsg_eval::{nemenyi_critical_difference, Table};
 use tsg_ml::forest::{RandomForest, RandomForestParams};
 use tsg_ml::gbt::{GradientBoosting, GradientBoostingParams};
@@ -131,6 +138,7 @@ fn main() {
     }
     let n_threads = tsg_parallel::resolve_threads(options.n_threads);
     let specs = options.selected_specs();
+    let source = options.dataset_source();
     println!(
         "Figures 6 & 7: classifier families and stacked generalization on MVG features ({} datasets, {n_threads} worker threads)\n",
         specs.len()
@@ -150,15 +158,42 @@ fn main() {
         "stack All",
     ]);
 
+    let mut provenance: Vec<SplitProvenance> = Vec::new();
     for spec in &specs {
-        let (train, test) = load_dataset(spec, &options);
-        let y_train = train.labels_required().expect("labeled data");
-        let y_test = test.labels_required().expect("labeled data");
+        // streaming ingestion: features are extracted chunk-wise while the
+        // split is read / generated instance-at-a-time. Both splits share
+        // one feature width, derived from the longer of the two maximum
+        // series lengths — a real variable-length dataset can have its
+        // longest series in either split, and per-split widths would make
+        // the train-fitted scaler reject the test matrix
         let features = FeatureConfig::mvg();
-        let (x_train_raw, _) = extract_dataset_features(&train, &features, n_threads);
-        let (x_test_raw, _) = extract_dataset_features(&test, &features, n_threads);
-        let (scaler, x_train) = MinMaxScaler::fit_transform(&x_train_raw).expect("scaling");
-        let x_test = scaler.transform(&x_test_raw).expect("scaling");
+        let mut open = |split: Split| {
+            let stream = source
+                .open_split(spec.name, split)
+                .unwrap_or_else(|e| panic!("failed to open {} {:?}: {e}", spec.name, split));
+            provenance.push(stream.provenance().clone());
+            stream
+        };
+        let train_stream = open(Split::Train);
+        let test_stream = open(Split::Test);
+        let max_length = train_stream.max_length().max(test_stream.max_length());
+        let extract = |stream: tsg_datasets::SplitStream| -> StreamedFeatures {
+            let split = stream.split();
+            extract_features_streaming(stream, max_length, &features, n_threads)
+                .unwrap_or_else(|e| panic!("failed to stream {} {:?}: {e}", spec.name, split))
+        };
+        let streamed_train = extract(train_stream);
+        let streamed_test = extract(test_stream);
+        println!(
+            "  {}: {}",
+            spec.name,
+            provenance[provenance.len() - 2].describe()
+        );
+        let y_train = streamed_train.labels_required().expect("labeled data");
+        let y_test = streamed_test.labels_required().expect("labeled data");
+        let (scaler, x_train) =
+            MinMaxScaler::fit_transform(&streamed_train.features).expect("scaling");
+        let x_test = scaler.transform(&streamed_test.features).expect("scaling");
 
         // --- Figure 6: single classifiers --------------------------------
         let mut xgb = GradientBoosting::new(boosting_candidates(options.seed)[1].1);
@@ -209,12 +244,28 @@ fn main() {
         wall_clock.elapsed().as_secs_f64()
     );
 
+    let mut provenance_table = Table::new(&["Split", "Source", "Hash", "Detail"]);
+    for p in &provenance {
+        provenance_table.add_row(vec![
+            format!("{}_{}", p.dataset, p.split.suffix()),
+            p.kind.as_str().to_string(),
+            fmt_hash_opt(p.content_hash),
+            p.describe(),
+        ]);
+    }
+    println!("Dataset provenance:");
+    println!("{}", provenance_table.to_aligned());
+
     if options.figures {
         options.write_artefact("fig6_single_classifiers.csv", &single_table.to_csv());
         options.write_artefact("fig7_stacking.csv", &stack_table.to_csv());
         let document = Json::obj(vec![
             ("fig6", cd_json(&single_methods, &cd6.average_ranks, cd6.cd)),
             ("fig7", cd_json(&stack_labels, &cd7.average_ranks, cd7.cd)),
+            (
+                "datasets",
+                Json::Arr(provenance.iter().map(provenance_json).collect()),
+            ),
         ]);
         options.write_artefact(
             "fig6_fig7_critical_difference.json",
@@ -231,4 +282,27 @@ fn cd_json(methods: &[&str], ranks: &[f64], cd: f64) -> Json {
         ("ranks", Json::nums(ranks.iter().copied())),
         ("cd", Json::Num(cd)),
     ])
+}
+
+/// One split's provenance record for the JSON artefact: CI asserts that
+/// fixture-backed runs report `"provenance": "real"` end-to-end.
+fn provenance_json(p: &SplitProvenance) -> Json {
+    let mut members = vec![
+        ("dataset", Json::Str(p.dataset.clone())),
+        ("split", Json::Str(p.split.suffix().to_string())),
+        ("provenance", Json::Str(p.kind.as_str().to_string())),
+    ];
+    if let Some(seed) = p.seed {
+        members.push(("seed", Json::Num(seed as f64)));
+    }
+    if let Some(v) = p.generator_version {
+        members.push(("generator_version", Json::Num(v as f64)));
+    }
+    if let Some(path) = &p.path {
+        members.push(("path", Json::Str(path.display().to_string())));
+    }
+    if let Some(hash) = p.content_hash {
+        members.push(("content_hash", Json::Str(fmt_hash(hash))));
+    }
+    Json::obj(members)
 }

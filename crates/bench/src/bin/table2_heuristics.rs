@@ -43,7 +43,9 @@ fn main() {
     let mut dataset_names: Vec<String> = Vec::new();
 
     for spec in &specs {
-        let (train, test) = load_dataset(spec, &options);
+        let loaded = load_dataset(spec, &options);
+        println!("  {}: {}", spec.name, loaded.train_provenance.describe());
+        let (train, test) = (loaded.train, loaded.test);
         let mut row = vec![
             spec.name.to_string(),
             spec.n_classes.to_string(),

@@ -39,7 +39,9 @@ fn main() {
     let mut dataset_names: Vec<String> = Vec::new();
 
     for spec in &specs {
-        let (train, test) = load_dataset(spec, &options);
+        let loaded = load_dataset(spec, &options);
+        println!("  {}: {}", spec.name, loaded.train_provenance.describe());
+        let (train, test) = (loaded.train, loaded.test);
         let mut row = vec![spec.name.to_string()];
         let mut fs_seconds = 0.0;
         for (b, mut baseline) in table3_baselines(options.seed).into_iter().enumerate() {

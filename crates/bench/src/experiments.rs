@@ -6,8 +6,7 @@ use tsg_baselines::{
     NnDistance, SaxVsm, SaxVsmParams, TscClassifier,
 };
 use tsg_core::{ClassifierChoice, FeatureConfig, MvgClassifier, MvgConfig};
-use tsg_datasets::cache::generate_scaled_cached;
-use tsg_datasets::DatasetSpec;
+use tsg_datasets::{DatasetSpec, ResolvedPair};
 use tsg_eval::Stopwatch;
 use tsg_ml::gbt::GradientBoostingParams;
 use tsg_ts::Dataset;
@@ -32,12 +31,21 @@ impl MethodResult {
     }
 }
 
-/// Generates the `(train, test)` splits for a spec under the run options,
-/// through the on-disk dataset cache (`target/tsg-dataset-cache/`) — so
-/// repeated experiment runs, in particular `--full` ones, stop regenerating
-/// identical series.
-pub fn load_dataset(spec: &DatasetSpec, options: &RunOptions) -> (Dataset, Dataset) {
-    generate_scaled_cached(spec, options.archive)
+/// Resolves the `(train, test)` splits for a spec through the run's
+/// [`tsg_datasets::DatasetSource`]: a real UCR directory (`--ucr-dir` /
+/// `TSG_UCR_DIR`) when it holds the pair, otherwise the on-disk dataset
+/// cache (`target/tsg-dataset-cache/`) in front of synthesis — so repeated
+/// experiment runs, in particular `--full` ones, stop regenerating identical
+/// series. The returned [`ResolvedPair`] carries per-split provenance, which
+/// the binaries print and embed in their artefacts.
+///
+/// A present-but-malformed real pair aborts the run (loading different data
+/// than the user pointed at would silently change every reported number).
+pub fn load_dataset(spec: &DatasetSpec, options: &RunOptions) -> ResolvedPair {
+    options
+        .dataset_source()
+        .resolve(spec.name)
+        .unwrap_or_else(|e| panic!("failed to load dataset `{}`: {e}", spec.name))
 }
 
 /// The default boosting parameters used across experiment binaries (a fixed,
@@ -185,12 +193,12 @@ mod tests {
     #[test]
     fn mvg_runner_produces_sane_result() {
         let spec = spec_by_name("BeetleFly").unwrap();
-        let (train, test) = load_dataset(spec, &tiny_options());
+        let loaded = load_dataset(spec, &tiny_options());
         let result = run_mvg(
             "MVG",
             mvg_fixed_config(FeatureConfig::uvg(), 1, 2),
-            &train,
-            &test,
+            &loaded.train,
+            &loaded.test,
         );
         assert!((0.0..=1.0).contains(&result.error_rate));
         assert!(result.feature_seconds >= 0.0);
@@ -200,9 +208,13 @@ mod tests {
     #[test]
     fn baseline_runner_produces_sane_result() {
         let spec = spec_by_name("BeetleFly").unwrap();
-        let (train, test) = load_dataset(spec, &tiny_options());
+        let loaded = load_dataset(spec, &tiny_options());
+        assert_eq!(
+            loaded.train_provenance.kind, loaded.test_provenance.kind,
+            "splits of one dataset resolve from the same place"
+        );
         let mut nn = NnClassifier::new(NnDistance::Euclidean);
-        let result = run_baseline(&mut nn, &train, &test);
+        let result = run_baseline(&mut nn, &loaded.train, &loaded.test);
         assert_eq!(result.method, "1NN-ED");
         assert!((0.0..=1.0).contains(&result.error_rate));
     }

@@ -21,6 +21,7 @@
 
 use std::path::PathBuf;
 use tsg_datasets::archive::ArchiveOptions;
+use tsg_datasets::DatasetSource;
 
 pub mod experiments;
 
@@ -44,6 +45,10 @@ pub struct RunOptions {
     /// stacking (`0` = process default, i.e. `TSC_MVG_THREADS` or available
     /// parallelism capped at 8).
     pub n_threads: usize,
+    /// Real UCR archive directory (`--ucr-dir`; overrides the `TSG_UCR_DIR`
+    /// environment variable). Datasets found there are loaded from disk;
+    /// the rest fall back to the cached synthetic catalogue.
+    pub ucr_dir: Option<PathBuf>,
 }
 
 impl Default for RunOptions {
@@ -56,6 +61,7 @@ impl Default for RunOptions {
             output_dir: PathBuf::from("target/experiments"),
             seed: 7,
             n_threads: 0,
+            ucr_dir: None,
         }
     }
 }
@@ -119,6 +125,12 @@ impl RunOptions {
                         i += 1;
                     }
                 }
+                "--ucr-dir" => {
+                    if let Some(v) = args.get(i + 1) {
+                        options.ucr_dir = Some(PathBuf::from(v));
+                        i += 1;
+                    }
+                }
                 other => {
                     eprintln!("ignoring unknown flag `{other}`");
                 }
@@ -126,6 +138,18 @@ impl RunOptions {
             i += 1;
         }
         options
+    }
+
+    /// The unified dataset resolver for this run: the `--ucr-dir` flag (or
+    /// the `TSG_UCR_DIR` environment variable) in front, the on-disk cache
+    /// behind it, in-memory synthesis last. All experiment binaries load
+    /// their splits through this, so provenance is uniform across artefacts.
+    pub fn dataset_source(&self) -> DatasetSource {
+        let source = DatasetSource::from_env(self.archive);
+        match &self.ucr_dir {
+            Some(dir) => source.with_ucr_dir(dir.clone()),
+            None => source,
+        }
     }
 
     /// The dataset specs selected by the filter / cap.
@@ -166,6 +190,7 @@ impl RunOptions {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::Path;
 
     #[test]
     fn default_options_select_all_datasets() {
@@ -206,6 +231,19 @@ mod tests {
             .collect();
         let options = RunOptions::from_arg_slice(&args);
         assert_eq!(options.selected_specs().len(), 5);
+    }
+
+    #[test]
+    fn ucr_dir_flag_feeds_the_dataset_source() {
+        let args: Vec<String> = ["--ucr-dir", "/tmp/ucr-tree"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let options = RunOptions::from_arg_slice(&args);
+        assert_eq!(options.ucr_dir.as_deref(), Some(Path::new("/tmp/ucr-tree")));
+        let source = options.dataset_source();
+        assert_eq!(source.ucr_dir(), Some(Path::new("/tmp/ucr-tree")));
+        assert_eq!(source.options(), options.archive);
     }
 
     #[test]

@@ -29,7 +29,8 @@ pub mod representation;
 
 pub use classifier::{ClassifierChoice, MvgClassifier, MvgConfig};
 pub use extractor::{
-    extract_dataset_features, extract_series_features, extract_series_features_with, FeatureConfig,
+    extract_dataset_features, extract_features_streaming, extract_series_features,
+    extract_series_features_with, FeatureConfig, StreamedFeatures,
 };
 pub use graph_features::{graph_feature_block, graph_feature_names};
 pub use importance::{rank_features, FeatureImportance};

@@ -404,6 +404,37 @@ fn name_hash(name: &str) -> u64 {
     hash
 }
 
+/// The class label of instance `i` in a split of `n_instances`: round-robin
+/// over classes keeps every class represented even in heavily subsampled
+/// datasets; a mild imbalance is added for larger ones so oversampling stays
+/// exercised. Shared by eager generation and the instance-at-a-time
+/// [`crate::source::SplitStream`] so the two are bit-identical by
+/// construction.
+pub(crate) fn instance_class(spec: &DatasetSpec, n_instances: usize, i: usize) -> usize {
+    if n_instances >= spec.n_classes * 4 && i.is_multiple_of(7) {
+        0
+    } else {
+        i % spec.n_classes
+    }
+}
+
+/// The RNG generating a dataset's splits (train first, test continuing the
+/// same keystream), seeded from the base seed and the dataset name.
+pub(crate) fn split_rng(spec: &DatasetSpec, seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed ^ name_hash(spec.name))
+}
+
+/// Effective `(n_train, n_test, length)` shape of a spec under a size
+/// budget: the budget can never cut below one instance per class or below
+/// 32 points per series.
+pub fn effective_shape(spec: &DatasetSpec, options: ArchiveOptions) -> (usize, usize, usize) {
+    (
+        spec.n_train.min(options.max_train).max(spec.n_classes),
+        spec.n_test.min(options.max_test).max(spec.n_classes),
+        spec.length.min(options.max_length).max(32),
+    )
+}
+
 fn generate_split<R: Rng + ?Sized>(
     spec: &DatasetSpec,
     n_instances: usize,
@@ -413,14 +444,7 @@ fn generate_split<R: Rng + ?Sized>(
 ) -> Dataset {
     let mut dataset = Dataset::new(format!("{}_{}", spec.name, split_name));
     for i in 0..n_instances {
-        // round-robin over classes keeps every class represented even in
-        // heavily subsampled datasets; a mild imbalance is added for larger
-        // ones so oversampling stays exercised
-        let class = if n_instances >= spec.n_classes * 4 && i % 7 == 0 {
-            0
-        } else {
-            i % spec.n_classes
-        };
+        let class = instance_class(spec, n_instances, i);
         let values = spec.family.generate(rng, class, spec.n_classes, length);
         dataset.push(TimeSeries::with_label(values, class));
     }
@@ -434,10 +458,8 @@ pub fn generate(spec: &DatasetSpec, seed: u64) -> (Dataset, Dataset) {
 
 /// Generates the `(train, test)` splits of a dataset under a size budget.
 pub fn generate_scaled(spec: &DatasetSpec, options: ArchiveOptions) -> (Dataset, Dataset) {
-    let n_train = spec.n_train.min(options.max_train).max(spec.n_classes);
-    let n_test = spec.n_test.min(options.max_test).max(spec.n_classes);
-    let length = spec.length.min(options.max_length).max(32);
-    let mut rng = ChaCha8Rng::seed_from_u64(options.seed ^ name_hash(spec.name));
+    let (n_train, n_test, length) = effective_shape(spec, options);
+    let mut rng = split_rng(spec, options.seed);
     let train = generate_split(spec, n_train, length, &mut rng, "TRAIN");
     let test = generate_split(spec, n_test, length, &mut rng, "TEST");
     (train, test)

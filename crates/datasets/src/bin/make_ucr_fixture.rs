@@ -1,0 +1,102 @@
+//! Generates a golden UCR fixture tree on disk.
+//!
+//! The tree is real-UCR-format text written from the synthetic catalogue,
+//! rotating through nested/flat layouts, `.txt`/`.tsv`/`.csv`/extension-less
+//! names and comma/tab separators, plus NaN-padded variable-length and
+//! label-edge-case datasets. CI uses it to drive the experiment binaries
+//! end-to-end through the real-file ingestion path (`--ucr-dir`):
+//!
+//! ```text
+//! cargo run -p tsg_datasets --bin make_ucr_fixture -- \
+//!     --out target/ucr-fixture --datasets BeetleFly,Wine,Herring \
+//!     --max-instances 12 --max-length 96 --seed 7
+//! cargo run -p tsg_bench --bin fig6_fig7_classifiers -- \
+//!     --quick --ucr-dir target/ucr-fixture --datasets BeetleFly,Wine,Herring
+//! ```
+
+use std::path::PathBuf;
+use tsg_datasets::archive::ArchiveOptions;
+use tsg_datasets::fixture::write_ucr_fixture_tree;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out: Option<PathBuf> = None;
+    let mut datasets = vec![
+        "BeetleFly".to_string(),
+        "Wine".to_string(),
+        "Herring".to_string(),
+    ];
+    let mut max_instances = 12usize;
+    let mut max_length = 96usize;
+    let mut seed = 7u64;
+    let mut edge_cases = true;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                if let Some(v) = args.get(i + 1) {
+                    out = Some(PathBuf::from(v));
+                    i += 1;
+                }
+            }
+            "--datasets" => {
+                if let Some(v) = args.get(i + 1) {
+                    datasets = v.split(',').map(|s| s.trim().to_string()).collect();
+                    i += 1;
+                }
+            }
+            "--max-instances" => {
+                if let Some(v) = args.get(i + 1) {
+                    max_instances = v.parse().unwrap_or(max_instances);
+                    i += 1;
+                }
+            }
+            "--max-length" => {
+                if let Some(v) = args.get(i + 1) {
+                    max_length = v.parse().unwrap_or(max_length);
+                    i += 1;
+                }
+            }
+            "--seed" => {
+                if let Some(v) = args.get(i + 1) {
+                    seed = v.parse().unwrap_or(seed);
+                    i += 1;
+                }
+            }
+            "--no-edge-cases" => edge_cases = false,
+            other => eprintln!("ignoring unknown flag `{other}`"),
+        }
+        i += 1;
+    }
+    let Some(out) = out else {
+        eprintln!(
+            "usage: make_ucr_fixture --out DIR [--datasets a,b,c] [--max-instances N] \
+             [--max-length N] [--seed N] [--no-edge-cases]"
+        );
+        std::process::exit(2);
+    };
+    let names: Vec<&str> = datasets.iter().map(String::as_str).collect();
+    let options = ArchiveOptions {
+        max_train: max_instances,
+        max_test: max_instances,
+        max_length,
+        seed,
+    };
+    match write_ucr_fixture_tree(&out, &names, options, edge_cases) {
+        Ok(report) => {
+            for file in &report.files {
+                println!("  wrote {}", out.join(file).display());
+            }
+            println!(
+                "fixture tree at {} ({} catalogue datasets, {} files, seed {seed})",
+                out.display(),
+                report.datasets.len(),
+                report.files.len()
+            );
+        }
+        Err(e) => {
+            eprintln!("fixture generation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

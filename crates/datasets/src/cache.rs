@@ -39,6 +39,15 @@ const MAGIC: &[u8; 8] = b"TSGDSC1\n";
 /// "the cache can never change results" invariant.
 pub const GENERATOR_VERSION: u32 = 1;
 
+/// Serialises tests — across this whole crate — that touch the process
+/// environment. `set_var` is unsound against concurrent `getenv` on glibc,
+/// and `std::env::temp_dir()` *is* a `getenv` (`TMPDIR`), so every test in
+/// this crate's unit binary that mutates [`CACHE_DIR_ENV`] **or** creates a
+/// temp directory must hold this lock for its whole body (tests within one
+/// binary run multi-threaded).
+#[cfg(test)]
+pub(crate) static TEST_ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// The cache directory currently in effect.
 pub fn cache_dir() -> PathBuf {
     match std::env::var(CACHE_DIR_ENV) {
@@ -88,20 +97,155 @@ pub fn generate_by_name_scaled_cached(
     Ok(generate_scaled_cached(spec, options))
 }
 
-fn read_pair(path: &Path) -> Option<(Dataset, Dataset)> {
-    let bytes = std::fs::read(path).ok()?;
-    let mut cursor = &bytes[..];
-    let mut magic = [0u8; 8];
-    cursor.read_exact(&mut magic).ok()?;
-    if &magic != MAGIC {
-        return None;
+/// Reads the pair for the key, regenerating and rewriting the entry first
+/// when it is missing or corrupt, and returns the backing path with the
+/// pair. `None` when the cache directory cannot be written — callers fall
+/// back to in-memory generation.
+///
+/// The eager counterpart of [`ensure_cached`]: a warm cache costs exactly
+/// one decode (the read doubles as validation), a cold one a single write —
+/// on a miss the freshly generated pair is returned directly, which is
+/// bit-identical to reading it back because the format stores raw `f64`
+/// bits (pinned by the round-trip tests below).
+pub(crate) fn read_or_create_pair(
+    spec: &DatasetSpec,
+    options: ArchiveOptions,
+) -> Option<(PathBuf, (Dataset, Dataset))> {
+    let path = cache_path(spec, options);
+    if let Some(pair) = read_pair(&path) {
+        return Some((path, pair));
     }
-    let train = read_dataset(&mut cursor)?;
-    let test = read_dataset(&mut cursor)?;
-    if !cursor.is_empty() {
+    let pair = generate_scaled(spec, options);
+    write_pair(&path, &pair).ok()?;
+    Some((path, pair))
+}
+
+/// Guarantees a valid cache file for the key and returns its path, writing
+/// (or repairing) the entry first when it is missing or unreadable. `None`
+/// when the cache directory cannot be written — callers fall back to
+/// in-memory generation. This is the entry point of the streaming
+/// [`crate::source::SplitStream`] cached path: the stream then reads records
+/// out of the returned file one at a time instead of materialising the
+/// whole split.
+pub fn ensure_cached(spec: &DatasetSpec, options: ArchiveOptions) -> Option<PathBuf> {
+    let path = cache_path(spec, options);
+    if validate_file(&path) {
+        return Some(path);
+    }
+    let pair = generate_scaled(spec, options);
+    write_pair(&path, &pair).ok()?;
+    Some(path)
+}
+
+/// Structurally validates a cache file by walking every record with the
+/// streaming reader — one record resident at a time, never the full pair
+/// (this is what lets the streaming split path keep its O(1)-residency
+/// promise even though it validates the file before use).
+fn validate_file(path: &Path) -> bool {
+    let Some(mut reader) = CacheFileReader::open(path) else {
+        return false;
+    };
+    for _ in 0..2 {
+        let Some((_, n_series)) = reader.read_header() else {
+            return false;
+        };
+        for _ in 0..n_series {
+            if reader.read_record().is_none() {
+                return false;
+            }
+        }
+    }
+    reader.at_eof()
+}
+
+/// Reads a cached `(train, test)` pair; `None` on any corruption.
+/// Exposed to [`crate::source`] so the eager cached path shares the exact
+/// reader the cache itself uses.
+pub(crate) fn read_pair(path: &Path) -> Option<(Dataset, Dataset)> {
+    let mut reader = CacheFileReader::open(path)?;
+    let train = read_dataset(&mut reader)?;
+    let test = read_dataset(&mut reader)?;
+    if !reader.at_eof() {
         return None; // trailing garbage: treat as corrupt
     }
     Some((train, test))
+}
+
+/// Incremental reader over one cache file: magic is checked on open, then
+/// dataset headers and records are pulled off the file one at a time (the
+/// streaming split reader never holds more than one record in memory).
+pub(crate) struct CacheFileReader {
+    reader: std::io::BufReader<std::fs::File>,
+}
+
+impl CacheFileReader {
+    /// Opens the file and verifies the format magic; `None` when the file
+    /// is missing, unreadable or from a different format version.
+    pub(crate) fn open(path: &Path) -> Option<Self> {
+        let file = std::fs::File::open(path).ok()?;
+        let mut reader = std::io::BufReader::new(file);
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic).ok()?;
+        if &magic != MAGIC {
+            return None;
+        }
+        Some(CacheFileReader { reader })
+    }
+
+    /// Reads one dataset header: `(name, number of records)`.
+    pub(crate) fn read_header(&mut self) -> Option<(String, usize)> {
+        let name_len = self.read_u32()? as usize;
+        if name_len > (1 << 20) {
+            return None; // implausible name length: corrupt
+        }
+        let mut name = vec![0u8; name_len];
+        self.reader.read_exact(&mut name).ok()?;
+        let name = String::from_utf8(name).ok()?;
+        let n_series = self.read_u32()? as usize;
+        Some((name, n_series))
+    }
+
+    /// Reads one series record.
+    pub(crate) fn read_record(&mut self) -> Option<TimeSeries> {
+        let has_label = self.read_u8()?;
+        let label = self.read_u64()?;
+        let len = self.read_u32()? as usize;
+        // cap the pre-allocation so a corrupt length field cannot trigger a
+        // huge allocation before the read fails at EOF
+        let mut values = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            values.push(f64::from_bits(self.read_u64()?));
+        }
+        match has_label {
+            1 => Some(TimeSeries::with_label(values, label as usize)),
+            0 => Some(TimeSeries::new(values)),
+            _ => None,
+        }
+    }
+
+    /// Whether the reader has consumed the whole file.
+    pub(crate) fn at_eof(&mut self) -> bool {
+        use std::io::BufRead;
+        matches!(self.reader.fill_buf(), Ok(buf) if buf.is_empty())
+    }
+
+    fn read_u8(&mut self) -> Option<u8> {
+        let mut buf = [0u8; 1];
+        self.reader.read_exact(&mut buf).ok()?;
+        Some(buf[0])
+    }
+
+    fn read_u32(&mut self) -> Option<u32> {
+        let mut buf = [0u8; 4];
+        self.reader.read_exact(&mut buf).ok()?;
+        Some(u32::from_le_bytes(buf))
+    }
+
+    fn read_u64(&mut self) -> Option<u64> {
+        let mut buf = [0u8; 8];
+        self.reader.read_exact(&mut buf).ok()?;
+        Some(u64::from_le_bytes(buf))
+    }
 }
 
 fn write_pair(path: &Path, pair: &(Dataset, Dataset)) -> std::io::Result<()> {
@@ -111,9 +255,16 @@ fn write_pair(path: &Path, pair: &(Dataset, Dataset)) -> std::io::Result<()> {
     bytes.extend_from_slice(MAGIC);
     write_dataset(&mut bytes, &pair.0);
     write_dataset(&mut bytes, &pair.1);
-    // unique temp name per writer so concurrent processes never interleave;
-    // rename is atomic within the directory
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    // unique temp name per writer — process id *and* a process-wide counter,
+    // so concurrent processes and concurrent threads within one process can
+    // never interleave into the same temp file; rename is atomic within the
+    // directory, so readers only ever observe complete entries
+    static TMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let tmp = path.with_extension(format!(
+        "tmp.{}.{}",
+        std::process::id(),
+        TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
     let mut file = std::fs::File::create(&tmp)?;
     file.write_all(&bytes)?;
     file.sync_all()?;
@@ -144,74 +295,25 @@ fn write_dataset(out: &mut Vec<u8>, dataset: &Dataset) {
     }
 }
 
-fn read_dataset(cursor: &mut &[u8]) -> Option<Dataset> {
-    let name_len = read_u32(cursor)? as usize;
-    if cursor.len() < name_len {
-        return None;
-    }
-    let name = std::str::from_utf8(&cursor[..name_len]).ok()?.to_string();
-    *cursor = &cursor[name_len..];
-    let n_series = read_u32(cursor)? as usize;
+fn read_dataset(reader: &mut CacheFileReader) -> Option<Dataset> {
+    let (name, n_series) = reader.read_header()?;
     let mut dataset = Dataset::new(name);
     for _ in 0..n_series {
-        let has_label = read_u8(cursor)?;
-        let label = read_u64(cursor)?;
-        let len = read_u32(cursor)? as usize;
-        if cursor.len() < len * 8 {
-            return None;
-        }
-        let mut values = Vec::with_capacity(len);
-        for chunk in cursor[..len * 8].chunks_exact(8) {
-            values.push(f64::from_bits(u64::from_le_bytes(
-                chunk.try_into().unwrap(),
-            )));
-        }
-        *cursor = &cursor[len * 8..];
-        dataset.push(match has_label {
-            1 => TimeSeries::with_label(values, label as usize),
-            0 => TimeSeries::new(values),
-            _ => return None,
-        });
+        dataset.push(reader.read_record()?);
     }
     Some(dataset)
-}
-
-fn read_u8(cursor: &mut &[u8]) -> Option<u8> {
-    let (&first, rest) = cursor.split_first()?;
-    *cursor = rest;
-    Some(first)
-}
-
-fn read_u32(cursor: &mut &[u8]) -> Option<u32> {
-    if cursor.len() < 4 {
-        return None;
-    }
-    let value = u32::from_le_bytes(cursor[..4].try_into().unwrap());
-    *cursor = &cursor[4..];
-    Some(value)
-}
-
-fn read_u64(cursor: &mut &[u8]) -> Option<u64> {
-    if cursor.len() < 8 {
-        return None;
-    }
-    let value = u64::from_le_bytes(cursor[..8].try_into().unwrap());
-    *cursor = &cursor[8..];
-    Some(value)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU32, Ordering};
-    use std::sync::Mutex;
 
-    /// `CACHE_DIR_ENV` is process-wide; serialise the tests that set it.
-    static ENV_LOCK: Mutex<()> = Mutex::new(());
     static DIR_COUNTER: AtomicU32 = AtomicU32::new(0);
 
     fn with_temp_cache<T>(f: impl FnOnce(&Path) -> T) -> T {
-        let _guard = ENV_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        // `CACHE_DIR_ENV` is process-wide; serialise the tests that set it
+        let _guard = TEST_ENV_LOCK.lock().unwrap_or_else(|p| p.into_inner());
         let dir = std::env::temp_dir().join(format!(
             "tsg-cache-test-{}-{}",
             std::process::id(),
@@ -316,6 +418,106 @@ mod tests {
             assert_eq!(
                 train2.series()[1].values()[1].to_bits(),
                 (-0.0f64).to_bits()
+            );
+        });
+    }
+
+    #[test]
+    fn truncated_cache_regenerates_cleanly() {
+        with_temp_cache(|_| {
+            let spec = spec_by_name("Meat").unwrap();
+            let options = ArchiveOptions::bounded(6, 48, 4);
+            let fresh = generate_scaled(spec, options);
+            let path = cache_path(spec, options);
+            write_pair(&path, &fresh).unwrap();
+            let bytes = std::fs::read(&path).unwrap();
+            // cut the valid file at several points, including mid-record
+            for cut in [bytes.len() / 2, bytes.len() - 1, MAGIC.len() + 3] {
+                std::fs::write(&path, &bytes[..cut]).unwrap();
+                assert!(
+                    read_pair(&path).is_none(),
+                    "cut at {cut} must read as corrupt"
+                );
+                let pair = generate_scaled_cached(spec, options);
+                assert_eq!(pair, fresh, "truncation at {cut} changed results");
+                assert_eq!(read_pair(&path).unwrap(), fresh, "entry not repaired");
+            }
+        });
+    }
+
+    #[test]
+    fn version_bumped_entry_is_a_different_key_and_regenerates() {
+        with_temp_cache(|_| {
+            let spec = spec_by_name("Ham").unwrap();
+            let options = ArchiveOptions::bounded(6, 48, 8);
+            let fresh = generate_scaled(spec, options);
+            let current = cache_path(spec, options);
+            // a file left behind by generator version 0: same key otherwise
+            let stale = PathBuf::from(
+                current
+                    .to_string_lossy()
+                    .replace(&format!("-g{GENERATOR_VERSION}."), "-g0."),
+            );
+            assert_ne!(stale, current, "version must be part of the key");
+            std::fs::create_dir_all(stale.parent().unwrap()).unwrap();
+            // plant swapped data under the stale key: if the current version
+            // ever read it, results would visibly flip
+            write_pair(&stale, &(fresh.1.clone(), fresh.0.clone())).unwrap();
+            let pair = generate_scaled_cached(spec, options);
+            assert_eq!(pair, fresh, "stale-version entry leaked into results");
+            assert!(current.exists(), "current-version entry not written");
+            // same for a file with a bumped format magic at the current path
+            let mut bytes = std::fs::read(&current).unwrap();
+            bytes[6] = b'9'; // TSGDSC1 -> TSGDSC9
+            std::fs::write(&current, &bytes).unwrap();
+            assert!(read_pair(&current).is_none());
+            assert_eq!(generate_scaled_cached(spec, options), fresh);
+        });
+    }
+
+    #[test]
+    fn concurrent_writers_racing_on_one_key_regenerate_cleanly() {
+        with_temp_cache(|_| {
+            let spec = spec_by_name("Strawberry").unwrap();
+            let options = ArchiveOptions::bounded(8, 48, 6);
+            let fresh = generate_scaled(spec, options);
+            let path = cache_path(spec, options);
+            // every worker starts from a cold cache and races the write;
+            // atomic tmp+rename means each sees either nothing (generates)
+            // or a complete file (reads) — never a torn entry
+            let workers: Vec<usize> = (0..16).collect();
+            let pool = tsg_parallel::ThreadPool::new(8);
+            let results = pool.map(&workers, |_| generate_scaled_cached(spec, options));
+            for (i, pair) in results.iter().enumerate() {
+                assert_eq!(pair, &fresh, "worker {i} observed different data");
+            }
+            assert_eq!(read_pair(&path).unwrap(), fresh, "final entry invalid");
+            // no stray tmp files survive the race
+            let leftovers: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
+                .collect();
+            assert!(leftovers.is_empty(), "stray tmp files: {leftovers:?}");
+        });
+    }
+
+    #[test]
+    fn ensure_cached_creates_verifies_and_repairs() {
+        with_temp_cache(|_| {
+            let spec = spec_by_name("Wine").unwrap();
+            let options = ArchiveOptions::bounded(6, 48, 2);
+            let path = ensure_cached(spec, options).expect("writable cache");
+            assert!(path.exists());
+            let valid = std::fs::read(&path).unwrap();
+            // corrupt it: ensure_cached must repair in place
+            std::fs::write(&path, b"junk").unwrap();
+            let repaired = ensure_cached(spec, options).unwrap();
+            assert_eq!(repaired, path);
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                valid,
+                "repair not byte-identical"
             );
         });
     }

@@ -4,49 +4,107 @@
 //! sub-directory per dataset with `<Name>_TRAIN` / `<Name>_TEST` files, or
 //! flat files named that way), the loader reads it; otherwise callers fall
 //! back to the synthetic archive. This lets the reproduction run unchanged
-//! against the real benchmark data when licensing permits.
+//! against the real benchmark data when licensing permits. The
+//! [`crate::source::DatasetSource`] resolver builds on these functions; use
+//! it rather than calling them directly unless you need the raw paths.
+//!
+//! ## Pinned lookup precedence
+//!
+//! For each split the candidate paths are tried in this order, first hit
+//! wins (the order is part of the public contract and pinned by the layout
+//! matrix test below):
+//!
+//! 1. nested `root/Name/Name_SPLIT` with extensions `"" , .txt, .tsv, .csv`
+//! 2. flat `root/Name_SPLIT` with the same extension order
+//!
+//! i.e. the nested layout always beats the flat layout, and within a layout
+//! the extension-less name (the classic archive) beats the suffixed ones.
+//! Train and test are located independently, so a mixed tree (nested train,
+//! flat test) still loads.
 
+use crate::archive::ArchiveOptions;
 use std::path::{Path, PathBuf};
-use tsg_ts::io::read_ucr_file;
-use tsg_ts::Dataset;
+use tsg_ts::io::{read_ucr_file_with, UcrRecordParser};
+use tsg_ts::{Dataset, TsError};
 
-/// Locates the `_TRAIN`/`_TEST` pair for `name` under `root`, trying both the
-/// nested (`root/Name/Name_TRAIN`) and flat (`root/Name_TRAIN`) layouts, with
-/// and without `.txt`/`.tsv` extensions.
+/// Extension order tried for each layout (part of the pinned precedence).
+const EXTENSIONS: [&str; 4] = ["", ".txt", ".tsv", ".csv"];
+
+/// Locates the `_TRAIN`/`_TEST` pair for `name` under `root` following the
+/// pinned precedence (nested before flat, extension-less before suffixed).
+/// Returns `None` unless **both** split files exist — a lone `_TRAIN` is
+/// treated as "the directory lacks this dataset", never half-loaded.
 pub fn find_ucr_pair(root: &Path, name: &str) -> Option<(PathBuf, PathBuf)> {
-    let candidates = |suffix: &str| -> Vec<PathBuf> {
-        let mut v = Vec::new();
-        for ext in ["", ".txt", ".tsv", ".csv"] {
-            v.push(root.join(name).join(format!("{name}_{suffix}{ext}")));
-            v.push(root.join(format!("{name}_{suffix}{ext}")));
-        }
-        v
-    };
-    let train = candidates("TRAIN").into_iter().find(|p| p.exists())?;
-    let test = candidates("TEST").into_iter().find(|p| p.exists())?;
+    let train = find_split(root, name, "TRAIN")?;
+    let test = find_split(root, name, "TEST")?;
     Some((train, test))
 }
 
-/// Loads the `(train, test)` pair for a dataset from a UCR-format directory.
-pub fn load_ucr_pair(root: &Path, name: &str) -> Option<(Dataset, Dataset)> {
-    let (train_path, test_path) = find_ucr_pair(root, name)?;
-    let mut train = read_ucr_file(&train_path).ok()?;
-    let mut test = read_ucr_file(&test_path).ok()?;
+/// Locates one split file following the pinned precedence.
+pub fn find_split(root: &Path, name: &str, suffix: &str) -> Option<PathBuf> {
+    let nested = EXTENSIONS
+        .iter()
+        .map(|ext| root.join(name).join(format!("{name}_{suffix}{ext}")));
+    let flat = EXTENSIONS
+        .iter()
+        .map(|ext| root.join(format!("{name}_{suffix}{ext}")));
+    nested.chain(flat).find(|p| p.is_file())
+}
+
+/// Loads the `(train, test)` pair for a dataset from a UCR-format directory,
+/// distinguishing *absent* from *broken*:
+///
+/// * `Ok(None)` — the directory truly lacks the pair (fall back freely);
+/// * `Ok(Some(pair))` — both files present and well-formed;
+/// * `Err(_)` — the files are present but unreadable or malformed. Callers
+///   must **not** fall back to synthesis on this branch: silently
+///   substituting generated data for a broken archive file would change
+///   reported results.
+pub fn try_load_ucr_pair(root: &Path, name: &str) -> Result<Option<(Dataset, Dataset)>, TsError> {
+    let Some((train_path, test_path)) = find_ucr_pair(root, name) else {
+        return Ok(None);
+    };
+    // parse the training file first and seed the test parser with its label
+    // table: the splits of a real pair routinely list classes in different
+    // first-appearance orders, and inconsistent indices would silently
+    // corrupt every reported error rate
+    let mut train_parser = UcrRecordParser::new();
+    let mut train = read_ucr_file_with(&mut train_parser, &train_path)?;
+    let mut test = read_ucr_file_with(
+        &mut UcrRecordParser::seeded(train_parser.label_map()),
+        &test_path,
+    )?;
     train.name = format!("{name}_TRAIN");
     test.name = format!("{name}_TEST");
-    Some((train, test))
+    Ok(Some((train, test)))
+}
+
+/// Loads the `(train, test)` pair for a dataset from a UCR-format directory,
+/// folding read errors into `None`. Prefer [`try_load_ucr_pair`] (or the
+/// `DatasetSource` resolver) where the absent/broken distinction matters.
+pub fn load_ucr_pair(root: &Path, name: &str) -> Option<(Dataset, Dataset)> {
+    try_load_ucr_pair(root, name).ok().flatten()
 }
 
 /// Loads a dataset from `root` when available, otherwise synthesises it from
-/// the archive catalogue.
+/// the archive catalogue. Falls back to synthesis **only** when the
+/// directory truly lacks the `_TRAIN`/`_TEST` pair; a present-but-malformed
+/// pair is an error.
 pub fn load_or_generate(
     root: Option<&Path>,
     name: &str,
-    options: crate::archive::ArchiveOptions,
+    options: ArchiveOptions,
 ) -> Result<(Dataset, Dataset), String> {
     if let Some(root) = root {
-        if let Some(pair) = load_ucr_pair(root, name) {
-            return Ok(pair);
+        match try_load_ucr_pair(root, name) {
+            Ok(Some(pair)) => return Ok(pair),
+            Ok(None) => {} // truly absent: synthesise below
+            Err(e) => {
+                return Err(format!(
+                    "UCR pair for `{name}` under {} is unreadable: {e}",
+                    root.display()
+                ))
+            }
         }
     }
     crate::archive::generate_by_name_scaled(name, options)
@@ -56,46 +114,186 @@ pub fn load_or_generate(
 mod tests {
     use super::*;
     use crate::archive::ArchiveOptions;
+    use std::sync::atomic::{AtomicU32, Ordering};
     use tsg_ts::io::write_ucr_file;
     use tsg_ts::TimeSeries;
 
-    fn write_toy_archive(dir: &Path) {
-        std::fs::create_dir_all(dir.join("Toy")).unwrap();
+    static DIR_COUNTER: AtomicU32 = AtomicU32::new(0);
+
+    fn temp_root(tag: &str) -> PathBuf {
+        // temp_dir() is a getenv; hold the crate's env lock so it cannot
+        // race a sibling test's setenv (see TEST_ENV_LOCK)
+        let _guard = crate::cache::TEST_ENV_LOCK
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        let dir = std::env::temp_dir().join(format!(
+            "tsg-loader-{tag}-{}-{}",
+            std::process::id(),
+            DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn toy_pair(marker: f64) -> (Dataset, Dataset) {
         let mut train = Dataset::new("Toy_TRAIN");
-        train.push(TimeSeries::with_label(vec![0.0, 1.0, 2.0], 0));
-        train.push(TimeSeries::with_label(vec![2.0, 1.0, 0.0], 1));
+        train.push(TimeSeries::with_label(vec![marker, 1.0, 2.0], 0));
+        train.push(TimeSeries::with_label(vec![2.0, 1.0, marker], 1));
         let mut test = Dataset::new("Toy_TEST");
-        test.push(TimeSeries::with_label(vec![0.1, 1.1, 2.1], 0));
-        write_ucr_file(&train, dir.join("Toy").join("Toy_TRAIN")).unwrap();
-        write_ucr_file(&test, dir.join("Toy").join("Toy_TEST")).unwrap();
+        test.push(TimeSeries::with_label(vec![0.1, 1.1, marker], 0));
+        (train, test)
+    }
+
+    fn write_pair(root: &Path, name: &str, nested: bool, ext: &str, marker: f64) {
+        let (train, test) = toy_pair(marker);
+        let dir = if nested {
+            root.join(name)
+        } else {
+            root.to_path_buf()
+        };
+        std::fs::create_dir_all(&dir).unwrap();
+        write_ucr_file(&train, dir.join(format!("{name}_TRAIN{ext}"))).unwrap();
+        write_ucr_file(&test, dir.join(format!("{name}_TEST{ext}"))).unwrap();
     }
 
     #[test]
-    fn loads_nested_layout() {
-        let dir = std::env::temp_dir().join("tsg_datasets_loader_test");
-        std::fs::remove_dir_all(&dir).ok();
-        write_toy_archive(&dir);
-        let (train, test) = load_ucr_pair(&dir, "Toy").unwrap();
-        assert_eq!(train.len(), 2);
-        assert_eq!(test.len(), 1);
-        assert_eq!(train.name, "Toy_TRAIN");
-        std::fs::remove_dir_all(&dir).ok();
+    fn layout_matrix_every_layout_and_extension_loads() {
+        for nested in [true, false] {
+            for ext in EXTENSIONS {
+                let root = temp_root("matrix");
+                write_pair(&root, "Toy", nested, ext, 7.5);
+                let (train_path, test_path) = find_ucr_pair(&root, "Toy")
+                    .unwrap_or_else(|| panic!("nested={nested} ext={ext:?} not found"));
+                assert!(train_path
+                    .to_string_lossy()
+                    .ends_with(&format!("Toy_TRAIN{ext}")));
+                assert!(test_path
+                    .to_string_lossy()
+                    .ends_with(&format!("Toy_TEST{ext}")));
+                let (train, test) = load_ucr_pair(&root, "Toy").unwrap();
+                assert_eq!(train.len(), 2);
+                assert_eq!(test.len(), 1);
+                assert_eq!(train.name, "Toy_TRAIN");
+                assert_eq!(train.series()[0].values()[0], 7.5);
+                std::fs::remove_dir_all(&root).ok();
+            }
+        }
+    }
+
+    #[test]
+    fn nested_layout_beats_flat_when_both_exist() {
+        let root = temp_root("precedence");
+        write_pair(&root, "Toy", true, "", 1.0); // nested, marker 1.0
+        write_pair(&root, "Toy", false, ".txt", 2.0); // flat, marker 2.0
+        let (train, _) = load_ucr_pair(&root, "Toy").unwrap();
+        assert_eq!(
+            train.series()[0].values()[0],
+            1.0,
+            "pinned precedence: nested must win over flat"
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn extensionless_beats_suffixed_within_a_layout() {
+        let root = temp_root("ext-precedence");
+        write_pair(&root, "Toy", false, ".tsv", 3.0);
+        write_pair(&root, "Toy", false, "", 4.0);
+        write_pair(&root, "Toy", false, ".csv", 5.0);
+        let (train, _) = load_ucr_pair(&root, "Toy").unwrap();
+        assert_eq!(
+            train.series()[0].values()[0],
+            4.0,
+            "\"\" must beat .tsv/.csv"
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn mixed_layout_pair_still_loads() {
+        let root = temp_root("mixed");
+        // train nested, test flat — located independently
+        let (train, test) = toy_pair(9.0);
+        std::fs::create_dir_all(root.join("Toy")).unwrap();
+        write_ucr_file(&train, root.join("Toy").join("Toy_TRAIN")).unwrap();
+        write_ucr_file(&test, root.join("Toy_TEST.txt")).unwrap();
+        assert!(find_ucr_pair(&root, "Toy").is_some());
+        assert!(load_ucr_pair(&root, "Toy").is_some());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn lone_train_means_pair_absent() {
+        let root = temp_root("lone");
+        let (train, _) = toy_pair(1.0);
+        write_ucr_file(&train, root.join("Toy_TRAIN.txt")).unwrap();
+        assert!(find_ucr_pair(&root, "Toy").is_none());
+        assert!(load_ucr_pair(&root, "Toy").is_none());
+        assert!(try_load_ucr_pair(&root, "Toy").unwrap().is_none());
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]
     fn missing_files_return_none() {
-        let dir = std::env::temp_dir().join("tsg_datasets_loader_missing");
-        std::fs::create_dir_all(&dir).unwrap();
-        assert!(load_ucr_pair(&dir, "Nothing").is_none());
-        std::fs::remove_dir_all(&dir).ok();
+        let root = temp_root("missing");
+        assert!(load_ucr_pair(&root, "Nothing").is_none());
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]
-    fn load_or_generate_falls_back_to_synthetic() {
-        let (train, test) =
-            load_or_generate(None, "BeetleFly", ArchiveOptions::bounded(10, 64, 1)).unwrap();
+    fn malformed_pair_is_err_not_none() {
+        let root = temp_root("malformed");
+        std::fs::write(root.join("Toy_TRAIN.txt"), "1,0.5,garbage\n").unwrap();
+        std::fs::write(root.join("Toy_TEST.txt"), "1,0.5,0.6\n").unwrap();
+        assert!(try_load_ucr_pair(&root, "Toy").is_err());
+        // the lossy wrapper folds it to None for legacy callers
+        assert!(load_ucr_pair(&root, "Toy").is_none());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn pair_shares_one_label_table_across_splits() {
+        // TRAIN sees raw labels 4, 8; TEST lists them in the opposite order
+        // — the shared table must keep 4 → 0 and 8 → 1 in both splits
+        let root = temp_root("labels");
+        std::fs::write(root.join("Toy_TRAIN.txt"), "4,0.5,0.6\n8,1.0,1.1\n").unwrap();
+        std::fs::write(root.join("Toy_TEST.txt"), "8,1.5,1.6\n4,0.1,0.2\n").unwrap();
+        let (train, test) = try_load_ucr_pair(&root, "Toy").unwrap().unwrap();
+        assert_eq!(train.labels_required().unwrap(), vec![0, 1]);
+        assert_eq!(test.labels_required().unwrap(), vec![1, 0]);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn load_or_generate_falls_back_only_when_pair_truly_absent() {
+        let options = ArchiveOptions::bounded(10, 64, 1);
+        // no directory at all: synthesis
+        let (train, test) = load_or_generate(None, "BeetleFly", options).unwrap();
         assert!(!train.is_empty());
         assert!(!test.is_empty());
-        assert!(load_or_generate(None, "Unknown", ArchiveOptions::bounded(10, 64, 1)).is_err());
+        assert!(load_or_generate(None, "Unknown", options).is_err());
+
+        // directory lacking the pair (lone _TRAIN): synthesis
+        let root = temp_root("fallback");
+        let (toy_train, _) = toy_pair(1.0);
+        write_ucr_file(&toy_train, root.join("BeetleFly_TRAIN.txt")).unwrap();
+        let (train2, _) = load_or_generate(Some(&root), "BeetleFly", options).unwrap();
+        assert_eq!(train2, train, "fallback must reproduce pure synthesis");
+
+        // present but malformed pair: hard error, never silent synthesis
+        std::fs::write(root.join("BeetleFly_TEST.txt"), "1,0.5,nope\n").unwrap();
+        assert!(load_or_generate(Some(&root), "BeetleFly", options).is_err());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn real_pair_wins_over_synthesis() {
+        let root = temp_root("wins");
+        write_pair(&root, "BeetleFly", true, ".txt", 42.0);
+        let options = ArchiveOptions::bounded(10, 64, 1);
+        let (train, _) = load_or_generate(Some(&root), "BeetleFly", options).unwrap();
+        assert_eq!(train.len(), 2);
+        assert_eq!(train.series()[0].values()[0], 42.0);
+        std::fs::remove_dir_all(&root).ok();
     }
 }

@@ -94,6 +94,19 @@ pub fn fmt3(value: f64) -> String {
     format!("{value:.3}")
 }
 
+/// Formats a 64-bit content hash as fixed-width lowercase hex — the
+/// rendering used for dataset provenance columns (file fingerprints) in
+/// experiment tables and artefacts.
+pub fn fmt_hash(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+/// [`fmt_hash`] for optional hashes; `None` renders as `-` so provenance
+/// columns stay aligned for synthetic (hash-less) datasets.
+pub fn fmt_hash_opt(hash: Option<u64>) -> String {
+    hash.map(fmt_hash).unwrap_or_else(|| "-".to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,6 +132,15 @@ mod tests {
         let lines: Vec<&str> = txt.lines().collect();
         assert!(lines[0].starts_with("Dataset"));
         assert!(lines[2].starts_with("ArrowHead"));
+    }
+
+    #[test]
+    fn hash_formatting_is_fixed_width_hex() {
+        assert_eq!(fmt_hash(0), "0000000000000000");
+        assert_eq!(fmt_hash(0xdeadbeef), "00000000deadbeef");
+        assert_eq!(fmt_hash(u64::MAX), "ffffffffffffffff");
+        assert_eq!(fmt_hash_opt(Some(1)), "0000000000000001");
+        assert_eq!(fmt_hash_opt(None), "-");
     }
 
     #[test]

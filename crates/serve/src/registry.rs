@@ -1,12 +1,15 @@
 //! The model registry: named, fitted [`MvgClassifier`] instances behind
 //! `Arc`s, each with its own micro-batch scheduler.
 //!
-//! Models are fitted either from the [`tsg_datasets`] catalogue (training
-//! splits come from the on-disk dataset cache, so refitting a known dataset
-//! does not regenerate its series) or from training series supplied inline
-//! in the fit request. Fitting replaces an existing model of the same name
-//! atomically: in-flight requests against the old model finish on the old
-//! batcher before it is torn down.
+//! Models are fitted either from the [`tsg_datasets`] catalogue — resolved
+//! through the unified [`tsg_datasets::DatasetSource`], so a real UCR
+//! directory (`TSG_UCR_DIR`) takes precedence and the on-disk dataset cache
+//! keeps refits of a known dataset from regenerating its series — or from
+//! training series supplied inline in the fit request. Each model records
+//! the provenance of its training split (`synthetic` / `cached` / `real` /
+//! `inline`) in its [`ModelInfo`]. Fitting replaces an existing model of the
+//! same name atomically: in-flight requests against the old model finish on
+//! the old batcher before it is torn down.
 
 use crate::batcher::{BatchConfig, Batcher, ClassifyError, ClassifyOutput};
 use crate::metrics::ServerMetrics;
@@ -86,6 +89,9 @@ pub struct ModelInfo {
     pub n_features: usize,
     /// Wall-clock fit time in seconds.
     pub fit_seconds: f64,
+    /// Where the training split came from: `synthetic`, `cached`, `real`
+    /// (a UCR directory via `TSG_UCR_DIR`) or `inline`.
+    pub provenance: String,
 }
 
 /// A fitted model plus its scheduler.
@@ -172,14 +178,24 @@ impl ModelRegistry {
     ) -> Result<ModelInfo, RegistryError> {
         let config = config_named(config_name, seed, self.n_threads)
             .ok_or_else(|| RegistryError::UnknownConfig(config_name.to_string()))?;
-        let (train, dataset_name) = match source {
+        let (train, dataset_name, provenance) = match source {
             TrainingSource::Catalogue { dataset, options } => {
-                let (train, _test) =
-                    tsg_datasets::cache::generate_by_name_scaled_cached(&dataset, options)
-                        .map_err(|_| RegistryError::UnknownDataset(dataset.clone()))?;
-                (train, Some(dataset))
+                // the unified resolver: TSG_UCR_DIR (real files) first, the
+                // on-disk cache behind it, synthesis last. Only the training
+                // split is materialised — fitting never touches (or hashes)
+                // the often much larger _TEST file.
+                let (train, provenance) = tsg_datasets::DatasetSource::from_env(options)
+                    .resolve_split(&dataset, tsg_datasets::Split::Train)
+                    .map_err(|e| match e {
+                        tsg_datasets::SourceError::UnknownDataset(_) => {
+                            RegistryError::UnknownDataset(dataset.clone())
+                        }
+                        other => RegistryError::Fit(other.to_string()),
+                    })?;
+                let provenance = provenance.kind.as_str().to_string();
+                (train, Some(dataset), provenance)
             }
-            TrainingSource::Inline(train) => (train, None),
+            TrainingSource::Inline(train) => (train, None, "inline".to_string()),
         };
         let started = Instant::now();
         let mut clf = MvgClassifier::new(config);
@@ -193,6 +209,7 @@ impl ModelRegistry {
             n_classes: clf.n_classes(),
             n_features: clf.feature_names().len(),
             fit_seconds: started.elapsed().as_secs_f64(),
+            provenance,
         };
         let entry = Arc::new(ModelEntry {
             info: info.clone(),
@@ -281,6 +298,13 @@ mod tests {
         assert_eq!(info.dataset.as_deref(), Some("BeetleFly"));
         assert_eq!(info.n_classes, 2);
         assert!(info.n_features > 0);
+        // no TSG_UCR_DIR in the test environment: catalogue fits resolve
+        // through the cache (or pure synthesis when the cache dir is absent)
+        assert!(
+            info.provenance == "cached" || info.provenance == "synthetic",
+            "unexpected provenance {}",
+            info.provenance
+        );
         let entry = r.get("demo").unwrap();
         let series = vec![TimeSeries::new((0..64).map(|t| (t as f64).sin()).collect())];
         let out = entry.classify(series, false).unwrap();
@@ -313,6 +337,7 @@ mod tests {
             .unwrap();
         assert!(info.dataset.is_none());
         assert_eq!(info.n_train, 6);
+        assert_eq!(info.provenance, "inline");
     }
 
     #[test]

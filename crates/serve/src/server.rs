@@ -277,6 +277,7 @@ fn model_info_json(info: &crate::registry::ModelInfo) -> Json {
         ("n_classes", Json::Num(info.n_classes as f64)),
         ("n_features", Json::Num(info.n_features as f64)),
         ("fit_seconds", Json::Num(info.fit_seconds)),
+        ("provenance", Json::Str(info.provenance.clone())),
     ])
 }
 

@@ -1,0 +1,146 @@
+//! Property-based round-trip suite for the UCR text format.
+//!
+//! The ingestion layer must be *bit-exact*: a write→read cycle may never
+//! perturb a single mantissa bit, because downstream feature extraction is
+//! pinned bit-for-bit by the conformance and determinism suites. These
+//! properties drive arbitrary lengths, labels and adversarial `f64` values
+//! (negative zero, subnormals, extreme magnitudes) through
+//! [`to_ucr_string`] / [`parse_ucr`] and the file-level wrappers, and check
+//! that malformed inputs come back as `Err` instead of panicking.
+
+use proptest::prelude::*;
+use tsg_ts::io::{
+    parse_ucr, read_ucr_file, to_ucr_string, to_ucr_string_with, write_ucr_file,
+    write_ucr_file_with, UcrSeparator,
+};
+use tsg_ts::{Dataset, TimeSeries};
+
+/// Finite `f64` values biased toward the representations that break naive
+/// serialisers: negative zero, subnormals, tiny and near-overflow magnitudes.
+fn tricky_value() -> impl Strategy<Value = f64> {
+    (0u8..6, -1e3..1e3f64, 0u64..u64::MAX).prop_map(|(kind, v, bits)| match kind {
+        0 => v,
+        1 => v * 1e297,                            // extreme magnitude (≤ 1e300)
+        2 => f64::from_bits(bits % (1u64 << 52)),  // subnormal or zero
+        3 => -f64::from_bits(bits % (1u64 << 52)), // negative subnormal
+        4 => -0.0,
+        _ => v * 1e-300, // tiny normal
+    })
+}
+
+/// Arbitrary labeled datasets with variable series lengths (which exercises
+/// the trailing-NaN padding on write) and arbitrary integer labels.
+fn arbitrary_dataset() -> impl Strategy<Value = Vec<(usize, Vec<f64>)>> {
+    prop::collection::vec(
+        (0usize..1000, prop::collection::vec(tricky_value(), 1..16)),
+        1..6,
+    )
+}
+
+fn build(records: &[(usize, Vec<f64>)]) -> Dataset {
+    let mut d = Dataset::new("prop");
+    for (label, values) in records {
+        d.push(TimeSeries::with_label(values.clone(), *label));
+    }
+    d
+}
+
+fn value_bits(d: &Dataset) -> Vec<Vec<u64>> {
+    d.series()
+        .iter()
+        .map(|s| s.values().iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+/// Checks that parsed labels are a consistent relabelling of the originals:
+/// same partition into classes, remapped to `0..k` in order of first
+/// appearance (the documented reader contract).
+fn assert_labels_consistent(original: &Dataset, parsed: &Dataset) -> Result<(), TestCaseError> {
+    prop_assert_eq!(original.len(), parsed.len());
+    let mut seen: Vec<usize> = Vec::new(); // original label of class index i
+    for (o, p) in original.series().iter().zip(parsed.series()) {
+        let (o, p) = (o.label().unwrap(), p.label().unwrap());
+        match seen.iter().position(|l| *l == o) {
+            // same class ⇒ same remapped index; new class ⇒ next index
+            Some(idx) => prop_assert_eq!(p, idx),
+            None => {
+                prop_assert_eq!(p, seen.len());
+                seen.push(o);
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn string_roundtrip_is_bit_exact(records in arbitrary_dataset()) {
+        let d = build(&records);
+        let parsed = parse_ucr(&to_ucr_string(&d).unwrap(), "prop").unwrap();
+        prop_assert_eq!(value_bits(&d), value_bits(&parsed));
+        assert_labels_consistent(&d, &parsed)?;
+    }
+
+    #[test]
+    fn tab_flavour_parses_identically(records in arbitrary_dataset()) {
+        let d = build(&records);
+        let comma = parse_ucr(&to_ucr_string(&d).unwrap(), "prop").unwrap();
+        let tab = parse_ucr(&to_ucr_string_with(&d, UcrSeparator::Tab).unwrap(), "prop").unwrap();
+        prop_assert_eq!(comma, tab);
+    }
+
+    #[test]
+    fn file_roundtrip_is_bit_exact(records in arbitrary_dataset(), tab in 0u8..2) {
+        let d = build(&records);
+        let dir = std::env::temp_dir().join(format!("tsg_ucr_prop_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("prop_{tab}_TRAIN.txt"));
+        if tab == 1 {
+            write_ucr_file_with(&d, &path, UcrSeparator::Tab).unwrap();
+        } else {
+            write_ucr_file(&d, &path).unwrap();
+        }
+        let parsed = read_ucr_file(&path).unwrap();
+        prop_assert_eq!(value_bits(&d), value_bits(&parsed));
+        assert_labels_consistent(&d, &parsed)?;
+    }
+
+    #[test]
+    fn corrupting_one_token_is_an_error_not_a_panic(
+        records in arbitrary_dataset(),
+        pick in 0usize..1000,
+    ) {
+        let d = build(&records);
+        let good = to_ucr_string(&d).unwrap();
+        // replace one value token with garbage
+        let mut tokens: Vec<String> = good.lines().next().unwrap()
+            .split(',').map(str::to_string).collect();
+        let slot = 1 + pick % (tokens.len() - 1);
+        tokens[slot] = "x42x".into();
+        let mut corrupted: Vec<String> = good.lines().map(str::to_string).collect();
+        corrupted[0] = tokens.join(",");
+        prop_assert!(parse_ucr(&corrupted.join("\n"), "bad").is_err());
+    }
+
+    #[test]
+    fn ragged_extension_is_an_error(records in arbitrary_dataset()) {
+        let good = to_ucr_string(&build(&records)).unwrap();
+        // append a record with one extra field: ragged, must not parse
+        let first = good.lines().next().unwrap();
+        let ragged = format!("{good}{first},1.5\n");
+        prop_assert!(parse_ucr(&ragged, "bad").is_err());
+    }
+}
+
+#[test]
+fn empty_and_whitespace_only_files_are_errors() {
+    assert!(parse_ucr("", "bad").is_err());
+    assert!(parse_ucr("  \n\t\n", "bad").is_err());
+}
+
+#[test]
+fn reading_a_missing_file_is_an_error() {
+    assert!(read_ucr_file("/nonexistent/lone_TRAIN.txt").is_err());
+}
