@@ -1,0 +1,451 @@
+//! File discovery and per-file analysis.
+//!
+//! The engine walks the workspace (`crates/*` plus the root facade's `src/`
+//! and `tests/`), lexes every `.rs` file, strips `#[cfg(test)]` items for
+//! rules that do not opt into test code, evaluates each in-scope rule's
+//! matcher, and resolves `tsg-allow` suppressions into a final
+//! [`Report`]. `vendor/` (offline stand-ins for external crates) and build
+//! output are never scanned.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::rules::{self, RULES, SUPPRESSION_RULE};
+use crate::suppress::{self, SuppressionIndex};
+use std::path::{Path, PathBuf};
+
+/// One reportable violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Explanation.
+    pub message: String,
+}
+
+/// A violation silenced by a reasoned `tsg-allow` directive.
+#[derive(Debug, Clone)]
+pub struct Suppressed {
+    /// The finding that would have been reported.
+    pub finding: Finding,
+    /// The directive's justification.
+    pub reason: String,
+}
+
+/// One `unsafe` occurrence, documented or not (the audit inventory).
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Whether an adjacent `// SAFETY:` comment exists.
+    pub documented: bool,
+}
+
+/// The full analysis result.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings — any entry here fails the run.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by reasoned suppressions.
+    pub suppressed: Vec<Suppressed>,
+    /// Every `unsafe` site in the workspace.
+    pub unsafe_inventory: Vec<UnsafeSite>,
+    /// Number of files analysed.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the workspace is clean (no unsuppressed findings).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Merges another file's results into this report.
+    fn absorb(&mut self, other: Report) {
+        self.findings.extend(other.findings);
+        self.suppressed.extend(other.suppressed);
+        self.unsafe_inventory.extend(other.unsafe_inventory);
+        self.files_scanned += other.files_scanned;
+    }
+}
+
+/// Analyses a single source text as `crate_name`/`rel_path` (the workspace
+/// walker supplies `display_path` for anchors; tests can synthesise any
+/// combination).
+pub fn analyze_source(
+    crate_name: &str,
+    rel_path: &str,
+    display_path: &str,
+    source: &str,
+) -> Report {
+    let tokens = lex(source);
+    let (directives, directive_errors) = suppress::collect(&tokens);
+    let suppressions = SuppressionIndex::new(directives);
+
+    // comment lines carrying a SAFETY justification, for unsafe-audit. A
+    // justification often wraps over several `//` lines (each its own
+    // comment token), so a contiguous run of comment lines counts as one
+    // block: if any line of the run says SAFETY:, every line of the run
+    // carries it — the `unsafe` below a three-line block is documented.
+    let comment_lines: std::collections::BTreeSet<u32> = tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Comment)
+        .flat_map(|t| {
+            let extra = t.text.matches('\n').count() as u32;
+            t.line..=t.line + extra
+        })
+        .collect();
+    let mut safety_lines: Vec<u32> = Vec::new();
+    for t in tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Comment && t.text.contains("SAFETY:"))
+    {
+        let mut line = t.line;
+        safety_lines.push(line);
+        // extend down through the rest of the contiguous comment run
+        while comment_lines.contains(&(line + 1)) {
+            line += 1;
+            safety_lines.push(line);
+        }
+    }
+
+    // two code views: with and without test items
+    let all_code: Vec<&Tok> = tokens
+        .iter()
+        .filter(|t| t.kind != TokKind::Comment)
+        .collect();
+    let test_file = is_test_tree(rel_path);
+    let non_test_code: Vec<&Tok> = if test_file {
+        Vec::new()
+    } else {
+        strip_cfg_test_items(&all_code)
+    };
+
+    let mut report = Report {
+        files_scanned: 1,
+        ..Report::default()
+    };
+
+    // meta-rule: malformed directives and unknown rule names
+    for err in directive_errors {
+        report.findings.push(Finding {
+            rule: SUPPRESSION_RULE.to_string(),
+            file: display_path.to_string(),
+            line: err.line,
+            message: err.message,
+        });
+    }
+    for directive in suppressions.entries() {
+        for rule in &directive.rules {
+            if !rules::is_known_rule(rule) {
+                report.findings.push(Finding {
+                    rule: SUPPRESSION_RULE.to_string(),
+                    file: display_path.to_string(),
+                    line: directive.line,
+                    message: format!("tsg-allow names unknown rule `{rule}`"),
+                });
+            }
+        }
+    }
+
+    for rule in RULES {
+        if !rule.applies_to(crate_name, rel_path) {
+            continue;
+        }
+        if test_file && !rule.include_tests {
+            continue;
+        }
+        let toks: &[&Tok] = if rule.include_tests {
+            &all_code
+        } else {
+            &non_test_code
+        };
+        for raw in rules::check(rule, toks, &safety_lines) {
+            let finding = Finding {
+                rule: rule.id.to_string(),
+                file: display_path.to_string(),
+                line: raw.line,
+                message: raw.message,
+            };
+            match suppressions.lookup(rule.id, raw.line) {
+                Some(s) => report.suppressed.push(Suppressed {
+                    finding,
+                    reason: s.reason.clone(),
+                }),
+                None => report.findings.push(finding),
+            }
+        }
+    }
+
+    // the unsafe inventory lists *every* site, documented or not
+    for tok in &all_code {
+        if tok.is_ident("unsafe") {
+            let documented = safety_lines
+                .iter()
+                .any(|&l| l <= tok.line && tok.line - l <= 2);
+            report.unsafe_inventory.push(UnsafeSite {
+                file: display_path.to_string(),
+                line: tok.line,
+                documented,
+            });
+        }
+    }
+
+    report
+}
+
+/// Whether a crate-relative path lives in a test-only tree.
+fn is_test_tree(rel_path: &str) -> bool {
+    ["tests/", "benches/", "examples/"]
+        .iter()
+        .any(|p| rel_path.starts_with(p))
+}
+
+/// Removes items annotated `#[cfg(test)]` (and `#[test]`-style attributes'
+/// items) from a comment-free token stream. `#[cfg(not(test))]` is *kept* —
+/// that is production code. The scan is structural: after a test attribute,
+/// the next item is skipped either to its `;` or through its balanced brace
+/// block.
+fn strip_cfg_test_items<'t>(code: &[&'t Tok]) -> Vec<&'t Tok> {
+    let mut kept = Vec::with_capacity(code.len());
+    let mut i = 0usize;
+    while i < code.len() {
+        if code[i].is_punct('#') && code.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            if let Some(close) = matching_bracket(code, i + 1) {
+                let idents: Vec<&str> = code[i + 1..close]
+                    .iter()
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.as_str())
+                    .collect();
+                let is_test_attr = (idents.contains(&"cfg")
+                    && idents.contains(&"test")
+                    && !idents.contains(&"not"))
+                    || idents == ["test"];
+                if is_test_attr {
+                    i = skip_item(code, close + 1);
+                    continue;
+                }
+            }
+        }
+        kept.push(code[i]);
+        i += 1;
+    }
+    kept
+}
+
+/// Index of the `]` matching the `[` at `open` (None when unbalanced).
+fn matching_bracket(code: &[&Tok], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, tok) in code.iter().enumerate().skip(open) {
+        if tok.is_punct('[') {
+            depth += 1;
+        } else if tok.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Skips one item starting at `from`: any further attributes, then either a
+/// `;`-terminated item or a balanced `{...}` block. Returns the index after
+/// the item.
+fn skip_item(code: &[&Tok], mut from: usize) -> usize {
+    // further attributes on the same item
+    while from < code.len()
+        && code[from].is_punct('#')
+        && code.get(from + 1).is_some_and(|t| t.is_punct('['))
+    {
+        match matching_bracket(code, from + 1) {
+            Some(close) => from = close + 1,
+            None => return code.len(),
+        }
+    }
+    let mut depth = 0usize;
+    let mut j = from;
+    while j < code.len() {
+        let tok = code[j];
+        if tok.is_punct('{') {
+            depth += 1;
+        } else if tok.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return j + 1;
+            }
+        } else if tok.is_punct(';') && depth == 0 {
+            return j + 1;
+        }
+        j += 1;
+    }
+    code.len()
+}
+
+/// Analyses every source file reachable from `root` (a workspace checkout
+/// with the `crates/<name>/…` layout). Results are ordered by file path so
+/// reports are diffable.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files: Vec<(String, String, PathBuf)> = Vec::new(); // (crate, rel, abs)
+
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for crate_dir in crate_dirs {
+            let dir_name = crate_dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let crate_name = format!("tsg_{dir_name}");
+            collect_rs_files(&crate_dir, &crate_dir, &crate_name, &mut files)?;
+        }
+    }
+    // the root facade package
+    for top in ["src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(&dir, root, "tsc_mvg", &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    for (crate_name, rel_path, abs_path) in files {
+        let source = std::fs::read_to_string(&abs_path)?;
+        let display = abs_path
+            .strip_prefix(root)
+            .unwrap_or(&abs_path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        report.absorb(analyze_source(&crate_name, &rel_path, &display, &source));
+    }
+    report.findings.sort_by(order_findings);
+    report
+        .suppressed
+        .sort_by(|a, b| order_findings(&a.finding, &b.finding));
+    report
+        .unsafe_inventory
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(report)
+}
+
+fn order_findings(a: &Finding, b: &Finding) -> std::cmp::Ordering {
+    (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule))
+}
+
+/// Recursively gathers `.rs` files under `dir`, recording paths relative to
+/// `crate_root`. `target` build dirs are skipped.
+fn collect_rs_files(
+    dir: &Path,
+    crate_root: &Path,
+    crate_name: &str,
+    out: &mut Vec<(String, String, PathBuf)>,
+) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, crate_root, crate_name, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(crate_root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push((crate_name.to_string(), rel, path));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_items_are_stripped() {
+        let src = "use std::collections::HashMap;\n\
+                   #[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+        let report = analyze_source("tsg_core", "src/lib.rs", "crates/core/src/lib.rs", src);
+        // only the production HashMap (line 1) surfaces
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].line, 1);
+        assert_eq!(report.findings[0].rule, "det-collections");
+    }
+
+    #[test]
+    fn cfg_not_test_is_production() {
+        let src = "#[cfg(not(test))]\nuse std::collections::HashMap;\n";
+        let report = analyze_source("tsg_core", "src/lib.rs", "f.rs", src);
+        assert_eq!(report.findings.len(), 1);
+    }
+
+    #[test]
+    fn test_tree_files_are_exempt_from_non_test_rules() {
+        let src = "use std::collections::HashMap;\n";
+        let report = analyze_source("tsg_core", "tests/foo.rs", "crates/core/tests/foo.rs", src);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn unsafe_audit_covers_test_trees() {
+        let src = "fn f() { unsafe { std::hint::unreachable_unchecked() } }\n";
+        let report = analyze_source("tsg_core", "tests/foo.rs", "t.rs", src);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, "unsafe-audit");
+        assert_eq!(report.unsafe_inventory.len(), 1);
+        assert!(!report.unsafe_inventory[0].documented);
+    }
+
+    #[test]
+    fn safety_comment_documents_unsafe() {
+        let src =
+            "fn f() {\n    // SAFETY: the invariant holds because …\n    unsafe { work() }\n}\n";
+        let report = analyze_source("tsg_core", "src/lib.rs", "f.rs", src);
+        assert!(report.is_clean(), "{:?}", report.findings);
+        assert!(report.unsafe_inventory[0].documented);
+    }
+
+    #[test]
+    fn suppression_silences_and_records() {
+        let src = "// tsg-allow(det-time): timing is the module's purpose\n\
+                   use std::time::Instant;\n";
+        let report = analyze_source(
+            "tsg_eval",
+            "src/timing.rs",
+            "crates/eval/src/timing.rs",
+            src,
+        );
+        assert!(report.is_clean(), "{:?}", report.findings);
+        assert_eq!(report.suppressed.len(), 1);
+        assert_eq!(
+            report.suppressed[0].reason,
+            "timing is the module's purpose"
+        );
+    }
+
+    #[test]
+    fn unknown_rule_in_suppression_is_a_finding() {
+        let src = "// tsg-allow(no-such-rule): whatever\nfn f() {}\n";
+        let report = analyze_source("tsg_core", "src/lib.rs", "f.rs", src);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, "suppression");
+    }
+}

@@ -1,0 +1,408 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! The rule engine does not need a full parse of the language — only a
+//! token stream that is *never confused* by the places naive text matching
+//! goes wrong: comments, string literals (including raw strings with `#`
+//! fences), char literals versus lifetimes, and nested block comments. The
+//! scanner produces every token with its 1-based source line so findings
+//! carry `file:line` anchors, and keeps comments as tokens of their own
+//! because two rule families read them (`// SAFETY:` adjacency and
+//! `// tsg-allow(...)` suppressions).
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the scanner does not distinguish).
+    Ident,
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character literal (`'a'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a` — no closing quote).
+    Lifetime,
+    /// Numeric literal.
+    Number,
+    /// Line or block comment, text preserved verbatim.
+    Comment,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Lexeme kind.
+    pub kind: TokKind,
+    /// The token's text. Comments keep their delimiters; strings keep their
+    /// quotes (rules never need string *content*, only that it is a string).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// Scans `source` into tokens. The scanner is total: any byte sequence
+/// produces *some* token stream (unknown characters become punctuation), so
+/// the analyzer never refuses a file it cannot fully understand.
+pub fn lex(source: &str) -> Vec<Tok> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                ' ' | '\t' | '\r' => self.bump(),
+                '\n' => {
+                    self.line += 1;
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed_string(line),
+                c => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    /// Consumes one char, tracking line numbers, and returns it.
+    fn take(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.bump();
+        Some(c)
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Comment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.take() {
+            text.push(c);
+            let len = text.len();
+            if len >= 2 && text.ends_with("/*") {
+                depth += 1;
+            } else if len >= 2 && text.ends_with("*/") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+        self.push(TokKind::Comment, text, line);
+    }
+
+    /// A plain `"…"` string with backslash escapes.
+    fn string(&mut self, line: u32) {
+        let mut text = String::new();
+        text.push(self.take().unwrap_or('"'));
+        while let Some(c) = self.take() {
+            text.push(c);
+            if c == '\\' {
+                if let Some(escaped) = self.take() {
+                    text.push(escaped);
+                }
+            } else if c == '"' {
+                break;
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// A raw string `r"…"` / `r#"…"#` (no escapes; closed by `"` plus the
+    /// same number of `#` fences it was opened with). The caller has already
+    /// consumed the `r`/`br` prefix.
+    fn raw_string(&mut self, mut text: String, line: u32) {
+        let mut fences = 0usize;
+        while self.peek(0) == Some('#') {
+            fences += 1;
+            text.push('#');
+            self.bump();
+        }
+        if self.peek(0) == Some('"') {
+            text.push('"');
+            self.bump();
+            let closer: String = std::iter::once('"')
+                .chain("#".repeat(fences).chars())
+                .collect();
+            while let Some(c) = self.take() {
+                text.push(c);
+                if text.ends_with(&closer) {
+                    break;
+                }
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// `'a'` is a char literal, `'a` is a lifetime; `'\n'` always a char.
+    fn char_or_lifetime(&mut self, line: u32) {
+        let mut text = String::from('\'');
+        self.bump();
+        match self.peek(0) {
+            Some('\\') => {
+                // escaped char literal: consume escape then up to closing quote
+                while let Some(c) = self.take() {
+                    text.push(c);
+                    if c == '\\' {
+                        if let Some(escaped) = self.take() {
+                            text.push(escaped);
+                        }
+                    } else if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Char, text, line);
+            }
+            Some(c) if c == '_' || c.is_alphanumeric() => {
+                while let Some(c) = self.peek(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek(0) == Some('\'') {
+                    text.push('\'');
+                    self.bump();
+                    self.push(TokKind::Char, text, line);
+                } else {
+                    self.push(TokKind::Lifetime, text, line);
+                }
+            }
+            Some(c) => {
+                // a non-alphanumeric char literal like '+' or '"'
+                text.push(c);
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    text.push('\'');
+                    self.bump();
+                }
+                self.push(TokKind::Char, text, line);
+            }
+            None => self.push(TokKind::Punct, text, line),
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            let decimal_point =
+                c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) && !text.contains('.');
+            let exponent_sign = (c == '+' || c == '-')
+                && matches!(text.chars().last(), Some('e' | 'E'))
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit());
+            if c.is_ascii_alphanumeric() || c == '_' || decimal_point || exponent_sign {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Number, text, line);
+    }
+
+    fn ident_or_prefixed_string(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // string prefixes: r"…" r#"…"# b"…" br"…", and raw idents r#ident
+        match (text.as_str(), self.peek(0)) {
+            ("r" | "br" | "rb", Some('"' | '#')) => {
+                if text.starts_with('r') && self.peek(0) == Some('#') {
+                    // distinguish r#"raw string"# from r#ident
+                    let after_fences = (1..)
+                        .map(|i| self.peek(i))
+                        .find(|c| *c != Some('#'))
+                        .flatten();
+                    if after_fences != Some('"') {
+                        // raw identifier r#ident: consume the # and the ident
+                        self.bump();
+                        text.push('#');
+                        while let Some(c) = self.peek(0) {
+                            if c == '_' || c.is_alphanumeric() {
+                                text.push(c);
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                        self.push(TokKind::Ident, text, line);
+                        return;
+                    }
+                }
+                self.raw_string(text, line)
+            }
+            ("b", Some('"')) => {
+                let mut s = text;
+                s.push('"');
+                self.bump();
+                // reuse the escaped-string loop body
+                while let Some(c) = self.take() {
+                    s.push(c);
+                    if c == '\\' {
+                        if let Some(escaped) = self.take() {
+                            s.push(escaped);
+                        }
+                    } else if c == '"' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Str, s, line);
+            }
+            _ => self.push(TokKind::Ident, text, line),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<(TokKind, String)> {
+        lex(source).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_punct_numbers() {
+        let toks = kinds("let x = foo::bar(1.5e-3);");
+        assert_eq!(toks[0], (TokKind::Ident, "let".into()));
+        assert_eq!(toks[3], (TokKind::Ident, "foo".into()));
+        assert_eq!(toks[4], (TokKind::Punct, ":".into()));
+        assert!(toks
+            .iter()
+            .any(|t| t.1 == "1.5e-3" && t.0 == TokKind::Number));
+    }
+
+    #[test]
+    fn comments_are_tokens_with_lines() {
+        let toks = lex("a // trailing\n/* block\nspans */ b");
+        assert!(toks[1].text.contains("trailing") && toks[1].kind == TokKind::Comment);
+        assert_eq!(toks[1].line, 1);
+        assert_eq!(toks[2].kind, TokKind::Comment);
+        assert_eq!(toks[2].line, 2);
+        assert_eq!(toks[3].text, "b");
+        assert_eq!(toks[3].line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        // an identifier inside a string must not surface as an Ident token
+        let toks = kinds(r#"let s = "HashMap::new() // not a comment";"#);
+        assert!(!toks
+            .iter()
+            .any(|t| t.0 == TokKind::Ident && t.1 == "HashMap"));
+        assert!(!toks.iter().any(|t| t.0 == TokKind::Comment));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = kinds(r###"x = r#"quote " inside"# ;"###);
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokKind::Str && t.1.contains("inside")));
+        assert_eq!(toks.last().unwrap().0, TokKind::Punct);
+    }
+
+    #[test]
+    fn byte_strings_and_escapes() {
+        let toks = kinds(r#"write(b"\r\n\"x") + "a\\";"#);
+        let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks.iter().filter(|t| t.0 == TokKind::Lifetime).collect();
+        let chars: Vec<_> = toks.iter().filter(|t| t.0 == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokKind::Ident && t.1 == "r#type"));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_strings() {
+        let toks = lex("let a = \"line1\nline2\";\nb");
+        let b = toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 3);
+    }
+}

@@ -1,0 +1,29 @@
+//! # tsg-analyze — workspace invariant checker
+//!
+//! The reproduction's core guarantees are *workspace-wide invariants*, not
+//! local properties: bit-identical parallel == serial results (PR 2),
+//! allocation-free motif hot paths (PR 3), and a serving layer where a
+//! malformed request must never kill a connection thread (PR 4). Tests
+//! prove them for the code that exists today; this crate makes them
+//! structural for the code that comes next. A hand-rolled Rust lexer
+//! ([`lexer`]) feeds a token-stream rule engine ([`rules`], [`engine`])
+//! with per-crate scoping, reviewed inline suppressions ([`suppress`]) and
+//! both human and JSON reports ([`report`]).
+//!
+//! Run it with `cargo run -p tsg_analyze` (nonzero exit on any
+//! unsuppressed finding), or let tier-1 do it: the conformance test in
+//! `tests/workspace_clean.rs` runs the analyzer over the checkout on every
+//! `cargo test`.
+//!
+//! In keeping with the workspace's zero-external-dep stance the crate uses
+//! no proc macros, no `syn` — only `std` plus the in-workspace JSON tree
+//! from `tsg_serve`.
+
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod suppress;
+
+pub use engine::{analyze_source, analyze_workspace, Finding, Report, Suppressed, UnsafeSite};
+pub use rules::{Rule, RULES};

@@ -1,0 +1,101 @@
+//! The `tsg-analyze` binary: run the invariant checker over a workspace
+//! checkout and exit nonzero on any unsuppressed finding.
+//!
+//! ```text
+//! tsg-analyze [--root DIR] [--json] [--list-rules]
+//! ```
+//!
+//! `--root` defaults to the nearest ancestor directory containing a
+//! `Cargo.toml` with a `[workspace]` section (so the binary works from any
+//! subdirectory of the checkout and from CI's working directory alike).
+
+use tsg_analyze::{engine, report};
+
+struct Args {
+    root: Option<std::path::PathBuf>,
+    json: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        json: false,
+        list_rules: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--root" => {
+                i += 1;
+                let dir = argv
+                    .get(i)
+                    .ok_or_else(|| "--root needs a directory".to_string())?;
+                args.root = Some(std::path::PathBuf::from(dir));
+            }
+            "--json" => args.json = true,
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                println!("usage: tsg-analyze [--root DIR] [--json] [--list-rules]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+/// Walks up from the current directory to the workspace root (a
+/// `Cargo.toml` containing `[workspace]`).
+fn find_workspace_root() -> Option<std::path::PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("tsg-analyze: {e}");
+            std::process::exit(2);
+        }
+    };
+    if args.list_rules {
+        print!("{}", report::render_rules());
+        return;
+    }
+    let root = match args.root.or_else(find_workspace_root) {
+        Some(root) => root,
+        None => {
+            eprintln!("tsg-analyze: no workspace root found (pass --root)");
+            std::process::exit(2);
+        }
+    };
+    let analysis = match engine::analyze_workspace(&root) {
+        Ok(analysis) => analysis,
+        Err(e) => {
+            eprintln!("tsg-analyze: failed to scan {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    };
+    if args.json {
+        println!("{}", report::render_json(&analysis).write());
+    } else {
+        print!("{}", report::render_text(&analysis));
+    }
+    if !analysis.is_clean() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,172 @@
+//! Report rendering: human-readable text and machine-readable JSON.
+//!
+//! The JSON shape reuses [`tsg_serve::json::Json`] — the same zero-dep
+//! value tree the serving wire format is built on — so downstream tooling
+//! deals with one JSON dialect across the workspace. Findings are ordered
+//! by `(file, line, rule)` in both formats, making reports diffable.
+
+use crate::engine::Report;
+use crate::rules::RULES;
+use tsg_serve::json::Json;
+
+/// Renders the human report. Findings come first (they are what fails the
+/// run), then the reasoned suppressions, then the unsafe inventory.
+pub fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    let documented = report
+        .unsafe_inventory
+        .iter()
+        .filter(|s| s.documented)
+        .count();
+    out.push_str(&format!(
+        "tsg-analyze: {} files scanned — {} finding(s), {} suppressed, {} unsafe site(s) ({} documented)\n",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed.len(),
+        report.unsafe_inventory.len(),
+        documented,
+    ));
+    if !report.findings.is_empty() {
+        out.push('\n');
+        for f in &report.findings {
+            out.push_str(&format!(
+                "{}:{} [{}] {}\n",
+                f.file, f.line, f.rule, f.message
+            ));
+        }
+    }
+    if !report.suppressed.is_empty() {
+        out.push_str("\nsuppressed (reviewed, reasoned):\n");
+        for s in &report.suppressed {
+            out.push_str(&format!(
+                "  {}:{} [{}] — {}\n",
+                s.finding.file, s.finding.line, s.finding.rule, s.reason
+            ));
+        }
+    }
+    if !report.unsafe_inventory.is_empty() {
+        out.push_str("\nunsafe inventory:\n");
+        for site in &report.unsafe_inventory {
+            out.push_str(&format!(
+                "  {}:{} {}\n",
+                site.file,
+                site.line,
+                if site.documented {
+                    "documented"
+                } else {
+                    "UNDOCUMENTED"
+                }
+            ));
+        }
+    }
+    if report.is_clean() {
+        out.push_str("\nworkspace clean: every invariant check passed\n");
+    }
+    out
+}
+
+/// Renders the machine report.
+pub fn render_json(report: &Report) -> Json {
+    let findings = report
+        .findings
+        .iter()
+        .map(|f| {
+            Json::obj(vec![
+                ("rule", Json::Str(f.rule.clone())),
+                ("file", Json::Str(f.file.clone())),
+                ("line", Json::Num(f.line as f64)),
+                ("message", Json::Str(f.message.clone())),
+            ])
+        })
+        .collect();
+    let suppressed = report
+        .suppressed
+        .iter()
+        .map(|s| {
+            Json::obj(vec![
+                ("rule", Json::Str(s.finding.rule.clone())),
+                ("file", Json::Str(s.finding.file.clone())),
+                ("line", Json::Num(s.finding.line as f64)),
+                ("message", Json::Str(s.finding.message.clone())),
+                ("reason", Json::Str(s.reason.clone())),
+            ])
+        })
+        .collect();
+    let unsafe_inventory = report
+        .unsafe_inventory
+        .iter()
+        .map(|site| {
+            Json::obj(vec![
+                ("file", Json::Str(site.file.clone())),
+                ("line", Json::Num(site.line as f64)),
+                ("documented", Json::Bool(site.documented)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("files_scanned", Json::Num(report.files_scanned as f64)),
+        ("clean", Json::Bool(report.is_clean())),
+        ("findings", Json::Arr(findings)),
+        ("suppressed", Json::Arr(suppressed)),
+        ("unsafe_inventory", Json::Arr(unsafe_inventory)),
+    ])
+}
+
+/// Renders the rule catalogue (`--list-rules`).
+pub fn render_rules() -> String {
+    let mut out = String::from("rules:\n");
+    for rule in RULES {
+        out.push_str(&format!("  {:<18} {}\n", rule.id, rule.summary));
+        out.push_str(&format!("  {:<18}   protects: {}\n", "", rule.protects));
+    }
+    out.push_str(
+        "\nsuppress with `// tsg-allow(rule-id): reason` on (or directly above) the line;\n\
+         the reason is mandatory and review-facing.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::analyze_source;
+
+    #[test]
+    fn text_report_mentions_findings_and_inventory() {
+        let src = "use std::collections::HashMap;\nfn f() { unsafe { g() } }\n";
+        let report = analyze_source("tsg_core", "src/lib.rs", "crates/core/src/lib.rs", src);
+        let text = render_text(&report);
+        assert!(text.contains("det-collections"));
+        assert!(text.contains("crates/core/src/lib.rs:1"));
+        assert!(text.contains("unsafe inventory"));
+        assert!(text.contains("UNDOCUMENTED"));
+    }
+
+    #[test]
+    fn json_report_is_parseable_and_structured() {
+        let src = "// tsg-allow(det-time): timing here is deliberate\nuse std::time::Instant;\n";
+        let report = analyze_source(
+            "tsg_eval",
+            "src/timing.rs",
+            "crates/eval/src/timing.rs",
+            src,
+        );
+        let json = render_json(&report);
+        let reparsed = Json::parse(&json.write()).unwrap();
+        assert_eq!(reparsed.get("clean").unwrap().as_bool(), Some(true));
+        let suppressed = reparsed.get("suppressed").unwrap().as_array().unwrap();
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(
+            suppressed[0].get("reason").unwrap().as_str(),
+            Some("timing here is deliberate")
+        );
+    }
+
+    #[test]
+    fn rule_listing_names_every_rule() {
+        let text = render_rules();
+        for rule in RULES {
+            assert!(text.contains(rule.id), "{} missing", rule.id);
+        }
+    }
+}

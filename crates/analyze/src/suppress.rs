@@ -1,0 +1,223 @@
+//! Inline suppression comments.
+//!
+//! A finding is silenced by an adjacent comment of the form
+//!
+//! ```text
+//! // tsg-allow(rule-id): reason the violation is intentional
+//! ```
+//!
+//! The reason is **mandatory** — a suppression without one (or naming a
+//! rule that does not exist) is itself a finding under the `suppression`
+//! rule, so reviewers always see *why* an invariant is being waived. A
+//! suppression applies to its own source line and the line directly below
+//! it, which covers both placements:
+//!
+//! ```text
+//! // tsg-allow(det-time): wall-clock timing is this module's purpose
+//! let start = Instant::now();          // standalone comment above
+//! let t = Instant::now(); // tsg-allow(det-time): trailing on the line
+//! ```
+//!
+//! Several rules can share one comment: `tsg-allow(rule-a, rule-b): reason`.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One parsed `tsg-allow` directive.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rule ids named in the directive.
+    pub rules: Vec<String>,
+    /// The mandatory justification (empty when the author omitted it —
+    /// reported as a `suppression` finding, and the directive is ignored).
+    pub reason: String,
+    /// Line the comment sits on.
+    pub line: u32,
+}
+
+/// A malformed directive (missing reason / unparsable rule list).
+#[derive(Debug, Clone)]
+pub struct SuppressionError {
+    /// What is wrong with the directive.
+    pub message: String,
+    /// Line the comment sits on.
+    pub line: u32,
+}
+
+/// The marker suppressions are recognised by.
+pub const ALLOW_MARKER: &str = "tsg-allow(";
+
+/// Doc comments never carry directives — documentation that *describes*
+/// the suppression syntax (like this module's) must not activate it.
+fn is_doc_comment(text: &str) -> bool {
+    text.starts_with("//!")
+        || text.starts_with("/*!")
+        || (text.starts_with("///") && !text.starts_with("////"))
+        || (text.starts_with("/**") && !text.starts_with("/***") && text != "/**/")
+}
+
+/// Extracts every suppression directive (and every malformed one) from a
+/// token stream's comments.
+pub fn collect(tokens: &[Tok]) -> (Vec<Suppression>, Vec<SuppressionError>) {
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+    for tok in tokens {
+        if tok.kind != TokKind::Comment || is_doc_comment(&tok.text) {
+            continue;
+        }
+        let mut rest = tok.text.as_str();
+        while let Some(start) = rest.find(ALLOW_MARKER) {
+            let after = &rest[start + ALLOW_MARKER.len()..];
+            match parse_directive(after) {
+                Ok((rules, reason, consumed)) => {
+                    if reason.is_empty() {
+                        bad.push(SuppressionError {
+                            message: format!(
+                                "tsg-allow({}) has no reason — a suppression must say why",
+                                rules.join(", ")
+                            ),
+                            line: tok.line,
+                        });
+                    } else {
+                        ok.push(Suppression {
+                            rules,
+                            reason,
+                            line: tok.line,
+                        });
+                    }
+                    rest = &after[consumed..];
+                }
+                Err(message) => {
+                    bad.push(SuppressionError {
+                        message,
+                        line: tok.line,
+                    });
+                    rest = after;
+                }
+            }
+        }
+    }
+    (ok, bad)
+}
+
+/// Parses `rule-a, rule-b): reason…` (the text after the marker). Returns
+/// the rules, the reason (rest of the comment, trimmed) and how many bytes
+/// of `text` the rule list consumed.
+fn parse_directive(text: &str) -> Result<(Vec<String>, String, usize), String> {
+    let close = text
+        .find(')')
+        .ok_or_else(|| "tsg-allow( is missing its closing `)`".to_string())?;
+    let rules: Vec<String> = text[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("tsg-allow() names no rule".to_string());
+    }
+    let after_close = &text[close + 1..];
+    let reason = match after_close.strip_prefix(':') {
+        Some(r) => r.trim(),
+        None => "",
+    };
+    Ok((rules, reason.to_string(), close + 1))
+}
+
+/// Index of suppressions by line for fast lookup during rule evaluation.
+#[derive(Debug, Default)]
+pub struct SuppressionIndex {
+    entries: Vec<Suppression>,
+}
+
+impl SuppressionIndex {
+    /// Builds the index from parsed directives.
+    pub fn new(entries: Vec<Suppression>) -> Self {
+        SuppressionIndex { entries }
+    }
+
+    /// The suppression covering `rule` at `line`, if any. A directive covers
+    /// its own line and the next line.
+    pub fn lookup(&self, rule: &str, line: u32) -> Option<&Suppression> {
+        self.entries
+            .iter()
+            .find(|s| (s.line == line || s.line + 1 == line) && s.rules.iter().any(|r| r == rule))
+    }
+
+    /// All directives (for unknown-rule validation).
+    pub fn entries(&self) -> &[Suppression] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn parses_single_rule_with_reason() {
+        let toks = lex("// tsg-allow(det-time): timing is the point here\nlet x = 1;");
+        let (ok, bad) = collect(&toks);
+        assert!(bad.is_empty());
+        assert_eq!(ok.len(), 1);
+        assert_eq!(ok[0].rules, vec!["det-time"]);
+        assert_eq!(ok[0].reason, "timing is the point here");
+        assert_eq!(ok[0].line, 1);
+    }
+
+    #[test]
+    fn doc_comments_are_not_directives() {
+        let toks = lex("//! Suppress with `// tsg-allow(det-time): reason`.\n\
+             /// Same in item docs: tsg-allow(det-rng): not a directive\n\
+             // tsg-allow(det-time): this plain comment is one\n");
+        let (ok, bad) = collect(&toks);
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(ok.len(), 1);
+        assert_eq!(ok[0].line, 3);
+    }
+
+    #[test]
+    fn parses_multi_rule_directive() {
+        let toks = lex("// tsg-allow(det-time, det-rng): both intentional\n");
+        let (ok, bad) = collect(&toks);
+        assert!(bad.is_empty());
+        assert_eq!(ok[0].rules, vec!["det-time", "det-rng"]);
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        for text in [
+            "// tsg-allow(det-time)",
+            "// tsg-allow(det-time):",
+            "// tsg-allow(det-time):   ",
+        ] {
+            let (ok, bad) = collect(&lex(text));
+            assert!(ok.is_empty(), "{text}");
+            assert_eq!(bad.len(), 1, "{text}");
+        }
+    }
+
+    #[test]
+    fn malformed_directives_are_errors() {
+        let (ok, bad) = collect(&lex("// tsg-allow(unclosed\n// tsg-allow(): no rule"));
+        assert!(ok.is_empty());
+        assert_eq!(bad.len(), 2);
+    }
+
+    #[test]
+    fn index_covers_own_and_next_line() {
+        let toks = lex("// tsg-allow(r): why\ncode();\nmore();");
+        let (ok, _) = collect(&toks);
+        let index = SuppressionIndex::new(ok);
+        assert!(index.lookup("r", 1).is_some());
+        assert!(index.lookup("r", 2).is_some());
+        assert!(index.lookup("r", 3).is_none());
+        assert!(index.lookup("other", 2).is_none());
+    }
+
+    #[test]
+    fn directives_inside_strings_are_ignored() {
+        let toks = lex(r#"let s = "tsg-allow(r): nope";"#);
+        let (ok, bad) = collect(&toks);
+        assert!(ok.is_empty() && bad.is_empty());
+    }
+}

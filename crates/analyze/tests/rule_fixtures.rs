@@ -1,0 +1,360 @@
+//! Rule-fixture conformance suite: one positive (must flag) and one
+//! negative (must stay silent) snippet per rule, plus the suppression
+//! grammar and the machine-report shape.
+//!
+//! These fixtures are the analyzer's contract. A matcher change that
+//! silently widens (false positives would make teams reach for blanket
+//! suppressions) or narrows (violations slip through tier-1) a rule has to
+//! show up here as a diff.
+
+use tsg_analyze::{analyze_source, Report};
+
+/// Analyzes a snippet as if it were the given file of the given crate.
+fn analyze(crate_name: &str, rel_path: &str, source: &str) -> Report {
+    let display = format!("crates/x/{rel_path}");
+    analyze_source(crate_name, rel_path, &display, source)
+}
+
+fn finding_rules(report: &Report) -> Vec<&str> {
+    report.findings.iter().map(|f| f.rule.as_str()).collect()
+}
+
+// ---------------------------------------------------------------- det-collections
+
+#[test]
+fn det_collections_flags_hash_collections_in_deterministic_crates() {
+    let src = "use std::collections::{HashMap, HashSet};\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
+    let report = analyze("tsg_core", "src/lib.rs", src);
+    assert!(finding_rules(&report).contains(&"det-collections"));
+}
+
+#[test]
+fn det_collections_accepts_btreemap_and_out_of_scope_crates() {
+    let clean = analyze(
+        "tsg_core",
+        "src/lib.rs",
+        "use std::collections::BTreeMap;\n",
+    );
+    assert!(clean.findings.is_empty(), "{:?}", clean.findings);
+    // tsg_serve is not a deterministic crate: HashMap is legal there
+    let serve = analyze(
+        "tsg_serve",
+        "src/metrics.rs",
+        "use std::collections::HashMap;\n",
+    );
+    assert!(serve.findings.is_empty(), "{:?}", serve.findings);
+    // mentions inside strings and comments never count
+    let quoted = analyze(
+        "tsg_core",
+        "src/lib.rs",
+        "// HashMap is banned here\nfn f() -> &'static str { \"HashMap\" }\n",
+    );
+    assert!(quoted.findings.is_empty(), "{:?}", quoted.findings);
+}
+
+#[test]
+fn det_collections_ignores_test_modules_and_test_trees() {
+    let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+    let report = analyze("tsg_core", "src/lib.rs", src);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    let tree = analyze(
+        "tsg_core",
+        "tests/foo.rs",
+        "use std::collections::HashMap;\n",
+    );
+    assert!(tree.findings.is_empty(), "{:?}", tree.findings);
+}
+
+// ---------------------------------------------------------------- det-time
+
+#[test]
+fn det_time_flags_clock_reads() {
+    let src = "use std::time::Instant;\nfn f() { let _ = Instant::now(); }\n";
+    let report = analyze("tsg_ml", "src/forest.rs", src);
+    assert!(finding_rules(&report).contains(&"det-time"));
+    let sys = analyze(
+        "tsg_ts",
+        "src/lib.rs",
+        "fn f() { let _ = std::time::SystemTime::now(); }\n",
+    );
+    assert!(finding_rules(&sys).contains(&"det-time"));
+}
+
+#[test]
+fn det_time_accepts_duration_arithmetic() {
+    // Duration is pure data — only the clock reads are nondeterministic
+    let src = "use std::time::Duration;\nconst T: Duration = Duration::from_millis(2);\n";
+    let report = analyze("tsg_ml", "src/forest.rs", src);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+// ---------------------------------------------------------------- det-rng
+
+#[test]
+fn det_rng_flags_ambient_entropy() {
+    for src in [
+        "fn f() { let mut rng = rand::thread_rng(); }\n",
+        "fn f() { let rng = SmallRng::from_entropy(); }\n",
+        "fn f() -> f64 { rand::random() }\n",
+    ] {
+        let report = analyze("tsg_ml", "src/lib.rs", src);
+        assert!(finding_rules(&report).contains(&"det-rng"), "missed: {src}");
+    }
+}
+
+#[test]
+fn det_rng_accepts_seeded_rngs() {
+    let src =
+        "fn f() { let rng = ChaCha8Rng::seed_from_u64(7); let x = rng.random_range(0..9); }\n";
+    let report = analyze("tsg_ml", "src/lib.rs", src);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+// ---------------------------------------------------------------- panic-freedom
+
+#[test]
+fn panic_freedom_flags_unwrap_expect_macros_and_indexing() {
+    let cases = [
+        ("fn f(x: Option<u8>) { x.unwrap(); }\n", "`.unwrap()`"),
+        (
+            "fn f(x: Option<u8>) { x.expect(\"boom\"); }\n",
+            "`.expect()`",
+        ),
+        ("fn f() { panic!(\"no\"); }\n", "`panic!`"),
+        (
+            "fn f(x: u8) { match x { 0 => (), _ => unreachable!() } }\n",
+            "`unreachable!`",
+        ),
+        ("fn f(v: &[u8]) -> u8 { v[0] }\n", "indexing"),
+        ("fn f(v: &[u8], n: usize) -> &[u8] { &v[..n] }\n", "slicing"),
+    ];
+    for (src, what) in cases {
+        let report = analyze("tsg_serve", "src/http.rs", src);
+        assert!(
+            finding_rules(&report).contains(&"panic-freedom"),
+            "missed {what}: {src}"
+        );
+    }
+}
+
+#[test]
+fn panic_freedom_accepts_recovering_formulations() {
+    let cases = [
+        // get-based access and error mapping
+        "fn f(v: &[u8]) -> Option<u8> { v.get(0).copied() }\n",
+        // unwrap_or / unwrap_or_else / unwrap_or_default are total
+        "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n",
+        "fn f(x: Option<u8>) -> u8 { x.unwrap_or_else(|| 1) }\n",
+        "fn f(x: Option<u8>) -> u8 { x.unwrap_or_default() }\n",
+        // a method *named* expect_byte is not `.expect(`
+        "fn f(p: &mut Parser) { p.expect_byte(b'{'); }\n",
+        // array type syntax and attribute brackets are not indexing
+        "fn f() -> [u8; 4] { let x: [u8; 4] = [0; 4]; x }\n",
+        "#[derive(Debug)]\nstruct S;\n",
+    ];
+    for src in cases {
+        let report = analyze("tsg_serve", "src/http.rs", src);
+        assert!(
+            report.findings.is_empty(),
+            "false positive on: {src}\n{:?}",
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn panic_freedom_is_limited_to_the_request_path() {
+    // metrics.rs is not on the request path; main.rs of other crates neither
+    let src = "fn f(x: Option<u8>) { x.unwrap(); }\n";
+    let metrics = analyze("tsg_serve", "src/metrics.rs", src);
+    assert!(metrics.findings.is_empty(), "{:?}", metrics.findings);
+    let elsewhere = analyze("tsg_core", "src/lib.rs", src);
+    assert!(elsewhere.findings.is_empty(), "{:?}", elsewhere.findings);
+}
+
+// ---------------------------------------------------------------- unsafe-audit
+
+#[test]
+fn unsafe_audit_requires_safety_comments_even_in_tests() {
+    let bare = "fn f() { unsafe { core::hint::unreachable_unchecked() } }\n";
+    let report = analyze("tsg_graph", "src/lib.rs", bare);
+    assert!(finding_rules(&report).contains(&"unsafe-audit"));
+    assert_eq!(report.unsafe_inventory.len(), 1);
+    assert!(!report.unsafe_inventory[0].documented);
+
+    // unlike every other rule, test code is in scope
+    let in_tests = analyze("tsg_graph", "tests/alloc.rs", bare);
+    assert!(finding_rules(&in_tests).contains(&"unsafe-audit"));
+}
+
+#[test]
+fn unsafe_audit_accepts_documented_sites_and_multiline_blocks() {
+    let single =
+        "fn f() {\n    // SAFETY: the pointer is valid for the whole call\n    unsafe { g() }\n}\n";
+    let report = analyze("tsg_graph", "src/lib.rs", single);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert!(report.unsafe_inventory[0].documented);
+
+    // a justification wrapping over several `//` lines still covers the
+    // unsafe site directly below the block
+    let multi = "fn f() {\n    // SAFETY: the buffer outlives the call because the caller\n    // holds the owning Vec alive across it, and the length was\n    // checked at construction.\n    unsafe { g() }\n}\n";
+    let report = analyze("tsg_graph", "src/lib.rs", multi);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert!(report.unsafe_inventory[0].documented);
+}
+
+// ---------------------------------------------------------------- thread-discipline
+
+#[test]
+fn thread_discipline_flags_raw_thread_primitives() {
+    for src in [
+        "fn f() { std::thread::spawn(|| ()); }\n",
+        "fn f() { thread::scope(|s| ()); }\n",
+        "fn f() { std::thread::Builder::new(); }\n",
+    ] {
+        let report = analyze("tsg_ml", "src/forest.rs", src);
+        assert!(
+            finding_rules(&report).contains(&"thread-discipline"),
+            "missed: {src}"
+        );
+    }
+}
+
+#[test]
+fn thread_discipline_accepts_the_pool_and_the_owning_crates() {
+    // going through the shared pool is the sanctioned path
+    let pooled = "fn f(pool: &ThreadPool) { pool.scope(|s| { s.spawn(|| ()); }); }\n";
+    let report = analyze("tsg_ml", "src/forest.rs", pooled);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    // tsg_parallel and tsg_serve own their threads
+    let owner = analyze(
+        "tsg_parallel",
+        "src/lib.rs",
+        "fn f() { std::thread::spawn(|| ()); }\n",
+    );
+    assert!(owner.findings.is_empty(), "{:?}", owner.findings);
+    // sleep/yield_now are not spawning
+    let sleep = analyze(
+        "tsg_ml",
+        "src/lib.rs",
+        "fn f() { std::thread::sleep(D); }\n",
+    );
+    assert!(sleep.findings.is_empty(), "{:?}", sleep.findings);
+}
+
+// ---------------------------------------------------------------- env-discipline
+
+#[test]
+fn env_discipline_flags_ambient_configuration() {
+    for src in [
+        "fn f() { let _ = std::env::var(\"X\"); }\n",
+        "fn f() { std::env::set_var(\"X\", \"1\"); }\n",
+        "fn f() { for (_k, _v) in std::env::vars() {} }\n",
+    ] {
+        let report = analyze("tsg_core", "src/lib.rs", src);
+        assert!(
+            finding_rules(&report).contains(&"env-discipline"),
+            "missed: {src}"
+        );
+    }
+}
+
+#[test]
+fn env_discipline_exempts_documented_entry_points() {
+    let src = "fn f() { let _ = std::env::var(\"TSC_MVG_THREADS\"); }\n";
+    let entry = analyze("tsg_parallel", "src/lib.rs", src);
+    assert!(entry.findings.is_empty(), "{:?}", entry.findings);
+    // env::args / temp_dir are not the var family
+    let args = analyze(
+        "tsg_core",
+        "src/lib.rs",
+        "fn f() { let _ = std::env::args(); }\n",
+    );
+    assert!(args.findings.is_empty(), "{:?}", args.findings);
+}
+
+// ---------------------------------------------------------------- suppressions
+
+#[test]
+fn a_reasoned_suppression_silences_and_is_reported() {
+    let src = "// tsg-allow(det-collections): frozen before iteration, order never observed\nuse std::collections::HashMap;\n";
+    let report = analyze("tsg_core", "src/lib.rs", src);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].finding.rule, "det-collections");
+    assert_eq!(
+        report.suppressed[0].reason,
+        "frozen before iteration, order never observed"
+    );
+}
+
+#[test]
+fn suppression_covers_own_line_and_next_line_only() {
+    let trailing = "use std::collections::HashMap; // tsg-allow(det-collections): reviewed\n";
+    assert!(analyze("tsg_core", "src/lib.rs", trailing)
+        .findings
+        .is_empty());
+
+    let above = "// tsg-allow(det-collections): reviewed\nuse std::collections::HashMap;\n";
+    assert!(analyze("tsg_core", "src/lib.rs", above).findings.is_empty());
+
+    // two lines away: no longer covered
+    let far = "// tsg-allow(det-collections): reviewed\n\nuse std::collections::HashMap;\n";
+    let report = analyze("tsg_core", "src/lib.rs", far);
+    assert!(finding_rules(&report).contains(&"det-collections"));
+}
+
+#[test]
+fn a_missing_reason_is_itself_a_finding() {
+    let src = "// tsg-allow(det-collections)\nuse std::collections::HashMap;\n";
+    let report = analyze("tsg_core", "src/lib.rs", src);
+    let rules = finding_rules(&report);
+    // the directive is rejected (reported under the suppression meta-rule)
+    // AND the violation it failed to cover still fires
+    assert!(rules.contains(&"suppression"), "{rules:?}");
+    assert!(rules.contains(&"det-collections"), "{rules:?}");
+}
+
+#[test]
+fn an_unknown_rule_name_is_itself_a_finding() {
+    let src = "// tsg-allow(no-such-rule): because\nfn f() {}\n";
+    let report = analyze("tsg_core", "src/lib.rs", src);
+    assert!(finding_rules(&report).contains(&"suppression"));
+}
+
+#[test]
+fn a_wrong_rule_suppression_does_not_silence_another_rule() {
+    let src = "// tsg-allow(det-time): the wrong rule entirely\nuse std::collections::HashMap;\n";
+    let report = analyze("tsg_core", "src/lib.rs", src);
+    assert!(finding_rules(&report).contains(&"det-collections"));
+}
+
+// ---------------------------------------------------------------- machine report
+
+#[test]
+fn json_report_golden_shape() {
+    let src = "\
+// tsg-allow(det-time): timing this block is the point\n\
+use std::time::Instant;\n\
+use std::collections::HashMap;\n\
+fn f() { unsafe { g() } }\n";
+    let report = analyze("tsg_eval", "src/timing.rs", src);
+    let json = tsg_analyze::report::render_json(&report).write();
+    let golden = "{\"files_scanned\": 1, \
+\"clean\": false, \
+\"findings\": [\
+{\"rule\": \"det-collections\", \"file\": \"crates/x/src/timing.rs\", \"line\": 3, \
+\"message\": \"`HashMap` iterates in random order — use BTreeMap/BTreeSet or sorted keys\"}, \
+{\"rule\": \"unsafe-audit\", \"file\": \"crates/x/src/timing.rs\", \"line\": 4, \
+\"message\": \"`unsafe` without an adjacent `// SAFETY:` comment — justify the invariants that make it sound\"}\
+], \
+\"suppressed\": [\
+{\"rule\": \"det-time\", \"file\": \"crates/x/src/timing.rs\", \"line\": 2, \
+\"message\": \"`Instant` reads the wall clock — deterministic code must not observe time\", \
+\"reason\": \"timing this block is the point\"}\
+], \
+\"unsafe_inventory\": [\
+{\"file\": \"crates/x/src/timing.rs\", \"line\": 4, \"documented\": false}\
+]}";
+    assert_eq!(json, golden);
+}

@@ -1,0 +1,31 @@
+//! The tier-1 gate: `cargo test` itself runs the invariant checker over
+//! the checkout. A new HashMap in a deterministic crate, an unwrap on the
+//! serving request path, an undocumented `unsafe`, or a reason-less
+//! suppression fails this test — no separate CI wiring required (CI runs
+//! the `tsg-analyze` binary too, for the report and the seeded self-check).
+
+use std::path::Path;
+
+#[test]
+fn the_workspace_has_zero_unsuppressed_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let report = tsg_analyze::analyze_workspace(&root).expect("scan workspace");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously small scan ({} files) — wrong root?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "tsg-analyze found violations:\n\n{}",
+        tsg_analyze::report::render_text(&report)
+    );
+    // every unsafe site in the workspace stays documented
+    for site in &report.unsafe_inventory {
+        assert!(
+            site.documented,
+            "undocumented unsafe at {}:{}",
+            site.file, site.line
+        );
+    }
+}

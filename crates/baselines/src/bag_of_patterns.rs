@@ -3,11 +3,16 @@
 //! Every series becomes a histogram over the SAX words of its sliding
 //! windows; classification is 1-nearest-neighbour between histograms
 //! (Euclidean distance over the joint vocabulary).
+//!
+//! Histograms are `BTreeMap`s so the summation order inside
+//! [`BagOfPatterns::distance`] is the sorted word order — distances are
+//! bit-deterministic across runs and thread counts, which `HashMap`'s
+//! per-process hasher seed would break.
 
 use crate::error::BaselineError;
 use crate::traits::TscClassifier;
 use crate::Result;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tsg_ts::sax::{sax_words_sliding, SaxParams};
 use tsg_ts::{Dataset, TimeSeries};
 
@@ -19,7 +24,7 @@ pub struct BagOfPatterns {
     /// SAX parameters per window.
     pub sax: SaxParams,
     window: usize,
-    train_bags: Vec<(HashMap<String, f64>, usize)>,
+    train_bags: Vec<(BTreeMap<String, f64>, usize)>,
 }
 
 impl BagOfPatterns {
@@ -33,9 +38,9 @@ impl BagOfPatterns {
         }
     }
 
-    fn bag(&self, series: &TimeSeries) -> Result<HashMap<String, f64>> {
+    fn bag(&self, series: &TimeSeries) -> Result<BTreeMap<String, f64>> {
         let values = series.values();
-        let mut bag = HashMap::new();
+        let mut bag = BTreeMap::new();
         if values.len() < self.window || self.window == 0 {
             let word = tsg_ts::sax::sax_word(
                 values,
@@ -54,7 +59,24 @@ impl BagOfPatterns {
         Ok(bag)
     }
 
-    fn distance(a: &HashMap<String, f64>, b: &HashMap<String, f64>) -> f64 {
+    /// Histogram distance from the series to every training series, in
+    /// training order. These are the raw decision values behind
+    /// [`TscClassifier::predict_series`]; they are exposed so determinism
+    /// tests can assert bit-identity of the actual floats, not just of
+    /// the argmin.
+    pub fn distances_to_train(&self, series: &TimeSeries) -> Result<Vec<f64>> {
+        if self.train_bags.is_empty() {
+            return Err(BaselineError::NotFitted);
+        }
+        let query = self.bag(series)?;
+        Ok(self
+            .train_bags
+            .iter()
+            .map(|(bag, _)| Self::distance(&query, bag))
+            .collect())
+    }
+
+    fn distance(a: &BTreeMap<String, f64>, b: &BTreeMap<String, f64>) -> f64 {
         let mut sum = 0.0;
         for (word, &va) in a {
             let vb = b.get(word).copied().unwrap_or(0.0);
@@ -102,14 +124,10 @@ impl TscClassifier for BagOfPatterns {
     }
 
     fn predict_series(&self, series: &TimeSeries) -> Result<usize> {
-        if self.train_bags.is_empty() {
-            return Err(BaselineError::NotFitted);
-        }
-        let query = self.bag(series)?;
+        let dists = self.distances_to_train(series)?;
         let mut best_label = self.train_bags[0].1;
         let mut best_dist = f64::INFINITY;
-        for (bag, label) in &self.train_bags {
-            let d = Self::distance(&query, bag);
+        for (d, (_, label)) in dists.into_iter().zip(&self.train_bags) {
             if d < best_dist {
                 best_dist = d;
                 best_label = *label;
@@ -153,9 +171,9 @@ mod tests {
 
     #[test]
     fn histogram_distance_is_metric_like() {
-        let mut a = HashMap::new();
+        let mut a = BTreeMap::new();
         a.insert("abc".to_string(), 2.0);
-        let mut b = HashMap::new();
+        let mut b = BTreeMap::new();
         b.insert("abc".to_string(), 2.0);
         b.insert("abd".to_string(), 1.0);
         assert_eq!(BagOfPatterns::distance(&a, &a), 0.0);

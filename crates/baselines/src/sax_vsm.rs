@@ -4,11 +4,17 @@
 //! words produced by sliding a window across all of its training series; a
 //! test series is assigned to the class whose weight vector has the highest
 //! cosine similarity with the series' term-frequency vector.
+//!
+//! All word maps are `BTreeMap`s: iteration order (and with it the
+//! floating-point summation order of every dot product and norm) is the
+//! sorted word order, so fitting and scoring are bit-deterministic across
+//! runs and thread counts. `HashMap` would randomise that order per
+//! process via its seeded hasher.
 
 use crate::error::BaselineError;
 use crate::traits::TscClassifier;
 use crate::Result;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tsg_ts::sax::{sax_words_sliding, SaxParams};
 use tsg_ts::{Dataset, TimeSeries};
 
@@ -38,7 +44,7 @@ impl Default for SaxVsmParams {
 pub struct SaxVsm {
     params: SaxVsmParams,
     /// tf-idf weight vector per class: word → weight.
-    class_weights: Vec<HashMap<String, f64>>,
+    class_weights: Vec<BTreeMap<String, f64>>,
     window: usize,
     sax: SaxParams,
 }
@@ -54,8 +60,8 @@ impl SaxVsm {
         }
     }
 
-    fn bag_for_series(&self, series: &TimeSeries) -> Result<HashMap<String, f64>> {
-        let mut bag: HashMap<String, f64> = HashMap::new();
+    fn bag_for_series(&self, series: &TimeSeries) -> Result<BTreeMap<String, f64>> {
+        let mut bag: BTreeMap<String, f64> = BTreeMap::new();
         let values = series.values();
         if values.len() < self.window || self.window == 0 {
             // degenerate: whole series as a single word
@@ -76,7 +82,24 @@ impl SaxVsm {
         Ok(bag)
     }
 
-    fn cosine(a: &HashMap<String, f64>, b: &HashMap<String, f64>) -> f64 {
+    /// Cosine similarity of the series' term-frequency bag against every
+    /// class weight vector, in class order. These are the raw decision
+    /// values behind [`TscClassifier::predict_series`]; they are exposed
+    /// so determinism tests can assert bit-identity of the actual floats,
+    /// not just of the argmax.
+    pub fn class_similarities(&self, series: &TimeSeries) -> Result<Vec<f64>> {
+        if self.class_weights.is_empty() {
+            return Err(BaselineError::NotFitted);
+        }
+        let bag = self.bag_for_series(series)?;
+        Ok(self
+            .class_weights
+            .iter()
+            .map(|weights| Self::cosine(&bag, weights))
+            .collect())
+    }
+
+    fn cosine(a: &BTreeMap<String, f64>, b: &BTreeMap<String, f64>) -> f64 {
         let mut dot = 0.0;
         for (word, &wa) in a {
             if let Some(&wb) = b.get(word) {
@@ -115,7 +138,7 @@ impl TscClassifier for SaxVsm {
             .map_err(BaselineError::from)?;
 
         // per-class term frequencies
-        let mut class_tf: Vec<HashMap<String, f64>> = vec![HashMap::new(); n_classes];
+        let mut class_tf: Vec<BTreeMap<String, f64>> = vec![BTreeMap::new(); n_classes];
         for (series, &label) in train.series().iter().zip(labels.iter()) {
             let bag = self.bag_for_series(series)?;
             let target = &mut class_tf[label];
@@ -124,7 +147,7 @@ impl TscClassifier for SaxVsm {
             }
         }
         // document frequency over classes
-        let mut df: HashMap<String, usize> = HashMap::new();
+        let mut df: BTreeMap<String, usize> = BTreeMap::new();
         for tf in &class_tf {
             for word in tf.keys() {
                 *df.entry(word.clone()).or_insert(0) += 1;
@@ -148,14 +171,10 @@ impl TscClassifier for SaxVsm {
     }
 
     fn predict_series(&self, series: &TimeSeries) -> Result<usize> {
-        if self.class_weights.is_empty() {
-            return Err(BaselineError::NotFitted);
-        }
-        let bag = self.bag_for_series(series)?;
+        let sims = self.class_similarities(series)?;
         let mut best = 0usize;
         let mut best_sim = f64::NEG_INFINITY;
-        for (class, weights) in self.class_weights.iter().enumerate() {
-            let sim = Self::cosine(&bag, weights);
+        for (class, sim) in sims.into_iter().enumerate() {
             if sim > best_sim {
                 best_sim = sim;
                 best = class;

@@ -22,6 +22,19 @@ pub trait TscClassifier: Send {
             .collect()
     }
 
+    /// Like [`TscClassifier::predict`], but spreads the per-series work
+    /// over `n_threads` pool workers. Results must be bit-identical to the
+    /// serial path for every thread count — parallelism is an
+    /// implementation detail that may never leak into predictions (the
+    /// tier-1 determinism harness asserts this for SAX-VSM and
+    /// Bag-of-Patterns).
+    fn predict_parallel(&self, test: &Dataset, n_threads: usize) -> Result<Vec<usize>>
+    where
+        Self: Sync,
+    {
+        tsg_parallel::parallel_try_map(test.series(), n_threads, |s| self.predict_series(s))
+    }
+
     /// Error rate on a labeled dataset (the quantity of the paper's tables).
     fn error_rate(&self, test: &Dataset) -> Result<f64> {
         let truth = test

@@ -1,5 +1,6 @@
 //! Wall-clock timing for the runtime columns of Table 3 and Figure 9.
 
+// tsg-allow(det-time): wall-clock timing IS this module's purpose — it feeds the runtime columns, never classification results
 use std::time::Instant;
 
 /// A stopwatch that accumulates named phases (e.g. feature extraction vs
@@ -24,6 +25,7 @@ impl Stopwatch {
     /// Times a closure and records it under `phase`; returns the closure's
     /// result.
     pub fn time<T>(&mut self, phase: impl Into<String>, f: impl FnOnce() -> T) -> T {
+        // tsg-allow(det-time): measuring the closure's wall time is the deliverable; results never depend on it
         let start = Instant::now();
         let out = f();
         self.phases

@@ -16,18 +16,30 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: the impl upholds the GlobalAlloc contract by delegating every
+// call verbatim to `System` — same layout, same pointer — only bumping an
+// atomic counter on the side, which cannot itself allocate or unwind.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `layout` is forwarded unchanged from our caller, who
+        // guarantees it is valid per the GlobalAlloc contract.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: `ptr`/`layout` come from our caller, who guarantees `ptr` was
+    // returned by this allocator (which always hands out System pointers)
+    // with this layout.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: see above — a direct delegation of the caller's contract.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: same delegation argument as `dealloc` for `ptr`/`layout`;
+    // `new_size` is forwarded unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: see above — a direct delegation of the caller's contract.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

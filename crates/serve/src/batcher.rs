@@ -86,6 +86,15 @@ pub struct ClassifyOutput {
     pub batch_size: usize,
 }
 
+/// Locks a mutex, recovering the data if a panicking thread poisoned it.
+/// Every structure guarded here is kept consistent under unwinding (the
+/// compute path runs inside `catch_unwind` in [`run_batch`]), so a poisoned
+/// lock only records that *some* thread died — refusing service forever
+/// would escalate that into a total outage of the model's queue.
+fn lock_recover<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
 /// One queued classify request.
 struct Job {
     series: Vec<TimeSeries>,
@@ -108,17 +117,20 @@ impl Slot {
     }
 
     fn fill(&self, result: Result<ClassifyOutput, ClassifyError>) {
-        *self.result.lock().unwrap() = Some(result);
+        *lock_recover(&self.result) = Some(result);
         self.ready.notify_all();
     }
 
     fn wait(&self) -> Result<ClassifyOutput, ClassifyError> {
-        let mut guard = self.result.lock().unwrap();
+        let mut guard = lock_recover(&self.result);
         loop {
             if let Some(result) = guard.take() {
                 return result;
             }
-            guard = self.ready.wait(guard).unwrap();
+            guard = self
+                .ready
+                .wait(guard)
+                .unwrap_or_else(|poison| poison.into_inner());
         }
     }
 }
@@ -154,9 +166,9 @@ struct WorkspacePool {
 
 impl WorkspacePool {
     fn with<R>(&self, f: impl FnOnce(&mut MotifWorkspace) -> R) -> R {
-        let mut workspace = self.stack.lock().unwrap().pop().unwrap_or_default();
+        let mut workspace = lock_recover(&self.stack).pop().unwrap_or_default();
         let result = f(&mut workspace);
-        self.stack.lock().unwrap().push(workspace);
+        lock_recover(&self.stack).push(workspace);
         result
     }
 }
@@ -170,13 +182,16 @@ pub struct Batcher {
 }
 
 impl Batcher {
-    /// Spawns the dispatcher for a fitted model.
+    /// Spawns the dispatcher for a fitted model. Fails (instead of
+    /// panicking) when the dispatcher thread cannot be spawned — under
+    /// thread exhaustion the caller maps this to a wire error rather than
+    /// taking the whole server down.
     pub fn new(
         model: Arc<MvgClassifier>,
         config: BatchConfig,
         pool: ThreadPool,
         metrics: Arc<ServerMetrics>,
-    ) -> Batcher {
+    ) -> std::io::Result<Batcher> {
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue {
                 jobs: VecDeque::new(),
@@ -194,14 +209,13 @@ impl Batcher {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("tsg-serve-batcher".into())
-                .spawn(move || dispatch_loop(&shared))
-                .expect("failed to spawn batcher thread")
+                .spawn(move || dispatch_loop(&shared))?
         };
-        Batcher {
+        Ok(Batcher {
             shared,
             dispatcher: Some(dispatcher),
             accepting: AtomicBool::new(true),
-        }
+        })
     }
 
     /// The model this batcher serves.
@@ -227,7 +241,7 @@ impl Batcher {
         }
         let slot = Slot::new();
         {
-            let mut queue = self.shared.queue.lock().unwrap();
+            let mut queue = lock_recover(&self.shared.queue);
             if queue.shutdown {
                 return Err(ClassifyError::ShuttingDown);
             }
@@ -255,7 +269,7 @@ impl Batcher {
     pub fn shutdown(&mut self) {
         self.accepting.store(false, Ordering::Release);
         {
-            let mut queue = self.shared.queue.lock().unwrap();
+            let mut queue = lock_recover(&self.shared.queue);
             queue.shutdown = true;
             for job in queue.jobs.drain(..) {
                 job.slot.fill(Err(ClassifyError::ShuttingDown));
@@ -289,7 +303,7 @@ fn dispatch_loop(shared: &Shared) {
 /// the batch is full or the oldest job has waited `max_wait`. Returns `None`
 /// on shutdown.
 fn collect_batch(shared: &Shared) -> Option<Vec<Job>> {
-    let mut queue = shared.queue.lock().unwrap();
+    let mut queue = lock_recover(&shared.queue);
     loop {
         if queue.shutdown {
             return None;
@@ -297,7 +311,10 @@ fn collect_batch(shared: &Shared) -> Option<Vec<Job>> {
         if !queue.jobs.is_empty() {
             break;
         }
-        queue = shared.wake.wait(queue).unwrap();
+        queue = shared
+            .wake
+            .wait(queue)
+            .unwrap_or_else(|poison| poison.into_inner());
     }
     let deadline = Instant::now() + shared.config.max_wait;
     loop {
@@ -312,7 +329,10 @@ fn collect_batch(shared: &Shared) -> Option<Vec<Job>> {
         if now >= deadline {
             break;
         }
-        let (next, timeout) = shared.wake.wait_timeout(queue, deadline - now).unwrap();
+        let (next, timeout) = shared
+            .wake
+            .wait_timeout(queue, deadline - now)
+            .unwrap_or_else(|poison| poison.into_inner());
         queue = next;
         if timeout.timed_out() {
             break;
@@ -322,13 +342,21 @@ fn collect_batch(shared: &Shared) -> Option<Vec<Job>> {
     // an oversized request still dispatches)
     let mut batch = Vec::new();
     let mut batch_series = 0usize;
-    while let Some(job) = queue.jobs.front() {
-        if !batch.is_empty() && batch_series + job.series.len() > shared.config.max_batch {
+    loop {
+        let fits = match queue.jobs.front() {
+            Some(job) => {
+                batch.is_empty() || batch_series + job.series.len() <= shared.config.max_batch
+            }
+            None => false,
+        };
+        if !fits {
             break;
         }
-        let job = queue.jobs.pop_front().unwrap();
+        let Some(job) = queue.jobs.pop_front() else {
+            break;
+        };
         batch_series += job.series.len();
-        queue.queued_series -= job.series.len();
+        queue.queued_series = queue.queued_series.saturating_sub(job.series.len());
         batch.push(job);
     }
     Some(batch)
@@ -411,15 +439,26 @@ fn compute_batch(
     let mut offset = 0usize;
     for job in batch {
         let n = job.series.len();
+        let range_error = || {
+            ClassifyError::Model(format!(
+                "result slice {offset}..{} out of range",
+                offset + n
+            ))
+        };
+        let job_predictions = predictions
+            .get(offset..offset + n)
+            .ok_or_else(range_error)?;
+        let job_probabilities = if job.want_proba {
+            match &probabilities {
+                Some(p) => Some(p.get(offset..offset + n).ok_or_else(range_error)?.to_vec()),
+                None => None,
+            }
+        } else {
+            None
+        };
         outputs.push(ClassifyOutput {
-            predictions: predictions[offset..offset + n].to_vec(),
-            probabilities: if job.want_proba {
-                probabilities
-                    .as_ref()
-                    .map(|p| p[offset..offset + n].to_vec())
-            } else {
-                None
-            },
+            predictions: job_predictions.to_vec(),
+            probabilities: job_probabilities,
             batch_size,
         });
         offset += n;
@@ -484,6 +523,7 @@ mod tests {
             ThreadPool::new(2),
             Arc::new(ServerMetrics::default()),
         )
+        .expect("spawn batcher")
     }
 
     #[test]
@@ -556,7 +596,8 @@ mod tests {
             config,
             ThreadPool::new(1),
             Arc::clone(&metrics),
-        );
+        )
+        .expect("spawn batcher");
         // submit from many threads; with depth 2 some must be rejected,
         // while every accepted one completes correctly
         let series = test_series(1);

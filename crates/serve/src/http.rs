@@ -180,8 +180,8 @@ fn read_crlf_line(
 ) -> std::io::Result<usize> {
     let mut total = 0usize;
     loop {
-        let mut byte = [0u8; 1];
-        match reader.read(&mut byte) {
+        let mut byte = 0u8;
+        match reader.read(std::slice::from_mut(&mut byte)) {
             Ok(0) => return Ok(total),
             Ok(_) => {
                 budget.start();
@@ -189,10 +189,10 @@ fn read_crlf_line(
                 if total > max {
                     return Err(bad_request("line too long"));
                 }
-                if byte[0] == b'\n' {
+                if byte == b'\n' {
                     return Ok(total);
                 }
-                line.push(byte[0]);
+                line.push(byte);
             }
             Err(e) if is_timeout(&e) && budget.tolerates_timeout() => {}
             Err(e) => return Err(e),
@@ -208,6 +208,7 @@ fn read_exact_budgeted(
 ) -> std::io::Result<()> {
     let mut filled = 0usize;
     while filled < buf.len() {
+        // tsg-allow(panic-freedom): `filled < buf.len()` is the loop guard, so the range start is in bounds
         match reader.read(&mut buf[filled..]) {
             Ok(0) => return Err(bad_request("connection closed inside body")),
             Ok(n) => {

@@ -252,7 +252,12 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    /// The unconsumed input (empty at end of input, never panics).
+    fn rest(&self) -> &[u8] {
+        self.bytes.get(self.pos..).unwrap_or(&[])
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -262,7 +267,7 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonError> {
-        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+        if self.rest().starts_with(text.as_bytes()) {
             self.pos += text.len();
             Ok(value)
         } else {
@@ -288,7 +293,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -311,7 +316,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -322,7 +327,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value(depth + 1)?;
             members.push((key, value));
@@ -339,7 +344,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -365,7 +370,7 @@ impl<'a> Parser<'a> {
                             // surrogate pairs: a high surrogate must be
                             // followed by an escaped low surrogate
                             let c = if (0xd800..0xdc00).contains(&code) {
-                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                if self.rest().starts_with(b"\\u") {
                                     self.pos += 2;
                                     let low = self.hex4()?;
                                     if !(0xdc00..0xe000).contains(&low) {
@@ -417,7 +422,7 @@ impl<'a> Parser<'a> {
                         .map_err(|_| self.error("invalid UTF-8"))?
                         .chars()
                         .next()
-                        .unwrap();
+                        .ok_or_else(|| self.error("invalid UTF-8"))?;
                     out.push(c);
                     self.pos += width;
                 }
@@ -460,7 +465,11 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = self
+            .bytes
+            .get(start..self.pos)
+            .and_then(|digits| std::str::from_utf8(digits).ok())
+            .ok_or_else(|| self.error("invalid number"))?;
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| self.error(format!("invalid number `{text}`")))

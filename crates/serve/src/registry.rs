@@ -155,6 +155,24 @@ pub struct ModelRegistry {
 }
 
 impl ModelRegistry {
+    /// Read-locks the model table, recovering on poison. Entries are only
+    /// ever inserted/removed whole, so a panicking writer cannot leave the
+    /// map half-updated — serving the recovered table beats refusing every
+    /// request forever.
+    fn models_read(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<String, Arc<ModelEntry>>> {
+        self.models
+            .read()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Write-locks the model table, recovering on poison (same reasoning as
+    /// [`ModelRegistry::models_read`]).
+    fn models_write(&self) -> std::sync::RwLockWriteGuard<'_, BTreeMap<String, Arc<ModelEntry>>> {
+        self.models
+            .write()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
     /// Creates an empty registry. `n_threads` sizes the shared extraction
     /// pool (`0` = process default).
     pub fn new(n_threads: usize, batch_config: BatchConfig, metrics: Arc<ServerMetrics>) -> Self {
@@ -211,27 +229,27 @@ impl ModelRegistry {
             fit_seconds: started.elapsed().as_secs_f64(),
             provenance,
         };
+        let batcher = Batcher::new(
+            Arc::new(clf),
+            self.batch_config,
+            self.pool.clone(),
+            Arc::clone(&self.metrics),
+        )
+        .map_err(|e| RegistryError::Fit(format!("failed to start batch dispatcher: {e}")))?;
         let entry = Arc::new(ModelEntry {
             info: info.clone(),
-            batcher: Batcher::new(
-                Arc::new(clf),
-                self.batch_config,
-                self.pool.clone(),
-                Arc::clone(&self.metrics),
-            ),
+            batcher,
         });
         self.metrics.models_fitted_total.inc();
         // the replaced entry (if any) drops outside the lock; its Drop joins
         // the old dispatcher once in-flight requests release their Arcs
-        let _previous = self.models.write().unwrap().insert(name.to_string(), entry);
+        let _previous = self.models_write().insert(name.to_string(), entry);
         Ok(info)
     }
 
     /// Looks up a model by name.
     pub fn get(&self, name: &str) -> Result<Arc<ModelEntry>, RegistryError> {
-        self.models
-            .read()
-            .unwrap()
+        self.models_read()
             .get(name)
             .cloned()
             .ok_or_else(|| RegistryError::UnknownModel(name.to_string()))
@@ -239,14 +257,12 @@ impl ModelRegistry {
 
     /// Removes a model; returns whether it existed.
     pub fn remove(&self, name: &str) -> bool {
-        self.models.write().unwrap().remove(name).is_some()
+        self.models_write().remove(name).is_some()
     }
 
     /// Metadata of every registered model, sorted by name.
     pub fn list(&self) -> Vec<ModelInfo> {
-        self.models
-            .read()
-            .unwrap()
+        self.models_read()
             .values()
             .map(|e| e.info.clone())
             .collect()
@@ -254,7 +270,7 @@ impl ModelRegistry {
 
     /// Number of registered models.
     pub fn len(&self) -> usize {
-        self.models.read().unwrap().len()
+        self.models_read().len()
     }
 
     /// Whether no models are registered.
@@ -266,7 +282,7 @@ impl ModelRegistry {
     pub fn shutdown(&self) {
         // drop all entries; each Drop joins its dispatcher when the last
         // in-flight Arc releases
-        self.models.write().unwrap().clear();
+        self.models_write().clear();
     }
 }
 

@@ -131,15 +131,26 @@ impl Server {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     let state = Arc::clone(&self.state);
-                    let handle = std::thread::Builder::new()
+                    match std::thread::Builder::new()
                         .name("tsg-serve-conn".into())
                         .spawn(move || handle_connection(stream, &state))
-                        .expect("failed to spawn connection thread");
-                    let mut guard = handles.lock().unwrap();
-                    guard.push(handle);
-                    // reap finished handlers so the vec stays bounded under
-                    // long-lived load
-                    guard.retain(|h| !h.is_finished());
+                    {
+                        Ok(handle) => {
+                            let mut guard =
+                                handles.lock().unwrap_or_else(|poison| poison.into_inner());
+                            guard.push(handle);
+                            // reap finished handlers so the vec stays bounded
+                            // under long-lived load
+                            guard.retain(|h| !h.is_finished());
+                        }
+                        Err(e) => {
+                            // thread exhaustion must not kill the server:
+                            // drop this connection (the stream closes on
+                            // drop) and keep accepting
+                            eprintln!("tsg-serve: spawn failed (connection dropped): {e}");
+                            std::thread::sleep(ACCEPT_POLL);
+                        }
+                    }
                 }
                 Err(e) if http::is_timeout(&e) => std::thread::sleep(ACCEPT_POLL),
                 Err(e) => {
@@ -151,7 +162,10 @@ impl Server {
                 }
             }
         }
-        for handle in handles.into_inner().unwrap() {
+        for handle in handles
+            .into_inner()
+            .unwrap_or_else(|poison| poison.into_inner())
+        {
             let _ = handle.join();
         }
         self.state.registry.shutdown();

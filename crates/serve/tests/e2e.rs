@@ -239,6 +239,78 @@ fn concurrent_serving_is_bit_identical_to_direct_classification() {
 }
 
 #[test]
+fn malformed_wire_requests_get_4xx_and_the_connection_survives() {
+    use std::io::Write;
+    isolate_dataset_cache();
+    let (addr, server_handle) = start_server();
+    let mut client = Client::connect(&addr);
+
+    // a real model to aim the malformed payloads at
+    let fit = Json::obj(vec![
+        ("dataset", Json::Str(DATASET.into())),
+        ("config", Json::Str(CONFIG.into())),
+        ("max_instances", Json::Num(8.0)),
+        ("max_length", Json::Num(64.0)),
+    ]);
+    let (status, _) = client.call("POST", "/models/m/fit", Some(&fit));
+    assert_eq!(status, 200);
+
+    // syntactically broken JSON bodies, correctly framed: each must come
+    // back as a 4xx wire error — never a panic, a hang, or a dropped
+    // connection — and the SAME connection keeps serving afterwards
+    for bad_body in [
+        "{",                           // truncated object
+        "[1, 2,",                      // truncated array
+        "{\"series\": [[1, 2]]",       // missing close brace
+        "\u{0}\u{1}garbage",           // not JSON at all
+        "{\"s\": \"\\ud800\"}",        // unpaired surrogate escape
+        "{\"s\": \"unterminated",      // unterminated string
+        "{\"a\": nul}",                // broken literal
+        "{\"deep\": [[[[[[[[[[[[[[[[", // truncated nesting
+    ] {
+        let request = format!(
+            "POST /models/m/classify HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+            bad_body.len(),
+            bad_body
+        );
+        client.stream.write_all(request.as_bytes()).expect("write");
+        let (status, _) = tsg_serve::http::read_response(&mut client.reader).expect("response");
+        assert!(
+            (400..500).contains(&status),
+            "body {bad_body:?} got status {status}"
+        );
+        // same connection, next request still works
+        let (status, health) = client.call("GET", "/healthz", None);
+        assert_eq!(status, 200, "connection died after {bad_body:?}: {health}");
+    }
+
+    // a well-formed classify on the very same connection still succeeds
+    let ok = Json::obj(vec![(
+        "series",
+        Json::parse("[[1, 2, 3, 2, 1, 2, 3, 2]]").unwrap(),
+    )]);
+    let (status, reply) = client.call("POST", "/models/m/classify", Some(&ok));
+    assert_eq!(status, 200, "{reply}");
+
+    // a torn HTTP request line gets a 400 before the connection closes...
+    let mut torn = Client::connect(&addr);
+    torn.stream
+        .write_all(b"NOT-EVEN-HTTP\r\n\r\n")
+        .expect("write");
+    let (status, _) = tsg_serve::http::read_response(&mut torn.reader).expect("response");
+    assert_eq!(status, 400);
+
+    // ...and the server as a whole keeps serving new connections
+    let mut fresh = Client::connect(&addr);
+    let (status, reply) = fresh.call("POST", "/models/m/classify", Some(&ok));
+    assert_eq!(status, 200, "{reply}");
+
+    let (status, _) = fresh.call("POST", "/shutdown", None);
+    assert_eq!(status, 200);
+    server_handle.join().expect("server thread panicked");
+}
+
+#[test]
 fn invalid_requests_are_rejected_not_fatal() {
     isolate_dataset_cache();
     let (addr, server_handle) = start_server();

@@ -291,6 +291,71 @@ fn stacked_probabilities_are_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn baseline_classifiers_are_bit_identical_across_thread_counts() {
+    // SAX-VSM and Bag-of-Patterns build word histograms; with `BTreeMap`
+    // bags the float summation order inside every cosine/distance is the
+    // sorted word order, so two fits of the same data must agree bit for
+    // bit and `predict_parallel` must match serial `predict` for every
+    // thread count. The assertions cover the raw decision values (cosine
+    // similarities / 1NN distances), not just the argmax/argmin.
+    use tsc_mvg::baselines::bag_of_patterns::BagOfPatterns;
+    use tsc_mvg::baselines::sax_vsm::{SaxVsm, SaxVsmParams};
+    use tsc_mvg::baselines::traits::TscClassifier;
+
+    let (train, test) = generate_by_name_scaled("BeetleFly", ArchiveOptions::bounded(10, 96, 3))
+        .expect("catalogue dataset");
+
+    // two independent fits agree on every decision value, bit for bit
+    let mut vsm_a = SaxVsm::new(SaxVsmParams::default());
+    let mut vsm_b = SaxVsm::new(SaxVsmParams::default());
+    vsm_a.fit(&train).unwrap();
+    vsm_b.fit(&train).unwrap();
+    let sims_a: Vec<Vec<f64>> = test
+        .series()
+        .iter()
+        .map(|s| vsm_a.class_similarities(s).unwrap())
+        .collect();
+    let sims_b: Vec<Vec<f64>> = test
+        .series()
+        .iter()
+        .map(|s| vsm_b.class_similarities(s).unwrap())
+        .collect();
+    assert_eq!(bits(&sims_a), bits(&sims_b));
+
+    let mut bop_a = BagOfPatterns::default();
+    let mut bop_b = BagOfPatterns::default();
+    bop_a.fit(&train).unwrap();
+    bop_b.fit(&train).unwrap();
+    let dists_a: Vec<Vec<f64>> = test
+        .series()
+        .iter()
+        .map(|s| bop_a.distances_to_train(s).unwrap())
+        .collect();
+    let dists_b: Vec<Vec<f64>> = test
+        .series()
+        .iter()
+        .map(|s| bop_b.distances_to_train(s).unwrap())
+        .collect();
+    assert_eq!(bits(&dists_a), bits(&dists_b));
+
+    // parallel prediction matches serial for every thread count
+    let vsm_serial = vsm_a.predict(&test).unwrap();
+    let bop_serial = bop_a.predict(&test).unwrap();
+    for n_threads in THREAD_COUNTS {
+        assert_eq!(
+            vsm_a.predict_parallel(&test, n_threads).unwrap(),
+            vsm_serial,
+            "SAX-VSM, n_threads = {n_threads}"
+        );
+        assert_eq!(
+            bop_a.predict_parallel(&test, n_threads).unwrap(),
+            bop_serial,
+            "Bag-of-Patterns, n_threads = {n_threads}"
+        );
+    }
+}
+
+#[test]
 fn end_to_end_pipeline_is_bit_identical_across_thread_counts() {
     let (train, test) = generate_by_name_scaled("BeetleFly", ArchiveOptions::bounded(8, 96, 3))
         .expect("catalogue dataset");
