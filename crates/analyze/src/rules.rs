@@ -74,6 +74,18 @@ pub const REQUEST_PATH_FILES: &[(&str, &str)] = &[
     ("tsg_serve", "src/server.rs"),
     ("tsg_serve", "src/batcher.rs"),
     ("tsg_serve", "src/registry.rs"),
+    ("tsg_serve", "src/epoll.rs"),
+    ("tsg_serve", "src/event_loop.rs"),
+];
+
+/// The only tsg_serve files allowed to create threads: the ops worker
+/// (`server.rs`), the shared batch dispatcher (`batcher.rs`) and the
+/// load generator's client fan-out. The event loop and the epoll shim are
+/// single-threaded by design and stay under thread-discipline.
+pub const SERVE_THREAD_SPAWNERS: &[(&str, &str)] = &[
+    ("tsg_serve", "src/server.rs"),
+    ("tsg_serve", "src/batcher.rs"),
+    ("tsg_serve", "src/bin/serve_loadgen.rs"),
 ];
 
 /// The documented process-environment entry points; all other code must
@@ -131,10 +143,11 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "thread-discipline",
-        summary: "no thread spawning outside tsg_parallel and tsg_serve",
-        protects: "one shared pool, one determinism story (PR 2 ThreadPool)",
-        crates: CrateScope::Except(&["tsg_parallel", "tsg_serve"]),
-        files: FileScope::All,
+        summary: "no thread spawning outside tsg_parallel and the documented tsg_serve sites",
+        protects: "one shared pool, one determinism story (PR 2 ThreadPool); the \
+                   event loop and epoll shim stay single-threaded (PR 7)",
+        crates: CrateScope::Except(&["tsg_parallel"]),
+        files: FileScope::Except(SERVE_THREAD_SPAWNERS),
         include_tests: false,
     },
     Rule {
@@ -386,6 +399,8 @@ mod tests {
 
         let panic = rule_by_id("panic-freedom").unwrap();
         assert!(panic.applies_to("tsg_serve", "src/http.rs"));
+        assert!(panic.applies_to("tsg_serve", "src/epoll.rs"));
+        assert!(panic.applies_to("tsg_serve", "src/event_loop.rs"));
         assert!(!panic.applies_to("tsg_serve", "src/metrics.rs"));
         assert!(!panic.applies_to("tsg_core", "src/http.rs"));
 
@@ -396,6 +411,10 @@ mod tests {
 
         let threads = rule_by_id("thread-discipline").unwrap();
         assert!(!threads.applies_to("tsg_serve", "src/server.rs"));
+        assert!(!threads.applies_to("tsg_serve", "src/batcher.rs"));
+        assert!(!threads.applies_to("tsg_parallel", "src/lib.rs"));
+        assert!(threads.applies_to("tsg_serve", "src/event_loop.rs"));
+        assert!(threads.applies_to("tsg_serve", "src/epoll.rs"));
         assert!(threads.applies_to("tsg_core", "src/extractor.rs"));
     }
 

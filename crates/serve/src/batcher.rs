@@ -1,26 +1,38 @@
-//! The micro-batch scheduler.
+//! The shared micro-batch scheduler.
 //!
-//! Concurrent `POST /models/{name}/classify` requests for one model land in
-//! a bounded queue. A dedicated dispatcher thread coalesces them: it waits
-//! until either [`BatchConfig::max_batch`] series have accumulated or
+//! Concurrent `POST /models/{name}/classify` requests — for *any* registered
+//! model — land in one bounded queue served by a single dispatcher thread.
+//! The dispatcher coalesces them per model: it waits until either
+//! [`BatchConfig::max_batch`] series have accumulated or
 //! [`BatchConfig::max_wait`] has elapsed since the oldest queued request,
-//! then extracts features for the whole batch on the shared
-//! [`tsg_parallel::ThreadPool`] — each worker checking one warmed-up
-//! [`MotifWorkspace`] out of a per-model pool and driving
-//! [`extract_series_features_with`] with it, so the motif kernel's scratch
-//! memory survives across batches — and runs the model once over the batch.
-//! Results are fanned back out to the waiting request handlers.
+//! then takes the front request's model and collects every queued request
+//! for that same model into one batch. Features are extracted for the whole
+//! batch on the shared [`tsg_parallel::ThreadPool`] — each worker checking
+//! one warmed-up [`MotifWorkspace`] out of a cross-batch pool and driving
+//! [`extract_series_features_with`] with it — and the model runs once over
+//! the batch.
+//!
+//! One dispatcher for the whole registry is the point: a fleet of 100
+//! registered models costs one scheduler thread, not 100 idle ones, and the
+//! warm workspace pool is shared across all of them. (The per-model
+//! scheduler this replaced kept a dedicated dispatcher per registry entry.)
+//!
+//! Completion is a callback ([`SharedBatcher::submit`]): the event-loop
+//! server passes a closure that enqueues the finished response and wakes the
+//! loop via its eventfd, so no connection ever blocks a thread on a batch.
+//! [`SharedBatcher::classify`] keeps the blocking convenience wrapper for
+//! tests and in-process callers.
 //!
 //! Backpressure: when the queue already holds [`BatchConfig::queue_depth`]
-//! series, [`Batcher::classify`] returns [`ClassifyError::Saturated`] and
-//! the HTTP layer answers `429 Too Many Requests`.
+//! series, submission returns [`ClassifyError::Saturated`] and the HTTP
+//! layer answers `429 Too Many Requests`.
 //!
 //! Batching never changes results: feature extraction is per-series and
 //! deterministic (workspace reuse is bit-neutral, pinned by the workspace
 //! determinism tests), and the model predicts rows independently — so a
 //! series classified in a batch of 64 gets the same label as one classified
 //! alone. The end-to-end test in `tests/e2e.rs` asserts exactly this against
-//! direct [`MvgClassifier::predict`] calls.
+//! direct [`MvgClassifier::predict`] calls through the event-loop path.
 
 use crate::metrics::ServerMetrics;
 use std::collections::VecDeque;
@@ -86,23 +98,29 @@ pub struct ClassifyOutput {
     pub batch_size: usize,
 }
 
+/// Completion callback invoked exactly once with the request's result — from
+/// the dispatcher thread, so it must be quick (enqueue + wake, or fill a
+/// slot); never called when submission itself fails.
+pub type OnDone = Box<dyn FnOnce(Result<ClassifyOutput, ClassifyError>) + Send + 'static>;
+
 /// Locks a mutex, recovering the data if a panicking thread poisoned it.
 /// Every structure guarded here is kept consistent under unwinding (the
 /// compute path runs inside `catch_unwind` in [`run_batch`]), so a poisoned
 /// lock only records that *some* thread died — refusing service forever
-/// would escalate that into a total outage of the model's queue.
+/// would escalate that into a total outage of the classify queue.
 fn lock_recover<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(|poison| poison.into_inner())
 }
 
 /// One queued classify request.
 struct Job {
+    model: Arc<MvgClassifier>,
     series: Vec<TimeSeries>,
     want_proba: bool,
-    slot: Arc<Slot>,
+    on_done: OnDone,
 }
 
-/// Rendezvous between the request handler and the dispatcher.
+/// Rendezvous for the blocking [`SharedBatcher::classify`] wrapper.
 struct Slot {
     result: Mutex<Option<Result<ClassifyOutput, ClassifyError>>>,
     ready: Condvar,
@@ -147,7 +165,6 @@ struct Shared {
     /// Signalled when a job arrives or shutdown is requested.
     wake: Condvar,
     config: BatchConfig,
-    model: Arc<MvgClassifier>,
     pool: ThreadPool,
     metrics: Arc<ServerMetrics>,
     workspaces: WorkspacePool,
@@ -156,9 +173,10 @@ struct Shared {
 /// A checkout pool of [`MotifWorkspace`]s. The `tsg_parallel` pool spawns
 /// fresh scoped worker threads per `map` call, so a `thread_local` workspace
 /// would die with each batch's workers; keeping the warmed-up workspaces
-/// here instead makes the reuse survive across batches (the pool grows to at
-/// most the number of concurrent workers). The checkout lock is touched once
-/// per series, which is noise next to a motif-kernel run.
+/// here instead makes the reuse survive across batches — and across *all*
+/// models, since the batcher is shared (the pool grows to at most the number
+/// of concurrent workers). The checkout lock is touched once per series,
+/// which is noise next to a motif-kernel run.
 #[derive(Default)]
 struct WorkspacePool {
     stack: Mutex<Vec<MotifWorkspace>>,
@@ -173,25 +191,27 @@ impl WorkspacePool {
     }
 }
 
-/// The per-model micro-batch scheduler. Owns one dispatcher thread; dropping
-/// the batcher drains the queue with `ShuttingDown` errors and joins it.
-pub struct Batcher {
+/// The registry-wide micro-batch scheduler. Owns one dispatcher thread;
+/// dropping the batcher drains the queue with `ShuttingDown` errors and
+/// joins it.
+pub struct SharedBatcher {
     shared: Arc<Shared>,
-    dispatcher: Option<std::thread::JoinHandle<()>>,
+    /// Joined on shutdown; behind a mutex so `shutdown` works through an
+    /// `Arc<SharedBatcher>` shared between the registry and the event loop.
+    dispatcher: Mutex<Option<std::thread::JoinHandle<()>>>,
     accepting: AtomicBool,
 }
 
-impl Batcher {
-    /// Spawns the dispatcher for a fitted model. Fails (instead of
-    /// panicking) when the dispatcher thread cannot be spawned — under
-    /// thread exhaustion the caller maps this to a wire error rather than
-    /// taking the whole server down.
+impl SharedBatcher {
+    /// Spawns the dispatcher. Fails (instead of panicking) when the
+    /// dispatcher thread cannot be spawned — under thread exhaustion the
+    /// caller maps this to a wire error rather than taking the whole server
+    /// down.
     pub fn new(
-        model: Arc<MvgClassifier>,
         config: BatchConfig,
         pool: ThreadPool,
         metrics: Arc<ServerMetrics>,
-    ) -> std::io::Result<Batcher> {
+    ) -> std::io::Result<SharedBatcher> {
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue {
                 jobs: VecDeque::new(),
@@ -200,7 +220,6 @@ impl Batcher {
             }),
             wake: Condvar::new(),
             config,
-            model,
             pool,
             metrics,
             workspaces: WorkspacePool::default(),
@@ -211,35 +230,36 @@ impl Batcher {
                 .name("tsg-serve-batcher".into())
                 .spawn(move || dispatch_loop(&shared))?
         };
-        Ok(Batcher {
+        Ok(SharedBatcher {
             shared,
-            dispatcher: Some(dispatcher),
+            dispatcher: Mutex::new(Some(dispatcher)),
             accepting: AtomicBool::new(true),
         })
     }
 
-    /// The model this batcher serves.
-    pub fn model(&self) -> &Arc<MvgClassifier> {
-        &self.shared.model
-    }
-
-    /// Submits one request and blocks until its batch has been dispatched.
-    pub fn classify(
+    /// Submits one request; `on_done` fires from the dispatcher once the
+    /// request's batch has run. When submission fails (saturated queue /
+    /// shutdown) the error is returned synchronously and `on_done` is never
+    /// invoked — the caller still owns its response. An empty series list
+    /// completes inline without touching the queue.
+    pub fn submit(
         &self,
+        model: Arc<MvgClassifier>,
         series: Vec<TimeSeries>,
         want_proba: bool,
-    ) -> Result<ClassifyOutput, ClassifyError> {
+        on_done: OnDone,
+    ) -> Result<(), ClassifyError> {
         if series.is_empty() {
-            return Ok(ClassifyOutput {
+            on_done(Ok(ClassifyOutput {
                 predictions: Vec::new(),
                 probabilities: want_proba.then(Vec::new),
                 batch_size: 0,
-            });
+            }));
+            return Ok(());
         }
         if !self.accepting.load(Ordering::Acquire) {
             return Err(ClassifyError::ShuttingDown);
         }
-        let slot = Slot::new();
         {
             let mut queue = lock_recover(&self.shared.queue);
             if queue.shutdown {
@@ -256,34 +276,56 @@ impl Batcher {
             }
             queue.queued_series += series.len();
             queue.jobs.push_back(Job {
+                model,
                 series,
                 want_proba,
-                slot: Arc::clone(&slot),
+                on_done,
             });
         }
         self.shared.wake.notify_one();
+        Ok(())
+    }
+
+    /// Blocking convenience over [`SharedBatcher::submit`]: parks the
+    /// calling thread until the batch has been dispatched. Used by tests and
+    /// in-process callers; the event loop never blocks here.
+    pub fn classify(
+        &self,
+        model: Arc<MvgClassifier>,
+        series: Vec<TimeSeries>,
+        want_proba: bool,
+    ) -> Result<ClassifyOutput, ClassifyError> {
+        let slot = Slot::new();
+        let filler = Arc::clone(&slot);
+        self.submit(
+            model,
+            series,
+            want_proba,
+            Box::new(move |result| filler.fill(result)),
+        )?;
         slot.wait()
     }
 
     /// Stops accepting new work, fails queued jobs and joins the dispatcher.
-    pub fn shutdown(&mut self) {
+    /// Idempotent; callable through a shared reference.
+    pub fn shutdown(&self) {
         self.accepting.store(false, Ordering::Release);
         {
             let mut queue = lock_recover(&self.shared.queue);
             queue.shutdown = true;
             for job in queue.jobs.drain(..) {
-                job.slot.fill(Err(ClassifyError::ShuttingDown));
+                (job.on_done)(Err(ClassifyError::ShuttingDown));
             }
             queue.queued_series = 0;
         }
         self.shared.wake.notify_all();
-        if let Some(handle) = self.dispatcher.take() {
+        if let Some(handle) = lock_recover(&self.dispatcher).take() {
             let _ = handle.join();
         }
     }
 }
 
-impl Drop for Batcher {
+impl Drop for SharedBatcher {
     fn drop(&mut self) {
         self.shutdown();
     }
@@ -299,9 +341,12 @@ fn dispatch_loop(shared: &Shared) {
     }
 }
 
-/// Blocks until at least one job is queued, then keeps collecting jobs until
-/// the batch is full or the oldest job has waited `max_wait`. Returns `None`
-/// on shutdown.
+/// Blocks until at least one job is queued, then keeps collecting until the
+/// queue holds a full batch worth of series or the oldest job has waited
+/// `max_wait` — then takes the *front* job's model and pulls every queued
+/// job for that model (up to `max_batch` series) into one batch, leaving
+/// other models' jobs queued in arrival order for the next round. Returns
+/// `None` on shutdown.
 fn collect_batch(shared: &Shared) -> Option<Vec<Job>> {
     let mut queue = lock_recover(&shared.queue);
     loop {
@@ -321,8 +366,7 @@ fn collect_batch(shared: &Shared) -> Option<Vec<Job>> {
         if queue.shutdown {
             return None;
         }
-        let queued: usize = queue.queued_series;
-        if queued >= shared.config.max_batch {
+        if queue.queued_series >= shared.config.max_batch {
             break;
         }
         let now = Instant::now();
@@ -338,37 +382,39 @@ fn collect_batch(shared: &Shared) -> Option<Vec<Job>> {
             break;
         }
     }
-    // take whole jobs until the batch is full (always at least one job, so
-    // an oversized request still dispatches)
+    // group by the front job's model: whole jobs only, always at least one
+    // (so an oversized request still dispatches), skipping other models
+    let front_model = Arc::clone(&queue.jobs.front()?.model);
     let mut batch = Vec::new();
     let mut batch_series = 0usize;
-    loop {
-        let fits = match queue.jobs.front() {
-            Some(job) => {
-                batch.is_empty() || batch_series + job.series.len() <= shared.config.max_batch
-            }
-            None => false,
-        };
-        if !fits {
-            break;
+    let mut rest = VecDeque::with_capacity(queue.jobs.len());
+    while let Some(job) = queue.jobs.pop_front() {
+        let same_model = Arc::ptr_eq(&job.model, &front_model);
+        let fits = batch.is_empty() || batch_series + job.series.len() <= shared.config.max_batch;
+        if same_model && fits {
+            batch_series += job.series.len();
+            batch.push(job);
+        } else {
+            rest.push_back(job);
         }
-        let Some(job) = queue.jobs.pop_front() else {
-            break;
-        };
-        batch_series += job.series.len();
-        queue.queued_series = queue.queued_series.saturating_sub(job.series.len());
-        batch.push(job);
+    }
+    queue.jobs = rest;
+    queue.queued_series = queue.queued_series.saturating_sub(batch_series);
+    if !queue.jobs.is_empty() {
+        // other models (or overflow of this one) remain: make sure the
+        // dispatcher comes straight back instead of parking on the condvar
+        shared.wake.notify_one();
     }
     Some(batch)
 }
 
 /// Extracts features for every series of the batch on the pool and runs the
-/// model once, then distributes per-job results.
+/// batch's model once, then distributes per-job results.
 ///
 /// Panic-safe: a panic anywhere in the compute path (extraction, model,
-/// slicing) is caught and every job's slot is filled with an error, so no
-/// connection handler is ever left waiting on a condvar forever and the
-/// dispatcher thread survives to serve the next batch.
+/// slicing) is caught and every job's completion is invoked with an error,
+/// so no submitter is ever left waiting forever and the dispatcher thread
+/// survives to serve the next batch.
 fn run_batch(shared: &Shared, batch: Vec<Job>) {
     let batch_size: usize = batch.iter().map(|j| j.series.len()).sum();
     shared.metrics.classify_batches_total.inc();
@@ -381,18 +427,18 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
     match outcome {
         Ok(Ok(outputs)) => {
             for (job, output) in batch.into_iter().zip(outputs) {
-                job.slot.fill(Ok(output));
+                (job.on_done)(Ok(output));
             }
         }
         Ok(Err(error)) => {
             for job in batch {
-                job.slot.fill(Err(error.clone()));
+                (job.on_done)(Err(error.clone()));
             }
         }
         Err(_) => {
             let error = ClassifyError::Model("batch dispatch panicked".to_string());
             for job in batch {
-                job.slot.fill(Err(error.clone()));
+                (job.on_done)(Err(error.clone()));
             }
         }
     }
@@ -400,14 +446,19 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
 
 /// The compute path of one batch: pooled feature extraction (reusing warmed
 /// workspaces) plus one padded/scaled model pass; probabilities are computed
-/// on the same transformed matrix only when some job asked for them.
+/// on the same transformed matrix only when some job asked for them. All
+/// jobs share one model (grouped by [`collect_batch`]).
 fn compute_batch(
     shared: &Shared,
     batch: &[Job],
     batch_size: usize,
 ) -> Result<Vec<ClassifyOutput>, ClassifyError> {
+    let Some(front) = batch.first() else {
+        return Ok(Vec::new());
+    };
+    let model = &front.model;
     let all_series: Vec<&TimeSeries> = batch.iter().flat_map(|j| j.series.iter()).collect();
-    let features = shared.model.config().features.clone();
+    let features = model.config().features.clone();
     let rows: Vec<Vec<f64>> = shared.pool.map(&all_series, |series| {
         shared
             .workspaces
@@ -416,14 +467,12 @@ fn compute_batch(
 
     let want_any_proba = batch.iter().any(|j| j.want_proba);
     let (predictions, probabilities) = if want_any_proba {
-        let (p, proba) = shared
-            .model
+        let (p, proba) = model
             .predict_with_proba_from_feature_rows(rows)
             .map_err(|e| ClassifyError::Model(e.to_string()))?;
         (p, Some(proba))
     } else {
-        let p = shared
-            .model
+        let p = model
             .predict_from_feature_rows(rows)
             .map_err(|e| ClassifyError::Model(e.to_string()))?;
         (p, None)
@@ -473,7 +522,7 @@ mod tests {
     use tsg_ml::gbt::GradientBoostingParams;
     use tsg_ts::Dataset;
 
-    fn tiny_model() -> Arc<MvgClassifier> {
+    fn tiny_model(seed: u64) -> Arc<MvgClassifier> {
         let mut train = Dataset::new("tiny");
         for i in 0..8 {
             let label = i % 2;
@@ -497,7 +546,7 @@ mod tests {
             }),
             oversample: false,
             n_threads: 1,
-            seed: 1,
+            seed,
         };
         let mut clf = MvgClassifier::new(config);
         clf.fit(&train).unwrap();
@@ -516,9 +565,8 @@ mod tests {
             .collect()
     }
 
-    fn batcher(model: &Arc<MvgClassifier>, config: BatchConfig) -> Batcher {
-        Batcher::new(
-            Arc::clone(model),
+    fn batcher(config: BatchConfig) -> SharedBatcher {
+        SharedBatcher::new(
             config,
             ThreadPool::new(2),
             Arc::new(ServerMetrics::default()),
@@ -528,13 +576,13 @@ mod tests {
 
     #[test]
     fn batched_results_match_direct_predictions() {
-        let model = tiny_model();
+        let model = tiny_model(1);
         let series = test_series(6);
         let direct = model
             .predict(&Dataset::from_series("q", series.clone()))
             .unwrap();
-        let b = batcher(&model, BatchConfig::default());
-        let out = b.classify(series, true).unwrap();
+        let b = batcher(BatchConfig::default());
+        let out = b.classify(Arc::clone(&model), series, true).unwrap();
         assert_eq!(out.predictions, direct);
         let proba = out.probabilities.unwrap();
         assert_eq!(proba.len(), 6);
@@ -544,14 +592,102 @@ mod tests {
     }
 
     #[test]
+    fn submit_completes_through_the_callback() {
+        let model = tiny_model(1);
+        let series = test_series(2);
+        let direct = model
+            .predict(&Dataset::from_series("q", series.clone()))
+            .unwrap();
+        let b = batcher(BatchConfig::default());
+        let (tx, rx) = std::sync::mpsc::channel();
+        b.submit(
+            Arc::clone(&model),
+            series,
+            false,
+            Box::new(move |result| tx.send(result).unwrap()),
+        )
+        .unwrap();
+        let out = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("callback fired")
+            .unwrap();
+        assert_eq!(out.predictions, direct);
+
+        // empty submission completes inline
+        let (tx, rx) = std::sync::mpsc::channel();
+        b.submit(
+            Arc::clone(&model),
+            Vec::new(),
+            true,
+            Box::new(move |result| tx.send(result).unwrap()),
+        )
+        .unwrap();
+        let out = rx.try_recv().expect("inline completion").unwrap();
+        assert!(out.predictions.is_empty());
+        assert_eq!(out.probabilities, Some(Vec::new()));
+    }
+
+    #[test]
+    fn two_models_share_one_dispatcher_without_mixing() {
+        // the scale step: many models, one scheduler. Interleave submissions
+        // for two differently seeded models and check every prediction
+        // matches that model's own direct output — a mixed batch would run
+        // the wrong model over someone's series.
+        let model_a = tiny_model(1);
+        let model_b = tiny_model(99);
+        let series = test_series(10);
+        let direct_a = model_a
+            .predict(&Dataset::from_series("q", series.clone()))
+            .unwrap();
+        let direct_b = model_b
+            .predict(&Dataset::from_series("q", series.clone()))
+            .unwrap();
+        let config = BatchConfig {
+            max_batch: 64,
+            max_wait: Duration::from_millis(20),
+            queue_depth: 256,
+        };
+        let b = batcher(config);
+        let results: Vec<(usize, bool, ClassifyOutput)> = std::thread::scope(|scope| {
+            series
+                .iter()
+                .enumerate()
+                .flat_map(|(i, s)| {
+                    [(i, true, s.clone()), (i, false, s.clone())]
+                        .into_iter()
+                        .map(|(i, use_a, s)| {
+                            let b = &b;
+                            let model = if use_a { &model_a } else { &model_b };
+                            let model = Arc::clone(model);
+                            scope.spawn(move || {
+                                (i, use_a, b.classify(model, vec![s], false).unwrap())
+                            })
+                        })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for (i, used_a, out) in results {
+            let expected = if used_a { direct_a[i] } else { direct_b[i] };
+            assert_eq!(
+                out.predictions,
+                vec![expected],
+                "series {i} model_a={used_a}"
+            );
+        }
+    }
+
+    #[test]
     fn concurrent_submissions_coalesce_and_match() {
-        let model = tiny_model();
+        let model = tiny_model(1);
         let config = BatchConfig {
             max_batch: 64,
             max_wait: Duration::from_millis(30),
             queue_depth: 256,
         };
-        let b = batcher(&model, config);
+        let b = batcher(config);
         let series = test_series(12);
         let direct = model
             .predict(&Dataset::from_series("q", series.clone()))
@@ -562,8 +698,9 @@ mod tests {
                 .enumerate()
                 .map(|(i, s)| {
                     let b = &b;
+                    let model = Arc::clone(&model);
                     let s = s.clone();
-                    scope.spawn(move || (i, b.classify(vec![s], false).unwrap()))
+                    scope.spawn(move || (i, b.classify(model, vec![s], false).unwrap()))
                 })
                 .collect::<Vec<_>>()
                 .into_iter()
@@ -584,20 +721,15 @@ mod tests {
 
     #[test]
     fn saturation_returns_queue_full() {
-        let model = tiny_model();
+        let model = tiny_model(1);
         let config = BatchConfig {
             max_batch: 4,
             max_wait: Duration::from_millis(1),
             queue_depth: 2,
         };
         let metrics = Arc::new(ServerMetrics::default());
-        let b = Batcher::new(
-            Arc::clone(&model),
-            config,
-            ThreadPool::new(1),
-            Arc::clone(&metrics),
-        )
-        .expect("spawn batcher");
+        let b = SharedBatcher::new(config, ThreadPool::new(1), Arc::clone(&metrics))
+            .expect("spawn batcher");
         // submit from many threads; with depth 2 some must be rejected,
         // while every accepted one completes correctly
         let series = test_series(1);
@@ -605,8 +737,9 @@ mod tests {
             (0..24)
                 .map(|_| {
                     let b = &b;
+                    let model = Arc::clone(&model);
                     let s = series[0].clone();
-                    scope.spawn(move || b.classify(vec![s], false))
+                    scope.spawn(move || b.classify(model, vec![s], false))
                 })
                 .collect::<Vec<_>>()
                 .into_iter()
@@ -629,38 +762,30 @@ mod tests {
 
     #[test]
     fn oversized_request_still_dispatches() {
-        let model = tiny_model();
+        let model = tiny_model(1);
         let config = BatchConfig {
             max_batch: 2,
             max_wait: Duration::from_millis(1),
             queue_depth: 4,
         };
-        let b = batcher(&model, config);
+        let b = batcher(config);
         let series = test_series(7); // bigger than both max_batch and depth
         let direct = model
             .predict(&Dataset::from_series("q", series.clone()))
             .unwrap();
-        let out = b.classify(series, false).unwrap();
+        let out = b.classify(Arc::clone(&model), series, false).unwrap();
         assert_eq!(out.predictions, direct);
         assert_eq!(out.batch_size, 7);
     }
 
     #[test]
-    fn empty_request_short_circuits() {
-        let model = tiny_model();
-        let b = batcher(&model, BatchConfig::default());
-        let out = b.classify(Vec::new(), true).unwrap();
-        assert!(out.predictions.is_empty());
-        assert_eq!(out.probabilities, Some(Vec::new()));
-        assert_eq!(out.batch_size, 0);
-    }
-
-    #[test]
     fn shutdown_rejects_new_work() {
-        let model = tiny_model();
-        let mut b = batcher(&model, BatchConfig::default());
+        let model = tiny_model(1);
+        let b = batcher(BatchConfig::default());
         b.shutdown();
-        let err = b.classify(test_series(1), false).unwrap_err();
+        let err = b
+            .classify(Arc::clone(&model), test_series(1), false)
+            .unwrap_err();
         assert_eq!(err, ClassifyError::ShuttingDown);
     }
 }

@@ -1,0 +1,615 @@
+//! The readiness-based serving core: one thread, one [`Epoll`] instance,
+//! every connection nonblocking.
+//!
+//! ## Shape
+//!
+//! The loop owns a slab of per-connection state machines. Each connection
+//! keeps an incremental [`RequestParser`] fed by nonblocking reads, a write
+//! buffer drained by nonblocking writes, and a sequence-numbered reorder
+//! stage so HTTP/1.1 **pipelining** works: a client may send N back-to-back
+//! requests on one connection and always receives the N responses in
+//! request order, even when they complete out of order (classify requests
+//! finish on the batch dispatcher, fits on the ops worker, while `/healthz`
+//! answers inline).
+//!
+//! Slow work never blocks the loop:
+//!
+//! * classify requests are submitted to the registry's [`SharedBatcher`]
+//!   with a completion callback;
+//! * fit requests run on a dedicated ops worker thread (spawned by
+//!   `server::run` — this module spawns no threads);
+//! * both push their finished bytes into the [`Completions`] queue and nudge
+//!   the parked loop through an `eventfd` [`Waker`].
+//!
+//! Completions carry the `(token, generation)` of the connection they belong
+//! to; the slab bumps a slot's generation on every close, so a completion
+//! for a connection that died (and whose slot was reused) is recognised as
+//! stale and dropped instead of being written to the wrong client.
+//!
+//! Keep-alive is decided **after** routing: `POST /shutdown` flips the
+//! shutdown flag during routing, and the response's `Connection` header
+//! reflects it — the old thread-per-connection server computed keep-alive
+//! first and promised `keep-alive` on the very response after which it hung
+//! up. Parse failures answer with their mapped status (400 malformed, 413
+//! oversized) and close once flushed, because the byte stream is no longer
+//! aligned to message boundaries.
+//!
+//! Graceful shutdown: stop accepting, stop reading, let in-flight work
+//! complete and flush, then close — bounded by a grace deadline so a stuck
+//! peer cannot hold the process open.
+
+use crate::epoll::{
+    Epoll, EpollEvent, Interest, Waker, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
+};
+use crate::http::{RequestParser, Response, MID_REQUEST_BUDGET};
+use crate::server::{route_request, Routed, ServerState};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A deferred unit of blocking work (model fits) executed on the ops worker.
+pub(crate) type OpsJob = Box<dyn FnOnce() + Send>;
+
+/// Token of the listening socket in the epoll set.
+const TOKEN_LISTENER: u64 = 0;
+/// Token of the completion-queue waker.
+const TOKEN_WAKER: u64 = 1;
+/// First token handed to connections (slot index + this offset).
+const TOKEN_BASE: u64 = 2;
+
+/// Maximum pipelined requests in flight per connection. Past this the loop
+/// stops reading the connection (TCP backpressure) until responses drain,
+/// bounding per-connection memory.
+const MAX_PIPELINE: u64 = 32;
+
+/// How long the loop parks in `epoll_wait` at most; bounds the latency of
+/// the shutdown-flag check and the mid-request timeout sweep.
+const TICK: i32 = 100;
+
+/// Grace period for draining in-flight work and flushing responses on
+/// shutdown.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
+
+/// Backoff after an unexpected `accept` failure (e.g. fd exhaustion): the
+/// pending connection keeps the listener readable, so without a pause a
+/// level-triggered loop would spin on the error.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(25);
+
+fn lock_recover<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// A finished asynchronous response, addressed to one request of one
+/// connection incarnation.
+pub(crate) struct Completed {
+    /// Epoll token of the connection (slot + [`TOKEN_BASE`]).
+    pub(crate) token: u64,
+    /// Slot generation at submission time; a mismatch means the connection
+    /// died and the slot was reused — the completion is dropped.
+    pub(crate) generation: u64,
+    /// Position in the connection's response order.
+    pub(crate) seq: u64,
+    /// Fully serialized response bytes.
+    pub(crate) bytes: Vec<u8>,
+}
+
+/// The queue worker threads complete into, plus the waker that makes the
+/// parked loop notice.
+pub(crate) struct Completions {
+    queue: Mutex<Vec<Completed>>,
+    waker: Waker,
+}
+
+impl Completions {
+    fn new() -> io::Result<Arc<Completions>> {
+        Ok(Arc::new(Completions {
+            queue: Mutex::new(Vec::new()),
+            waker: Waker::new()?,
+        }))
+    }
+
+    /// Called from worker threads: enqueue a finished response and wake the
+    /// loop.
+    pub(crate) fn push(&self, completed: Completed) {
+        lock_recover(&self.queue).push(completed);
+        let _ = self.waker.wake();
+    }
+
+    /// Called from the loop: take everything queued so far. The waker is
+    /// drained first so a wake arriving after the swap stays pending and
+    /// re-triggers the next `epoll_wait`.
+    fn drain(&self) -> Vec<Completed> {
+        self.waker.drain();
+        std::mem::take(&mut *lock_recover(&self.queue))
+    }
+}
+
+/// The context a routed request needs to complete asynchronously.
+pub(crate) struct AsyncCtx {
+    /// Where to push the finished response.
+    pub(crate) completions: Arc<Completions>,
+    /// Connection address for the completion.
+    pub(crate) token: u64,
+    /// Connection incarnation for staleness detection.
+    pub(crate) generation: u64,
+    /// Response-order position of this request.
+    pub(crate) seq: u64,
+    /// Keep-alive decision for serializing the response.
+    pub(crate) keep_alive: bool,
+    /// When the request was parsed (for the latency histograms).
+    pub(crate) started: Instant,
+}
+
+/// Per-connection state machine.
+struct Connection {
+    stream: TcpStream,
+    parser: RequestParser,
+    /// Serialized responses being written, in order.
+    write_buf: Vec<u8>,
+    /// How much of `write_buf` has been written already.
+    write_pos: usize,
+    /// Responses that completed out of order, waiting for their turn.
+    reorder: Vec<(u64, Vec<u8>)>,
+    /// Sequence number the next parsed request will get.
+    next_seq: u64,
+    /// Sequence number the next appended response must have.
+    next_flush_seq: u64,
+    /// No further requests will be parsed (close requested, parse error,
+    /// peer EOF, or server drain). Once also fully flushed, the connection
+    /// closes.
+    stop_reading: bool,
+    /// The peer will send no more bytes (EOF or half-close observed).
+    read_closed: bool,
+    /// The socket errored; close without attempting further I/O.
+    broken: bool,
+    /// When the first byte of a still-incomplete request arrived; drives the
+    /// 408 sweep against [`MID_REQUEST_BUDGET`].
+    request_started: Option<Instant>,
+    /// Interest currently registered in the epoll set.
+    interest: Interest,
+}
+
+impl Connection {
+    fn new(stream: TcpStream) -> Connection {
+        Connection {
+            stream,
+            parser: RequestParser::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            reorder: Vec::new(),
+            next_seq: 0,
+            next_flush_seq: 0,
+            stop_reading: false,
+            read_closed: false,
+            broken: false,
+            request_started: None,
+            interest: Interest::READ,
+        }
+    }
+
+    /// Requests routed but whose response has not yet entered the write
+    /// buffer.
+    fn in_flight(&self) -> u64 {
+        self.next_seq - self.next_flush_seq
+    }
+
+    /// Whether the loop currently wants bytes from this peer.
+    fn wants_read(&self) -> bool {
+        !self.stop_reading && !self.read_closed && self.in_flight() < MAX_PIPELINE
+    }
+
+    /// Whether everything is done and the connection should close.
+    fn finished(&self) -> bool {
+        self.stop_reading && self.in_flight() == 0 && self.write_pos == self.write_buf.len()
+    }
+
+    /// Appends a response in sequence order, parking it in the reorder stage
+    /// if earlier responses are still outstanding.
+    fn enqueue_response(&mut self, seq: u64, bytes: Vec<u8>) {
+        if seq != self.next_flush_seq {
+            self.reorder.push((seq, bytes));
+            return;
+        }
+        self.write_buf.extend_from_slice(&bytes);
+        self.next_flush_seq += 1;
+        // release any directly following responses that were parked
+        while let Some(pos) = self
+            .reorder
+            .iter()
+            .position(|(s, _)| *s == self.next_flush_seq)
+        {
+            let (_, ready) = self.reorder.swap_remove(pos);
+            self.write_buf.extend_from_slice(&ready);
+            self.next_flush_seq += 1;
+        }
+    }
+
+    /// Writes as much of the buffer as the socket accepts right now.
+    fn flush(&mut self) {
+        while self.write_pos < self.write_buf.len() {
+            let remaining = self.write_buf.get(self.write_pos..).unwrap_or_default();
+            match self.stream.write(remaining) {
+                Ok(0) => {
+                    self.broken = true;
+                    return;
+                }
+                Ok(n) => self.write_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(_) => {
+                    self.broken = true;
+                    return;
+                }
+            }
+        }
+        // fully flushed: reclaim the buffer instead of growing forever
+        self.write_buf.clear();
+        self.write_pos = 0;
+    }
+
+    /// Reads until the socket would block (or EOF / error), feeding the
+    /// parser. Respects `wants_read` so a capped pipeline applies TCP
+    /// backpressure instead of buffering without bound.
+    fn fill_from_socket(&mut self) {
+        let mut chunk = [0u8; 16 * 1024];
+        while self.wants_read() {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.read_closed = true;
+                    return;
+                }
+                Ok(n) => {
+                    self.parser.push(chunk.get(..n).unwrap_or_default());
+                    if self.request_started.is_none() {
+                        self.request_started = Some(Instant::now());
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(_) => {
+                    self.broken = true;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// One slab slot. The generation survives the connection so late
+/// completions addressed to a dead incarnation can be recognised.
+#[derive(Default)]
+struct Slot {
+    generation: u64,
+    conn: Option<Connection>,
+}
+
+/// Everything the per-connection handlers need besides the slab itself.
+struct LoopCtx<'a> {
+    epoll: &'a Epoll,
+    state: &'a Arc<ServerState>,
+    completions: &'a Arc<Completions>,
+    ops: &'a mpsc::Sender<OpsJob>,
+    draining: bool,
+}
+
+/// Runs the event loop until shutdown completes. `ops` hands blocking work
+/// (fits) to the worker thread `server::run` spawned.
+pub(crate) fn run(
+    listener: TcpListener,
+    state: &Arc<ServerState>,
+    ops: &mpsc::Sender<OpsJob>,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let epoll = Epoll::new()?;
+    let completions = Completions::new()?;
+    epoll.add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+    epoll.add(completions.waker.fd(), TOKEN_WAKER, Interest::READ)?;
+
+    let mut slots: Vec<Slot> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut events = vec![EpollEvent::default(); 512];
+    let mut draining = false;
+    let mut drain_deadline = Instant::now();
+
+    loop {
+        let n = epoll.wait(&mut events, TICK)?;
+        let mut accept_pending = false;
+        for event in events.iter().take(n) {
+            // copy out of the (packed on x86_64) event before touching fields
+            let token = { event.data };
+            let bits = { event.events };
+            match token {
+                TOKEN_LISTENER => accept_pending = true,
+                TOKEN_WAKER => {
+                    // drained (with the queue) below; nothing to do here
+                }
+                token => {
+                    let Some(slot) =
+                        slots.get_mut(usize::try_from(token - TOKEN_BASE).unwrap_or(usize::MAX))
+                    else {
+                        continue;
+                    };
+                    let Some(conn) = slot.conn.as_mut() else {
+                        continue; // closed earlier in this same batch
+                    };
+                    if bits & EPOLLERR != 0 {
+                        conn.broken = true;
+                        continue;
+                    }
+                    if bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0 {
+                        conn.fill_from_socket();
+                        if bits & EPOLLHUP != 0 && !conn.read_closed {
+                            // full hangup: both directions are gone
+                            conn.broken = true;
+                        }
+                    }
+                    // EPOLLOUT needs no action here: the maintenance pass
+                    // below flushes every connection with buffered output
+                    let _ = bits & EPOLLOUT;
+                }
+            }
+        }
+
+        if accept_pending && !draining {
+            accept_connections(&listener, &epoll, state, &mut slots, &mut free);
+        }
+
+        // apply async completions (classify batches, finished fits)
+        for completed in completions.drain() {
+            let Some(slot) = slots.get_mut(
+                usize::try_from(completed.token.saturating_sub(TOKEN_BASE)).unwrap_or(usize::MAX),
+            ) else {
+                continue;
+            };
+            if slot.generation != completed.generation {
+                continue; // the connection this belonged to is gone
+            }
+            if let Some(conn) = slot.conn.as_mut() {
+                conn.enqueue_response(completed.seq, completed.bytes);
+            }
+        }
+
+        // enter drain mode once the shutdown flag is observed
+        if !draining && state.shutdown.load(Ordering::Acquire) {
+            draining = true;
+            drain_deadline = Instant::now() + SHUTDOWN_GRACE;
+            let _ = epoll.delete(listener.as_raw_fd());
+        }
+
+        // maintenance pass: parse + route buffered requests, sweep timeouts,
+        // flush, close or re-arm every live connection
+        let ctx = LoopCtx {
+            epoll: &epoll,
+            state,
+            completions: &completions,
+            ops,
+            draining,
+        };
+        let mut open = 0usize;
+        let mut freed: Vec<usize> = Vec::new();
+        for idx in 0..slots.len() {
+            let Some(slot) = slots.get_mut(idx) else {
+                continue;
+            };
+            let Some(conn) = slot.conn.as_mut() else {
+                continue;
+            };
+            let token = idx as u64 + TOKEN_BASE;
+            if ctx.draining {
+                conn.stop_reading = true;
+            }
+            if !conn.broken {
+                drain_requests(&ctx, conn, token, slot.generation);
+                sweep_timeout(ctx.state, conn);
+                conn.flush();
+            }
+            if conn.broken || conn.finished() {
+                close_connection(&ctx, slot);
+                freed.push(idx);
+                continue;
+            }
+            open += 1;
+            let desired = Interest {
+                readable: conn.wants_read(),
+                writable: conn.write_pos < conn.write_buf.len(),
+            };
+            if desired != conn.interest {
+                if ctx
+                    .epoll
+                    .modify(conn.stream.as_raw_fd(), token, desired)
+                    .is_err()
+                {
+                    conn.broken = true;
+                    close_connection(&ctx, slot);
+                    freed.push(idx);
+                    open -= 1;
+                    continue;
+                }
+                conn.interest = desired;
+            }
+        }
+        // slots freed this iteration become reusable from the next one, so a
+        // stale event later in the same batch can never hit a fresh tenant
+        free.append(&mut freed);
+
+        if draining && (open == 0 || Instant::now() >= drain_deadline) {
+            for slot in &mut slots {
+                if slot.conn.is_some() {
+                    let ctx = LoopCtx {
+                        epoll: &epoll,
+                        state,
+                        completions: &completions,
+                        ops,
+                        draining,
+                    };
+                    close_connection(&ctx, slot);
+                }
+            }
+            return Ok(());
+        }
+    }
+}
+
+/// Accepts until the listener would block.
+fn accept_connections(
+    listener: &TcpListener,
+    epoll: &Epoll,
+    state: &Arc<ServerState>,
+    slots: &mut Vec<Slot>,
+    free: &mut Vec<usize>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue; // drop: an accidental blocking socket would stall the loop
+                }
+                let _ = stream.set_nodelay(true);
+                let idx = match free.pop() {
+                    Some(idx) => idx,
+                    None => {
+                        slots.push(Slot::default());
+                        slots.len() - 1
+                    }
+                };
+                let token = idx as u64 + TOKEN_BASE;
+                if epoll
+                    .add(stream.as_raw_fd(), token, Interest::READ)
+                    .is_err()
+                {
+                    // registration failed: return the slot, drop the stream
+                    free.push(idx);
+                    continue;
+                }
+                if let Some(slot) = slots.get_mut(idx) {
+                    slot.generation += 1;
+                    slot.conn = Some(Connection::new(stream));
+                }
+                state.metrics.connections_accepted_total.inc();
+                state.metrics.connections_open.inc();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                // transient failures (EMFILE bursts, ECONNABORTED races) must
+                // not kill the server; the pause keeps the level-triggered
+                // loop from spinning on a still-pending connection
+                eprintln!("tsg-serve: accept failed (retrying): {e}");
+                std::thread::sleep(ACCEPT_BACKOFF);
+                return;
+            }
+        }
+    }
+}
+
+/// Parses and routes every complete request buffered on the connection,
+/// stopping at the pipeline cap or when a request demands the connection
+/// close afterwards.
+fn drain_requests(ctx: &LoopCtx<'_>, conn: &mut Connection, token: u64, generation: u64) {
+    while !conn.stop_reading && conn.in_flight() < MAX_PIPELINE {
+        match conn.parser.next_request() {
+            Ok(Some(request)) => {
+                ctx.state.metrics.requests_total.inc();
+                let started = Instant::now();
+                let seq = conn.next_seq;
+                conn.next_seq += 1;
+                let client_keep_alive = request.keep_alive();
+                let async_ctx = AsyncCtx {
+                    completions: Arc::clone(ctx.completions),
+                    token,
+                    generation,
+                    seq,
+                    keep_alive: client_keep_alive,
+                    started,
+                };
+                match route_request(ctx.state, &request, async_ctx, ctx.ops) {
+                    Routed::Immediate(response) => {
+                        // keep-alive is decided AFTER routing: /shutdown just
+                        // flipped the flag, and a 501 (unsupported framing)
+                        // or 408 leaves the stream unsynchronized — all of
+                        // them must honestly announce the close
+                        let keep_alive = client_keep_alive
+                            && !ctx.state.shutdown.load(Ordering::Acquire)
+                            && !matches!(response.status, 408 | 501);
+                        if !keep_alive {
+                            conn.stop_reading = true;
+                        }
+                        ctx.state.metrics.record_status(response.status);
+                        ctx.state
+                            .metrics
+                            .request_latency_seconds
+                            .observe(started.elapsed().as_secs_f64());
+                        conn.enqueue_response(seq, response.serialize(keep_alive));
+                    }
+                    Routed::Async => {
+                        // async routes never flip the shutdown flag, so the
+                        // client's own preference is the routing-time answer
+                        if !client_keep_alive {
+                            conn.stop_reading = true;
+                        }
+                    }
+                }
+            }
+            Ok(None) => break,
+            Err(parse_error) => {
+                // the stream is no longer aligned to message boundaries:
+                // answer with the mapped status (400 malformed / 413 too
+                // large) and close once flushed
+                let seq = conn.next_seq;
+                conn.next_seq += 1;
+                let response = Response::error(parse_error.status(), parse_error.message());
+                ctx.state.metrics.record_status(response.status);
+                conn.stop_reading = true;
+                conn.enqueue_response(seq, response.serialize(false));
+                break;
+            }
+        }
+    }
+    if conn.read_closed && !conn.stop_reading && !conn.parser.has_buffered_bytes() {
+        // clean EOF between requests: finish what is in flight, then close
+        conn.stop_reading = true;
+    }
+    if conn.read_closed && conn.parser.has_buffered_bytes() {
+        // EOF mid-request: no complete request will ever arrive
+        conn.stop_reading = true;
+    }
+    if conn.parser.has_buffered_bytes() {
+        if conn.request_started.is_none() {
+            conn.request_started = Some(Instant::now());
+        }
+    } else {
+        conn.request_started = None;
+    }
+}
+
+/// Enforces [`MID_REQUEST_BUDGET`] on partially received requests: a peer
+/// that started a request but stalled gets a 408 and the connection closes.
+fn sweep_timeout(state: &Arc<ServerState>, conn: &mut Connection) {
+    if conn.stop_reading {
+        return;
+    }
+    let timed_out = matches!(conn.request_started, Some(t) if t.elapsed() >= MID_REQUEST_BUDGET);
+    if !timed_out {
+        return;
+    }
+    let seq = conn.next_seq;
+    conn.next_seq += 1;
+    let response = Response::error(408, "timed out reading request");
+    state.metrics.record_status(response.status);
+    conn.stop_reading = true;
+    conn.enqueue_response(seq, response.serialize(false));
+}
+
+/// Tears a connection down: deregisters the fd, drops the stream, bumps the
+/// slot generation (so stale completions are recognised) and updates the
+/// gauge. The slot re-enters the free list at the end of the iteration.
+fn close_connection(ctx: &LoopCtx<'_>, slot: &mut Slot) {
+    if let Some(conn) = slot.conn.take() {
+        let _ = ctx.epoll.delete(conn.stream.as_raw_fd());
+        slot.generation += 1;
+        ctx.state.metrics.connections_open.dec();
+    }
+}

@@ -1,11 +1,24 @@
-//! A minimal HTTP/1.1 implementation over `std::net`.
+//! A minimal HTTP/1.x implementation over `std::net`.
 //!
 //! The build environment has no crates.io access, so the server hand-rolls
-//! the small slice of HTTP it needs: request-line + header parsing,
-//! `Content-Length` bodies, keep-alive, and response writing. A matching
-//! client half ([`send_request`] / [`read_response`]) is used by the
-//! load-generator binary and the end-to-end tests, so both sides of the wire
-//! live next to each other.
+//! the small slice of HTTP it needs. The core is [`RequestParser`], an
+//! *incremental* parser: the event loop feeds it whatever bytes a
+//! nonblocking read produced and asks for complete requests, so one buffer
+//! per connection supports keep-alive and HTTP/1.1 pipelining without any
+//! blocking reads. A matching client half ([`send_request`] /
+//! [`read_response`]) is used by the load-generator binary and the
+//! end-to-end tests, so both sides of the wire live next to each other.
+//!
+//! Wire-protocol decisions worth calling out (each carries a regression
+//! test):
+//!
+//! * the request's HTTP version is *kept* on [`Request`]: HTTP/1.0 defaults
+//!   to `Connection: close`, HTTP/1.1 to keep-alive;
+//! * a body over [`MAX_BODY_BYTES`] surfaces as [`ParseError::TooLarge`] so
+//!   the server can answer `413 Payload Too Large` instead of a generic 400;
+//! * conflicting duplicate `Content-Length` headers are rejected outright —
+//!   resolving them by first-match is a request-smuggling foothold once
+//!   responses can be pipelined.
 
 use crate::json::Json;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -30,6 +43,9 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// Request body (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// Minor version of the `HTTP/1.x` request line (`0` or `1`). Decides
+    /// the keep-alive default, so it must not be discarded at parse time.
+    pub version_minor: u8,
 }
 
 impl Request {
@@ -42,9 +58,15 @@ impl Request {
     }
 
     /// Whether the client asked for the connection to stay open after this
-    /// request (HTTP/1.1 default unless `Connection: close`).
+    /// request. An explicit `Connection` header wins; without one the
+    /// protocol default applies — keep-alive for HTTP/1.1, close for
+    /// HTTP/1.0 (which predates persistent-by-default connections).
     pub fn keep_alive(&self) -> bool {
-        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.version_minor >= 1,
+        }
     }
 
     /// Parses the body as JSON.
@@ -52,6 +74,192 @@ impl Request {
         let text = std::str::from_utf8(&self.body).map_err(|_| "body is not UTF-8".to_string())?;
         Json::parse(text).map_err(|e| e.to_string())
     }
+}
+
+/// Why a byte stream failed to parse as a request. The variant decides the
+/// wire status: the server must not collapse everything into 400.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The bytes are not a well-formed request (maps to `400 Bad Request`).
+    Malformed(String),
+    /// The request is well-formed but its declared body exceeds
+    /// [`MAX_BODY_BYTES`] (maps to `413 Payload Too Large`).
+    TooLarge(String),
+}
+
+impl ParseError {
+    /// The HTTP status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::Malformed(_) => 400,
+            ParseError::TooLarge(_) => 413,
+        }
+    }
+
+    /// The human-readable reason.
+    pub fn message(&self) -> &str {
+        match self {
+            ParseError::Malformed(m) | ParseError::TooLarge(m) => m,
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message())
+    }
+}
+
+/// Incremental request parser: push bytes in as they arrive, pull complete
+/// requests out. Feeding it a request split across arbitrarily small chunks
+/// and feeding it several pipelined requests in one chunk both work — the
+/// buffer is only consumed when a complete request (head + declared body)
+/// is available.
+///
+/// After an `Err` the stream is no longer aligned to message boundaries and
+/// the connection must be closed once the error response is flushed.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+}
+
+impl RequestParser {
+    /// An empty parser.
+    pub fn new() -> RequestParser {
+        RequestParser::default()
+    }
+
+    /// Appends freshly read bytes to the parse buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether any unconsumed bytes are buffered (true between the first
+    /// byte of a request and its completion — the "mid-request" state a
+    /// timeout sweep cares about).
+    pub fn has_buffered_bytes(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Number of unconsumed buffered bytes.
+    pub fn buffered_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Tries to parse one complete request off the front of the buffer.
+    /// `Ok(None)` means more bytes are needed.
+    pub fn next_request(&mut self) -> Result<Option<Request>, ParseError> {
+        let Some(head_len) = find_head_end(&self.buf) else {
+            // no blank line yet: bound how much head we are willing to buffer
+            if self.buf.len() > MAX_HEADER_BYTES {
+                return Err(ParseError::Malformed("header section too large".into()));
+            }
+            return Ok(None);
+        };
+        if head_len > MAX_HEADER_BYTES {
+            return Err(ParseError::Malformed("header section too large".into()));
+        }
+        let head = self.buf.get(..head_len).unwrap_or_default();
+        let (method, path, version_minor, headers) = parse_head(head)?;
+        let content_length = content_length(&headers)?;
+        if content_length > MAX_BODY_BYTES {
+            return Err(ParseError::TooLarge(format!(
+                "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+            )));
+        }
+        let total = head_len + content_length;
+        if self.buf.len() < total {
+            return Ok(None); // body still in flight
+        }
+        let body = self.buf.get(head_len..total).unwrap_or_default().to_vec();
+        self.buf.drain(..total);
+        Ok(Some(Request {
+            method,
+            path,
+            headers,
+            body,
+            version_minor,
+        }))
+    }
+}
+
+/// Index one past the blank line terminating the header section, if
+/// complete. CRLF line endings are canonical but a bare `\n` is tolerated,
+/// matching the historical byte-wise reader.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut line_start = 0usize;
+    for (i, &byte) in buf.iter().enumerate() {
+        if byte != b'\n' {
+            continue;
+        }
+        let line_is_blank =
+            i == line_start || (i == line_start + 1 && buf.get(line_start) == Some(&b'\r'));
+        if line_is_blank && line_start > 0 {
+            return Some(i + 1);
+        }
+        line_start = i + 1;
+    }
+    None
+}
+
+/// Parses the request line and headers out of a complete head.
+#[allow(clippy::type_complexity)]
+fn parse_head(head: &[u8]) -> Result<(String, String, u8, Vec<(String, String)>), ParseError> {
+    let text = std::str::from_utf8(head)
+        .map_err(|_| ParseError::Malformed("request head is not UTF-8".into()))?;
+    let mut lines = text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ParseError::Malformed("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| ParseError::Malformed("missing request target".into()))?;
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed("unsupported HTTP version".into()));
+    }
+    let version_minor = if version == "HTTP/1.0" { 0 } else { 1 };
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    Ok((method, path, version_minor, headers))
+}
+
+/// Resolves `Content-Length` across *all* its occurrences. Disagreeing
+/// duplicates are rejected: picking one by position lets a front proxy and
+/// this server frame the stream differently, which is exactly the request-
+/// smuggling setup pipelining makes exploitable. Identical duplicates are
+/// tolerated per RFC 7230 §3.3.2.
+fn content_length(headers: &[(String, String)]) -> Result<usize, ParseError> {
+    let mut resolved: Option<usize> = None;
+    for (name, value) in headers {
+        if name != "content-length" {
+            continue;
+        }
+        let parsed = value
+            .parse::<usize>()
+            .map_err(|_| ParseError::Malformed("invalid Content-Length".into()))?;
+        match resolved {
+            Some(previous) if previous != parsed => {
+                return Err(ParseError::Malformed(
+                    "conflicting duplicate Content-Length headers".into(),
+                ));
+            }
+            _ => resolved = Some(parsed),
+        }
+    }
+    Ok(resolved.unwrap_or(0))
 }
 
 /// Outcome of one attempt to read a request from a keep-alive connection.
@@ -67,12 +275,12 @@ pub enum RequestOutcome {
     Idle,
 }
 
-/// Per-request budget for slow senders. Socket read timeouts are short (the
-/// server uses them to poll its shutdown flag on idle connections), so a
-/// request that has *started* tolerates individual timeouts and only fails
-/// once this much wall time has passed since its first byte — a stalling WAN
-/// upload is not cut off after one short timeout.
-const MID_REQUEST_BUDGET: Duration = Duration::from_secs(30);
+/// Per-request budget for slow senders. Socket read timeouts are short, so
+/// a request that has *started* tolerates individual timeouts and only
+/// fails once this much wall time has passed since its first byte — a
+/// stalling WAN upload is not cut off after one short timeout. The event
+/// loop enforces the same budget through its timeout sweep.
+pub const MID_REQUEST_BUDGET: Duration = Duration::from_secs(30);
 
 /// Tracks whether a request has started and how long it may still take.
 struct TimeoutBudget {
@@ -97,130 +305,54 @@ impl TimeoutBudget {
     }
 }
 
-/// Reads one request. `Idle` is only reported when the timeout fires before
-/// any byte of the request was seen; once a request has started, timeouts
-/// are retried until [`MID_REQUEST_BUDGET`] is exhausted, after which they
-/// are errors (the connection is no longer aligned to message boundaries).
+/// Blocking convenience over [`RequestParser`] for tests and simple tools:
+/// reads one request off a blocking socket. `Idle` is only reported when
+/// the timeout fires before any byte of the request was seen; once a
+/// request has started, timeouts are retried until [`MID_REQUEST_BUDGET`]
+/// is exhausted. The event-loop server drives [`RequestParser`] directly —
+/// this wrapper parses one request per fresh parser, so pipelined bytes
+/// beyond the first request are not preserved across calls.
 pub fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<RequestOutcome> {
+    let mut parser = RequestParser::new();
     let mut budget = TimeoutBudget::new();
-    let mut line = Vec::new();
-    match read_crlf_line(reader, &mut line, MAX_HEADER_BYTES, &mut budget) {
-        Ok(0) => return Ok(RequestOutcome::Closed),
-        Ok(_) => {}
-        Err(e) if is_timeout(&e) && line.is_empty() => return Ok(RequestOutcome::Idle),
-        Err(e) => return Err(e),
-    }
-    let request_line = String::from_utf8(line)
-        .map_err(|_| bad_request("request line is not UTF-8"))?
-        .trim_end()
-        .to_string();
-    let mut parts = request_line.split_whitespace();
-    let method = parts
-        .next()
-        .ok_or_else(|| bad_request("empty request line"))?
-        .to_ascii_uppercase();
-    let target = parts
-        .next()
-        .ok_or_else(|| bad_request("missing request target"))?;
-    let version = parts.next().unwrap_or("HTTP/1.1");
-    if !version.starts_with("HTTP/1.") {
-        return Err(bad_request("unsupported HTTP version"));
-    }
-    let path = target.split('?').next().unwrap_or(target).to_string();
-
-    let mut headers = Vec::new();
-    let mut header_bytes = 0usize;
     loop {
-        let mut line = Vec::new();
-        let n = read_crlf_line(reader, &mut line, MAX_HEADER_BYTES, &mut budget)?;
-        if n == 0 {
-            return Err(bad_request("connection closed inside headers"));
-        }
-        header_bytes += n;
-        if header_bytes > MAX_HEADER_BYTES {
-            return Err(bad_request("header section too large"));
-        }
-        let text = String::from_utf8(line).map_err(|_| bad_request("header is not UTF-8"))?;
-        let text = text.trim_end();
-        if text.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = text.split_once(':') {
-            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
-        }
-    }
-
-    let content_length = headers
-        .iter()
-        .find(|(k, _)| k == "content-length")
-        .map(|(_, v)| v.parse::<usize>())
-        .transpose()
-        .map_err(|_| bad_request("invalid Content-Length"))?
-        .unwrap_or(0);
-    if content_length > MAX_BODY_BYTES {
-        return Err(bad_request("body too large"));
-    }
-    let mut body = vec![0u8; content_length];
-    read_exact_budgeted(reader, &mut body, &mut budget)?;
-    Ok(RequestOutcome::Request(Request {
-        method,
-        path,
-        headers,
-        body,
-    }))
-}
-
-/// Reads bytes up to and including `\n` (headers are CRLF-delimited, but a
-/// bare `\n` is tolerated). Returns the number of bytes read; `0` means EOF.
-fn read_crlf_line(
-    reader: &mut BufReader<TcpStream>,
-    line: &mut Vec<u8>,
-    max: usize,
-    budget: &mut TimeoutBudget,
-) -> std::io::Result<usize> {
-    let mut total = 0usize;
-    loop {
-        let mut byte = 0u8;
-        match reader.read(std::slice::from_mut(&mut byte)) {
-            Ok(0) => return Ok(total),
-            Ok(_) => {
-                budget.start();
-                total += 1;
-                if total > max {
-                    return Err(bad_request("line too long"));
-                }
-                if byte == b'\n' {
-                    return Ok(total);
-                }
-                line.push(byte);
+        match parser.next_request() {
+            Ok(Some(request)) => return Ok(RequestOutcome::Request(request)),
+            Ok(None) => {}
+            Err(e) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    e.to_string(),
+                ))
             }
-            Err(e) if is_timeout(&e) && budget.tolerates_timeout() => {}
-            Err(e) => return Err(e),
         }
-    }
-}
-
-/// `read_exact` that retries socket timeouts within the request's budget.
-fn read_exact_budgeted(
-    reader: &mut BufReader<TcpStream>,
-    buf: &mut [u8],
-    budget: &mut TimeoutBudget,
-) -> std::io::Result<()> {
-    let mut filled = 0usize;
-    while filled < buf.len() {
-        // tsg-allow(panic-freedom): `filled < buf.len()` is the loop guard, so the range start is in bounds
-        match reader.read(&mut buf[filled..]) {
-            Ok(0) => return Err(bad_request("connection closed inside body")),
-            Ok(n) => {
-                budget.start();
-                filled += n;
+        let n = match reader.fill_buf() {
+            Ok([]) => {
+                return if parser.has_buffered_bytes() {
+                    Err(bad_request("connection closed mid-request"))
+                } else {
+                    Ok(RequestOutcome::Closed)
+                };
             }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) if is_timeout(&e) && budget.tolerates_timeout() => {}
+            Ok(chunk) => {
+                budget.start();
+                parser.push(chunk);
+                chunk.len()
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => {
+                if !parser.has_buffered_bytes() {
+                    return Ok(RequestOutcome::Idle);
+                }
+                if budget.tolerates_timeout() {
+                    continue;
+                }
+                return Err(e);
+            }
             Err(e) => return Err(e),
-        }
+        };
+        reader.consume(n);
     }
-    Ok(())
 }
 
 fn bad_request(message: &str) -> std::io::Error {
@@ -275,8 +407,9 @@ impl Response {
         }
     }
 
-    /// Writes the response; `keep_alive` selects the `Connection` header.
-    pub fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> std::io::Result<()> {
+    /// Serializes the response; `keep_alive` selects the `Connection`
+    /// header. The event loop appends this to a connection's write buffer.
+    pub fn serialize(&self, keep_alive: bool) -> Vec<u8> {
         let connection = if keep_alive { "keep-alive" } else { "close" };
         let head = format!(
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
@@ -286,8 +419,14 @@ impl Response {
             self.body.len(),
             connection,
         );
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(&self.body)?;
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Writes the response on a blocking stream (client/test convenience).
+    pub fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> std::io::Result<()> {
+        stream.write_all(&self.serialize(keep_alive))?;
         stream.flush()
     }
 }
@@ -300,6 +439,7 @@ pub fn reason_phrase(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
@@ -328,6 +468,18 @@ pub fn send_request(
 
 /// Client half: reads one response, returning `(status, body)`.
 pub fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<(u16, Vec<u8>)> {
+    let (status, _headers, body) = read_response_with_headers(reader)?;
+    Ok((status, body))
+}
+
+/// A decoded response: status, lowercased `(name, value)` headers, body.
+pub type FullResponse = (u16, Vec<(String, String)>, Vec<u8>);
+
+/// Client half: reads one response including its headers — the regression
+/// tests inspect the `Connection` header, which [`read_response`] discards.
+pub fn read_response_with_headers(
+    reader: &mut BufReader<TcpStream>,
+) -> std::io::Result<FullResponse> {
     let mut status_line = String::new();
     reader.read_line(&mut status_line)?;
     let status = status_line
@@ -335,6 +487,7 @@ pub fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<(u16,
         .nth(1)
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| bad_request("malformed status line"))?;
+    let mut headers = Vec::new();
     let mut content_length = 0usize;
     loop {
         let mut line = String::new();
@@ -346,17 +499,19 @@ pub fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<(u16,
             break;
         }
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
                 content_length = value
-                    .trim()
                     .parse()
                     .map_err(|_| bad_request("invalid Content-Length"))?;
             }
+            headers.push((name, value));
         }
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
-    Ok((status, body))
+    Ok((status, headers, body))
 }
 
 /// Client convenience: one request/response round-trip with a JSON reply.
@@ -379,6 +534,13 @@ pub fn roundtrip_json(
 mod tests {
     use super::*;
     use std::net::TcpListener;
+
+    /// Parses a raw byte stream through the incremental parser in one shot.
+    fn parse_bytes(raw: &[u8]) -> Result<Option<Request>, ParseError> {
+        let mut parser = RequestParser::new();
+        parser.push(raw);
+        parser.next_request()
+    }
 
     /// Drives `read_request` over a real socket pair.
     fn parse_raw(raw: &[u8]) -> std::io::Result<RequestOutcome> {
@@ -421,6 +583,99 @@ mod tests {
                 assert!(!r.keep_alive());
             }
             other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        // regression: the version used to be parsed and discarded, so an
+        // HTTP/1.0 client was promised keep-alive semantics it never asked
+        // for and could wait forever on a connection the server held open
+        let r = parse_bytes(b"GET /healthz HTTP/1.0\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.version_minor, 0);
+        assert!(!r.keep_alive(), "HTTP/1.0 must default to close");
+
+        // an explicit Connection: keep-alive still opts in
+        let r = parse_bytes(b"GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(r.keep_alive(), "explicit keep-alive must be honoured");
+
+        // and HTTP/1.1 keeps its persistent default
+        let r = parse_bytes(b"GET /healthz HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.version_minor, 1);
+        assert!(r.keep_alive());
+    }
+
+    #[test]
+    fn conflicting_duplicate_content_length_is_rejected() {
+        // regression: first-match resolution would frame the body as 4
+        // bytes while a proxy picking the last header frames it as 16 —
+        // the classic request-smuggling disagreement
+        let raw =
+            b"POST /x HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 16\r\n\r\nabcdabcdabcdabcd";
+        match parse_bytes(raw) {
+            Err(ParseError::Malformed(m)) => assert!(m.contains("Content-Length"), "{m}"),
+            other => panic!("conflicting lengths accepted: {other:?}"),
+        }
+        // identical duplicates are tolerated (RFC 7230 §3.3.2)
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nabcd";
+        let r = parse_bytes(raw).unwrap().unwrap();
+        assert_eq!(r.body, b"abcd");
+    }
+
+    #[test]
+    fn oversized_body_is_too_large_not_malformed() {
+        // regression: the 413 reason phrase existed but no code path could
+        // reach it — the parser folded "too big" into the generic 400
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        match parse_bytes(raw.as_bytes()) {
+            Err(e @ ParseError::TooLarge(_)) => assert_eq!(e.status(), 413),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // at the limit exactly the request head still parses fine (the body
+        // just hasn't arrived yet)
+        let raw = format!("POST /x HTTP/1.1\r\nContent-Length: {MAX_BODY_BYTES}\r\n\r\n");
+        assert!(matches!(parse_bytes(raw.as_bytes()), Ok(None)));
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_order() {
+        let mut parser = RequestParser::new();
+        parser.push(b"POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcGET /b HTTP/1.1\r\n\r\nGET /c HTTP/1.1\r\n\r\n");
+        let a = parser.next_request().unwrap().unwrap();
+        assert_eq!(
+            (a.path.as_str(), a.body.as_slice()),
+            ("/a", b"abc".as_slice())
+        );
+        let b = parser.next_request().unwrap().unwrap();
+        assert_eq!(b.path, "/b");
+        let c = parser.next_request().unwrap().unwrap();
+        assert_eq!(c.path, "/c");
+        assert!(parser.next_request().unwrap().is_none());
+        assert!(!parser.has_buffered_bytes());
+    }
+
+    #[test]
+    fn byte_at_a_time_feeding_parses_identically() {
+        let raw = b"POST /models/m/classify HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let mut parser = RequestParser::new();
+        for (i, byte) in raw.iter().enumerate() {
+            parser.push(std::slice::from_ref(byte));
+            let parsed = parser.next_request().unwrap();
+            if i + 1 < raw.len() {
+                assert!(parsed.is_none(), "completed early at byte {i}");
+            } else {
+                let r = parsed.expect("complete at the last byte");
+                assert_eq!(r.body, b"hello");
+            }
         }
     }
 
@@ -497,7 +752,7 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_served_codes() {
-        for code in [200, 400, 404, 405, 408, 413, 429, 500, 501, 503] {
+        for code in [200, 400, 404, 405, 408, 409, 413, 429, 500, 501, 503] {
             assert_ne!(reason_phrase(code), "Unknown");
         }
         assert_eq!(reason_phrase(418), "Unknown");

@@ -68,6 +68,33 @@ impl Histogram {
     }
 }
 
+/// A gauge: a value that can go up and down (e.g. open connections).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements by one (saturating at zero).
+    pub fn dec(&self) {
+        // fetch_update never fails with a total function, but avoid the
+        // wrap-around a plain fetch_sub would allow on a mismatched dec
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
 pub struct Counter(AtomicU64);
@@ -110,6 +137,10 @@ pub struct ServerMetrics {
     pub classify_rejected_total: Counter,
     /// Models fitted since startup.
     pub models_fitted_total: Counter,
+    /// Connections accepted since startup.
+    pub connections_accepted_total: Counter,
+    /// Currently open connections in the event loop.
+    pub connections_open: Gauge,
     /// End-to-end request latency in seconds (all routes).
     pub request_latency_seconds: Histogram,
     /// Classify request latency in seconds (queue wait + batch compute).
@@ -130,6 +161,8 @@ impl Default for ServerMetrics {
             classify_batches_total: Counter::default(),
             classify_rejected_total: Counter::default(),
             models_fitted_total: Counter::default(),
+            connections_accepted_total: Counter::default(),
+            connections_open: Gauge::default(),
             request_latency_seconds: Histogram::new(&[
                 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
                 10.0,
@@ -156,7 +189,7 @@ impl ServerMetrics {
     /// Renders every metric in Prometheus text format.
     pub fn render(&self, n_models: usize, uptime_seconds: f64) -> String {
         let mut out = String::new();
-        let counters: [(&str, &Counter); 9] = [
+        let counters: [(&str, &Counter); 10] = [
             ("tsg_serve_requests_total", &self.requests_total),
             ("tsg_serve_responses_2xx_total", &self.responses_2xx),
             ("tsg_serve_responses_4xx_total", &self.responses_4xx),
@@ -178,6 +211,10 @@ impl ServerMetrics {
                 &self.classify_rejected_total,
             ),
             ("tsg_serve_models_fitted_total", &self.models_fitted_total),
+            (
+                "tsg_serve_connections_accepted_total",
+                &self.connections_accepted_total,
+            ),
         ];
         for (name, counter) in counters {
             out.push_str(&format!(
@@ -187,6 +224,10 @@ impl ServerMetrics {
         }
         out.push_str(&format!(
             "# TYPE tsg_serve_models gauge\ntsg_serve_models {n_models}\n"
+        ));
+        out.push_str(&format!(
+            "# TYPE tsg_serve_connections_open gauge\ntsg_serve_connections_open {}\n",
+            self.connections_open.get()
         ));
         out.push_str(&format!(
             "# TYPE tsg_serve_uptime_seconds gauge\ntsg_serve_uptime_seconds {uptime_seconds}\n"
@@ -236,6 +277,19 @@ mod tests {
         assert!(text.contains("tsg_serve_requests_total 3\n"));
         assert!(text.contains("tsg_serve_models 2\n"));
         assert!(text.contains("tsg_serve_batch_size_count 0\n"));
+        assert!(text.contains("tsg_serve_connections_open 0\n"));
+    }
+
+    #[test]
+    fn gauge_tracks_open_connections() {
+        let g = Gauge::default();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.dec();
+        g.dec(); // saturates instead of wrapping
+        assert_eq!(g.get(), 0);
     }
 
     #[test]

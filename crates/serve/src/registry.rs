@@ -1,5 +1,5 @@
 //! The model registry: named, fitted [`MvgClassifier`] instances behind
-//! `Arc`s, each with its own micro-batch scheduler.
+//! `Arc`s, all feeding one shared micro-batch scheduler.
 //!
 //! Models are fitted either from the [`tsg_datasets`] catalogue — resolved
 //! through the unified [`tsg_datasets::DatasetSource`], so a real UCR
@@ -7,13 +7,22 @@
 //! keeps refits of a known dataset from regenerating its series — or from
 //! training series supplied inline in the fit request. Each model records
 //! the provenance of its training split (`synthetic` / `cached` / `real` /
-//! `inline`) in its [`ModelInfo`]. Fitting replaces an existing model of the
-//! same name atomically: in-flight requests against the old model finish on
-//! the old batcher before it is torn down.
+//! `inline`) in its [`ModelInfo`].
+//!
+//! Every successful fit is stamped with a registry-wide monotonically
+//! increasing **version** ([`ModelInfo::version`]). Fitting replaces an
+//! existing model of the same name atomically, but in-flight classify
+//! requests hold an `Arc` to the *entry* they resolved, so a hot-swap never
+//! changes the model under a request that already passed routing. Clients
+//! that must not race a swap at all pin the version in the classify request
+//! (`"version": N`): when the registered version no longer matches, the
+//! server answers `409 Conflict` instead of silently classifying with a
+//! different model.
 
-use crate::batcher::{BatchConfig, Batcher, ClassifyError, ClassifyOutput};
+use crate::batcher::{BatchConfig, ClassifyError, ClassifyOutput, SharedBatcher};
 use crate::metrics::ServerMetrics;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
 use tsg_core::{ClassifierChoice, FeatureConfig, MvgClassifier, MvgConfig};
@@ -77,6 +86,9 @@ pub enum TrainingSource {
 pub struct ModelInfo {
     /// Registry name.
     pub name: String,
+    /// Registry-wide monotonic fit counter; a refit under the same name gets
+    /// a strictly larger version. Classify requests may pin this.
+    pub version: u64,
     /// Catalogue dataset the model was fitted on (`None` for inline fits).
     pub dataset: Option<String>,
     /// Configuration preset name.
@@ -94,26 +106,32 @@ pub struct ModelInfo {
     pub provenance: String,
 }
 
-/// A fitted model plus its scheduler.
+/// A fitted model resolved from the registry. The entry owns an `Arc` to its
+/// classifier, so a request that resolved an entry keeps exactly that model
+/// alive and in use even if a refit replaces the registry slot mid-flight.
 pub struct ModelEntry {
-    /// Metadata.
+    /// Metadata (including the pinnable version).
     pub info: ModelInfo,
-    batcher: Batcher,
+    model: Arc<MvgClassifier>,
+    batcher: Arc<SharedBatcher>,
 }
 
 impl ModelEntry {
-    /// Submits series for classification through the micro-batch scheduler.
+    /// Submits series for classification through the shared micro-batch
+    /// scheduler, blocking until the batch ran. In-process convenience; the
+    /// event loop submits asynchronously via [`SharedBatcher::submit`].
     pub fn classify(
         &self,
         series: Vec<tsg_ts::TimeSeries>,
         want_proba: bool,
     ) -> Result<ClassifyOutput, ClassifyError> {
-        self.batcher.classify(series, want_proba)
+        self.batcher
+            .classify(Arc::clone(&self.model), series, want_proba)
     }
 
     /// The fitted classifier behind this entry.
     pub fn classifier(&self) -> &Arc<MvgClassifier> {
-        self.batcher.model()
+        &self.model
     }
 }
 
@@ -145,11 +163,13 @@ impl std::fmt::Display for RegistryError {
     }
 }
 
-/// The registry proper.
+/// The registry proper: the name → entry table plus the single shared
+/// batcher all entries classify through.
 pub struct ModelRegistry {
     models: RwLock<BTreeMap<String, Arc<ModelEntry>>>,
-    pool: ThreadPool,
-    batch_config: BatchConfig,
+    batcher: Arc<SharedBatcher>,
+    /// Source of [`ModelInfo::version`] stamps.
+    next_version: AtomicU64,
     metrics: Arc<ServerMetrics>,
     n_threads: usize,
 }
@@ -174,19 +194,37 @@ impl ModelRegistry {
     }
 
     /// Creates an empty registry. `n_threads` sizes the shared extraction
-    /// pool (`0` = process default).
-    pub fn new(n_threads: usize, batch_config: BatchConfig, metrics: Arc<ServerMetrics>) -> Self {
-        ModelRegistry {
-            models: RwLock::new(BTreeMap::new()),
-            pool: ThreadPool::new(n_threads),
+    /// pool (`0` = process default). Fails only when the batch dispatcher
+    /// thread cannot be spawned.
+    pub fn new(
+        n_threads: usize,
+        batch_config: BatchConfig,
+        metrics: Arc<ServerMetrics>,
+    ) -> std::io::Result<Self> {
+        let pool = ThreadPool::new(n_threads);
+        let batcher = Arc::new(SharedBatcher::new(
             batch_config,
+            pool,
+            Arc::clone(&metrics),
+        )?);
+        Ok(ModelRegistry {
+            models: RwLock::new(BTreeMap::new()),
+            batcher,
+            next_version: AtomicU64::new(1),
             metrics,
             n_threads: tsg_parallel::resolve_threads(n_threads),
-        }
+        })
+    }
+
+    /// The shared micro-batch scheduler (for asynchronous submission by the
+    /// event loop).
+    pub fn batcher(&self) -> &Arc<SharedBatcher> {
+        &self.batcher
     }
 
     /// Fits a model and registers it under `name`, replacing any previous
-    /// model of that name. Returns the new model's metadata.
+    /// model of that name. Returns the new model's metadata, stamped with a
+    /// fresh registry-wide version.
     pub fn fit(
         &self,
         name: &str,
@@ -219,8 +257,12 @@ impl ModelRegistry {
         let mut clf = MvgClassifier::new(config);
         clf.fit(&train)
             .map_err(|e| RegistryError::Fit(e.to_string()))?;
+        // the version is stamped only after a *successful* fit, so failed
+        // fits never consume a version a client could be pinned against
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
         let info = ModelInfo {
             name: name.to_string(),
+            version,
             dataset: dataset_name,
             config: config_name.to_string(),
             n_train: train.len(),
@@ -229,20 +271,14 @@ impl ModelRegistry {
             fit_seconds: started.elapsed().as_secs_f64(),
             provenance,
         };
-        let batcher = Batcher::new(
-            Arc::new(clf),
-            self.batch_config,
-            self.pool.clone(),
-            Arc::clone(&self.metrics),
-        )
-        .map_err(|e| RegistryError::Fit(format!("failed to start batch dispatcher: {e}")))?;
         let entry = Arc::new(ModelEntry {
             info: info.clone(),
-            batcher,
+            model: Arc::new(clf),
+            batcher: Arc::clone(&self.batcher),
         });
         self.metrics.models_fitted_total.inc();
-        // the replaced entry (if any) drops outside the lock; its Drop joins
-        // the old dispatcher once in-flight requests release their Arcs
+        // the replaced entry (if any) drops outside the lock; in-flight
+        // requests keep the old model alive through their own Arcs
         let _previous = self.models_write().insert(name.to_string(), entry);
         Ok(info)
     }
@@ -278,10 +314,10 @@ impl ModelRegistry {
         self.len() == 0
     }
 
-    /// Shuts down every batcher (draining queues with 503s).
+    /// Shuts down the shared batcher (draining queued work with 503s) and
+    /// drops every entry.
     pub fn shutdown(&self) {
-        // drop all entries; each Drop joins its dispatcher when the last
-        // in-flight Arc releases
+        self.batcher.shutdown();
         self.models_write().clear();
     }
 }
@@ -297,6 +333,7 @@ mod tests {
             BatchConfig::default(),
             Arc::new(ServerMetrics::default()),
         )
+        .expect("spawn registry")
     }
 
     fn catalogue_source() -> TrainingSource {
@@ -378,7 +415,7 @@ mod tests {
     }
 
     #[test]
-    fn refit_replaces_model() {
+    fn refit_replaces_model_and_bumps_version() {
         let r = registry();
         r.fit("m", catalogue_source(), "uvg-fast", 1).unwrap();
         let first = r.get("m").unwrap();
@@ -386,6 +423,29 @@ mod tests {
         let second = r.get("m").unwrap();
         assert!(!Arc::ptr_eq(&first, &second));
         assert_eq!(r.len(), 1);
+        assert!(
+            second.info.version > first.info.version,
+            "refit must advance the version ({} -> {})",
+            first.info.version,
+            second.info.version
+        );
+        // a request that resolved `first` before the swap still classifies
+        // with the old model — hot-swaps never change a resolved entry
+        let series = vec![TimeSeries::new((0..64).map(|t| (t as f64).sin()).collect())];
+        let old = first.classify(series.clone(), false).unwrap();
+        let direct = first
+            .classifier()
+            .predict(&Dataset::from_series("q", series))
+            .unwrap();
+        assert_eq!(old.predictions, direct);
+    }
+
+    #[test]
+    fn versions_are_distinct_across_names() {
+        let r = registry();
+        let a = r.fit("a", catalogue_source(), "uvg-fast", 1).unwrap();
+        let b = r.fit("b", catalogue_source(), "uvg-fast", 1).unwrap();
+        assert!(b.version > a.version, "{} vs {}", a.version, b.version);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The HTTP server: accept loop, routing and graceful shutdown.
+//! The HTTP server: bind/preload API, routing and graceful shutdown around
+//! the event loop in [`crate::event_loop`].
 //!
 //! ## Routes
 //!
@@ -6,28 +7,35 @@
 //! |--------|------|---------|
 //! | `GET` | `/healthz` | liveness + model count |
 //! | `GET` | `/metrics` | Prometheus text metrics |
-//! | `GET` | `/models` | registered model metadata |
+//! | `GET` | `/models` | registered model metadata (including versions) |
 //! | `POST` | `/models/{name}/fit` | fit/replace a model (catalogue or inline series) |
-//! | `POST` | `/models/{name}/classify` | classify series (micro-batched) |
+//! | `POST` | `/models/{name}/classify` | classify series (micro-batched; optional `version` pin) |
 //! | `DELETE` | `/models/{name}` | unregister a model |
 //! | `POST` | `/shutdown` | graceful shutdown |
 //!
-//! Connections are HTTP/1.1 keep-alive, one handler thread per connection
-//! with short read timeouts so idle handlers observe the shutdown flag.
-//! Shutdown (via `POST /shutdown` or [`ShutdownHandle::shutdown`]) stops the
-//! accept loop, joins every connection handler, then tears down the registry
-//! (joining each model's batcher thread) — in-flight requests finish first.
+//! Connections are nonblocking keep-alive sockets multiplexed by one
+//! readiness-driven thread (epoll); HTTP/1.1 pipelining is supported. Cheap
+//! routes answer inline on the loop; classify requests complete through the
+//! shared micro-batcher's callback and fits run on a dedicated ops worker
+//! thread, so neither ever stalls other connections. `POST /shutdown` (or
+//! [`ShutdownHandle::shutdown`]) stops accepting, drains in-flight work
+//! under a grace deadline, then tears the registry down.
+//!
+//! Classify requests may pin a model version (`"version": N` in the body):
+//! when a refit hot-swapped the model since the client last looked, the
+//! server answers `409 Conflict` instead of silently classifying with a
+//! different model.
 
-use crate::batcher::{BatchConfig, ClassifyError};
-use crate::http::{self, Request, RequestOutcome, Response};
+use crate::batcher::{BatchConfig, ClassifyError, ClassifyOutput};
+use crate::event_loop::{self, AsyncCtx, Completed, OpsJob};
+use crate::http::{Request, Response};
 use crate::json::Json;
 use crate::metrics::ServerMetrics;
 use crate::registry::{ModelRegistry, RegistryError, TrainingSource};
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
 use tsg_datasets::archive::ArchiveOptions;
 use tsg_ts::{Dataset, TimeSeries};
 
@@ -56,12 +64,12 @@ impl Default for ServeConfig {
 }
 
 /// Shared server state.
-struct ServerState {
-    registry: ModelRegistry,
-    metrics: Arc<ServerMetrics>,
-    shutdown: AtomicBool,
-    started: Instant,
-    archive: ArchiveOptions,
+pub(crate) struct ServerState {
+    pub(crate) registry: ModelRegistry,
+    pub(crate) metrics: Arc<ServerMetrics>,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) started: Instant,
+    pub(crate) archive: ArchiveOptions,
 }
 
 /// A bound (but not yet running) server.
@@ -77,27 +85,20 @@ pub struct ShutdownHandle {
 }
 
 impl ShutdownHandle {
-    /// Requests a graceful shutdown (idempotent).
+    /// Requests a graceful shutdown (idempotent). The event loop observes
+    /// the flag within its tick interval.
     pub fn shutdown(&self) {
         self.state.shutdown.store(true, Ordering::Release);
     }
 }
 
-/// Read timeout on connection sockets; bounds how long an idle handler takes
-/// to notice the shutdown flag.
-const READ_TIMEOUT: Duration = Duration::from_millis(200);
-
-/// How long the accept loop sleeps when no connection is pending.
-const ACCEPT_POLL: Duration = Duration::from_millis(25);
-
 impl Server {
     /// Binds the listener and builds an empty registry.
     pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
-        listener.set_nonblocking(true)?;
         let metrics = Arc::new(ServerMetrics::default());
         let state = Arc::new(ServerState {
-            registry: ModelRegistry::new(config.n_threads, config.batch, Arc::clone(&metrics)),
+            registry: ModelRegistry::new(config.n_threads, config.batch, Arc::clone(&metrics))?,
             metrics,
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
@@ -123,142 +124,87 @@ impl Server {
         }
     }
 
-    /// Runs the accept loop until shutdown, then drains connections and
+    /// Runs the event loop until shutdown, then joins the ops worker and
     /// tears the registry down.
     pub fn run(self) -> std::io::Result<()> {
-        let handles: Mutex<Vec<std::thread::JoinHandle<()>>> = Mutex::new(Vec::new());
-        while !self.state.shutdown.load(Ordering::Acquire) {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    let state = Arc::clone(&self.state);
-                    match std::thread::Builder::new()
-                        .name("tsg-serve-conn".into())
-                        .spawn(move || handle_connection(stream, &state))
-                    {
-                        Ok(handle) => {
-                            let mut guard =
-                                handles.lock().unwrap_or_else(|poison| poison.into_inner());
-                            guard.push(handle);
-                            // reap finished handlers so the vec stays bounded
-                            // under long-lived load
-                            guard.retain(|h| !h.is_finished());
-                        }
-                        Err(e) => {
-                            // thread exhaustion must not kill the server:
-                            // drop this connection (the stream closes on
-                            // drop) and keep accepting
-                            eprintln!("tsg-serve: spawn failed (connection dropped): {e}");
-                            std::thread::sleep(ACCEPT_POLL);
-                        }
-                    }
+        // blocking fits run here so they never stall the event loop; jobs
+        // are panic-isolated at construction (see `fit_model`)
+        let (ops_tx, ops_rx) = mpsc::channel::<OpsJob>();
+        let worker = std::thread::Builder::new()
+            .name("tsg-serve-ops".into())
+            .spawn(move || {
+                while let Ok(job) = ops_rx.recv() {
+                    job();
                 }
-                Err(e) if http::is_timeout(&e) => std::thread::sleep(ACCEPT_POLL),
-                Err(e) => {
-                    // transient accept failures (EMFILE under connection
-                    // bursts, ECONNABORTED races) must not kill the server;
-                    // back off and keep serving the connections we have
-                    eprintln!("tsg-serve: accept failed (retrying): {e}");
-                    std::thread::sleep(ACCEPT_POLL);
-                }
-            }
-        }
-        for handle in handles
-            .into_inner()
-            .unwrap_or_else(|poison| poison.into_inner())
-        {
-            let _ = handle.join();
-        }
+            })?;
+        let result = event_loop::run(self.listener, &self.state, &ops_tx);
+        drop(ops_tx);
+        let _ = worker.join();
         self.state.registry.shutdown();
-        Ok(())
+        result
     }
 }
 
-fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
-    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-    let _ = stream.set_nodelay(true);
-    let mut write_half = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    loop {
-        match http::read_request(&mut reader) {
-            Ok(RequestOutcome::Closed) => return,
-            Ok(RequestOutcome::Idle) => {
-                if state.shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-            }
-            Ok(RequestOutcome::Request(request)) => {
-                let started = Instant::now();
-                state.metrics.requests_total.inc();
-                let keep_alive = request.keep_alive() && !state.shutdown.load(Ordering::Acquire);
-                let response = route(&request, state);
-                state.metrics.record_status(response.status);
-                state
-                    .metrics
-                    .request_latency_seconds
-                    .observe(started.elapsed().as_secs_f64());
-                if response.write_to(&mut write_half, keep_alive).is_err() || !keep_alive {
-                    return;
-                }
-            }
-            Err(e) if http::is_timeout(&e) => {
-                // timed out mid-request: the stream is no longer aligned to
-                // message boundaries, give up on the connection
-                let _ = Response::error(408, "timed out reading request")
-                    .write_to(&mut write_half, false);
-                return;
-            }
-            Err(_) => {
-                let _ = Response::error(400, "malformed request").write_to(&mut write_half, false);
-                return;
-            }
-        }
-    }
+/// How a routed request will produce its response.
+pub(crate) enum Routed {
+    /// The response is ready now; the event loop serializes and sends it.
+    Immediate(Response),
+    /// The request was handed to a worker (batcher or ops thread); the
+    /// response arrives through the completion queue.
+    Async,
 }
 
-fn route(request: &Request, state: &Arc<ServerState>) -> Response {
+/// Routes one parsed request. Cheap routes answer immediately; classify and
+/// fit go asynchronous via `ctx`. `POST /shutdown` flips the shutdown flag
+/// *during* routing — the caller computes keep-alive afterwards, so the
+/// shutdown response itself honestly advertises `Connection: close`.
+pub(crate) fn route_request(
+    state: &Arc<ServerState>,
+    request: &Request,
+    ctx: AsyncCtx,
+    ops: &mpsc::Sender<OpsJob>,
+) -> Routed {
     // bodies are framed by Content-Length only; a chunked body would desync
-    // the keep-alive stream, so refuse it outright
+    // the keep-alive stream, so refuse it outright (the event loop closes
+    // the connection after a 501 for exactly that reason)
     if matches!(request.header("transfer-encoding"), Some(v) if !v.eq_ignore_ascii_case("identity"))
     {
-        return Response::error(
+        return Routed::Immediate(Response::error(
             501,
             "Transfer-Encoding is not supported; send Content-Length",
-        );
+        ));
     }
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => healthz(state),
-        ("GET", ["metrics"]) => Response::text(
+        ("GET", ["healthz"]) => Routed::Immediate(healthz(state)),
+        ("GET", ["metrics"]) => Routed::Immediate(Response::text(
             200,
             state
                 .metrics
                 .render(state.registry.len(), state.started.elapsed().as_secs_f64()),
-        ),
-        ("GET", ["models"]) => list_models(state),
-        ("POST", ["models", name, "fit"]) => fit_model(request, state, name),
-        ("POST", ["models", name, "classify"]) => classify(request, state, name),
-        ("DELETE", ["models", name]) => {
-            if state.registry.remove(name) {
-                Response::json(
-                    200,
-                    &Json::obj(vec![("removed", Json::Str(name.to_string()))]),
-                )
-            } else {
-                Response::error(404, &format!("unknown model `{name}`"))
-            }
-        }
-        ("POST", ["shutdown"]) => {
-            state.shutdown.store(true, Ordering::Release);
+        )),
+        ("GET", ["models"]) => Routed::Immediate(list_models(state)),
+        ("POST", ["models", name, "fit"]) => fit_model(request, state, name, ctx, ops),
+        ("POST", ["models", name, "classify"]) => classify(request, state, name, ctx),
+        ("DELETE", ["models", name]) => Routed::Immediate(if state.registry.remove(name) {
             Response::json(
                 200,
-                &Json::obj(vec![("status", Json::Str("shutting down".into()))]),
+                &Json::obj(vec![("removed", Json::Str(name.to_string()))]),
             )
+        } else {
+            Response::error(404, &format!("unknown model `{name}`"))
+        }),
+        ("POST", ["shutdown"]) => {
+            state.shutdown.store(true, Ordering::Release);
+            Routed::Immediate(Response::json(
+                200,
+                &Json::obj(vec![("status", Json::Str("shutting down".into()))]),
+            ))
         }
-        ("GET", _) | ("POST", _) | ("DELETE", _) => Response::error(404, "no such route"),
-        _ => Response::error(405, "method not allowed"),
+        ("GET", _) | ("POST", _) | ("DELETE", _) => {
+            Routed::Immediate(Response::error(404, "no such route"))
+        }
+        _ => Routed::Immediate(Response::error(405, "method not allowed")),
     }
 }
 
@@ -279,6 +225,7 @@ fn healthz(state: &Arc<ServerState>) -> Response {
 fn model_info_json(info: &crate::registry::ModelInfo) -> Json {
     Json::obj(vec![
         ("name", Json::Str(info.name.clone())),
+        ("version", Json::Num(info.version as f64)),
         (
             "dataset",
             info.dataset
@@ -342,10 +289,19 @@ fn parse_series(value: &Json, require_label: bool) -> Result<TimeSeries, String>
     }
 }
 
-fn fit_model(request: &Request, state: &Arc<ServerState>, name: &str) -> Response {
+/// `POST /models/{name}/fit` — parsing and validation happen inline (cheap);
+/// the fit itself is queued to the ops worker so a multi-second training run
+/// never blocks the event loop.
+fn fit_model(
+    request: &Request,
+    state: &Arc<ServerState>,
+    name: &str,
+    ctx: AsyncCtx,
+    ops: &mpsc::Sender<OpsJob>,
+) -> Routed {
     let body = match request.json_body() {
         Ok(b) => b,
-        Err(e) => return Response::error(400, &e),
+        Err(e) => return Routed::Immediate(Response::error(400, &e)),
     };
     let config_name = body
         .get("config")
@@ -358,7 +314,12 @@ fn fit_model(request: &Request, state: &Arc<ServerState>, name: &str) -> Respons
         None => state.archive.seed,
         Some(s) => match s.as_u64() {
             Some(seed) => seed,
-            None => return Response::error(400, "`seed` must be a whole number below 2^53"),
+            None => {
+                return Routed::Immediate(Response::error(
+                    400,
+                    "`seed` must be a whole number below 2^53",
+                ))
+            }
         },
     };
     let numeric_field = |key: &str| -> Result<Option<usize>, Response> {
@@ -378,12 +339,12 @@ fn fit_model(request: &Request, state: &Arc<ServerState>, name: &str) -> Respons
                 options.max_test = n;
             }
             Ok(None) => {}
-            Err(response) => return response,
+            Err(response) => return Routed::Immediate(response),
         }
         match numeric_field("max_length") {
             Ok(Some(n)) => options.max_length = n,
             Ok(None) => {}
-            Err(response) => return response,
+            Err(response) => return Routed::Immediate(response),
         }
         TrainingSource::Catalogue {
             dataset: dataset.to_string(),
@@ -392,61 +353,71 @@ fn fit_model(request: &Request, state: &Arc<ServerState>, name: &str) -> Respons
     } else if let Some(train) = body.get("train") {
         let items = match train.get("series").and_then(|s| s.as_array()) {
             Some(items) => items,
-            None => return Response::error(400, "`train` needs a `series` array"),
+            None => {
+                return Routed::Immediate(Response::error(400, "`train` needs a `series` array"))
+            }
         };
         let mut dataset = Dataset::new(format!("{name}_inline"));
         for item in items {
             match parse_series(item, true) {
                 Ok(series) => dataset.push(series),
-                Err(e) => return Response::error(400, &e),
+                Err(e) => return Routed::Immediate(Response::error(400, &e)),
             }
         }
         TrainingSource::Inline(dataset)
     } else {
-        return Response::error(400, "fit request needs `dataset` or `train`");
+        return Routed::Immediate(Response::error(
+            400,
+            "fit request needs `dataset` or `train`",
+        ));
     };
-    match state.registry.fit(name, source, &config_name, seed) {
-        Ok(info) => Response::json(200, &model_info_json(&info)),
-        Err(e @ (RegistryError::UnknownConfig(_) | RegistryError::UnknownDataset(_))) => {
-            Response::error(400, &e.to_string())
-        }
-        Err(e @ RegistryError::UnknownModel(_)) => Response::error(404, &e.to_string()),
-        Err(e @ RegistryError::Fit(_)) => Response::error(500, &e.to_string()),
+
+    let state = Arc::clone(state);
+    let name = name.to_string();
+    let job: OpsJob = Box::new(move || {
+        // panic-isolated: a panicking fit must neither kill the ops worker
+        // nor leave the connection waiting on a response that never comes
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            state.registry.fit(&name, source, &config_name, seed)
+        }));
+        let response = match outcome {
+            Ok(Ok(info)) => Response::json(200, &model_info_json(&info)),
+            Ok(Err(e @ (RegistryError::UnknownConfig(_) | RegistryError::UnknownDataset(_)))) => {
+                Response::error(400, &e.to_string())
+            }
+            Ok(Err(e @ RegistryError::UnknownModel(_))) => Response::error(404, &e.to_string()),
+            Ok(Err(e @ RegistryError::Fit(_))) => Response::error(500, &e.to_string()),
+            Err(_) => Response::error(500, "fit crashed; model unchanged"),
+        };
+        state.metrics.record_status(response.status);
+        state
+            .metrics
+            .request_latency_seconds
+            .observe(ctx.started.elapsed().as_secs_f64());
+        ctx.completions.push(Completed {
+            token: ctx.token,
+            generation: ctx.generation,
+            seq: ctx.seq,
+            bytes: response.serialize(ctx.keep_alive),
+        });
+    });
+    match ops.send(job) {
+        Ok(()) => Routed::Async,
+        Err(_) => Routed::Immediate(Response::error(500, "fit worker unavailable")),
     }
 }
 
-fn classify(request: &Request, state: &Arc<ServerState>, name: &str) -> Response {
-    let entry = match state.registry.get(name) {
-        Ok(entry) => entry,
-        Err(e) => return Response::error(404, &e.to_string()),
-    };
-    let body = match request.json_body() {
-        Ok(b) => b,
-        Err(e) => return Response::error(400, &e),
-    };
-    let items = match body.get("series").and_then(|s| s.as_array()) {
-        Some(items) => items,
-        None => return Response::error(400, "classify request needs a `series` array"),
-    };
-    let want_proba = body.get("proba").and_then(|p| p.as_bool()).unwrap_or(false);
-    let mut series = Vec::with_capacity(items.len());
-    for item in items {
-        match parse_series(item, false) {
-            Ok(s) => series.push(s),
-            Err(e) => return Response::error(400, &e),
-        }
-    }
-    state.metrics.classify_requests_total.inc();
-    let started = Instant::now();
-    let outcome = entry.classify(series, want_proba);
-    state
-        .metrics
-        .classify_latency_seconds
-        .observe(started.elapsed().as_secs_f64());
+/// Builds the wire response for a finished classify request.
+fn classify_response(
+    model: &str,
+    version: u64,
+    outcome: Result<ClassifyOutput, ClassifyError>,
+) -> Response {
     match outcome {
         Ok(output) => {
             let mut members = vec![
-                ("model", Json::Str(name.to_string())),
+                ("model", Json::Str(model.to_string())),
+                ("version", Json::Num(version as f64)),
                 (
                     "predictions",
                     Json::Arr(
@@ -470,6 +441,94 @@ fn classify(request: &Request, state: &Arc<ServerState>, name: &str) -> Response
         Err(ClassifyError::Saturated) => Response::error(429, "classify queue is full"),
         Err(ClassifyError::ShuttingDown) => Response::error(503, "server is shutting down"),
         Err(ClassifyError::Model(e)) => Response::error(500, &e),
+    }
+}
+
+/// `POST /models/{name}/classify` — parses and validates inline, resolves
+/// the model (checking an optional pinned `version`), then submits to the
+/// shared batcher; the batch dispatcher completes the response through the
+/// event loop's completion queue.
+fn classify(request: &Request, state: &Arc<ServerState>, name: &str, ctx: AsyncCtx) -> Routed {
+    let entry = match state.registry.get(name) {
+        Ok(entry) => entry,
+        Err(e) => return Routed::Immediate(Response::error(404, &e.to_string())),
+    };
+    let body = match request.json_body() {
+        Ok(b) => b,
+        Err(e) => return Routed::Immediate(Response::error(400, &e)),
+    };
+    // version pinning: a client that resolved model metadata before a refit
+    // can demand exactly that model and learn about the swap via 409 instead
+    // of silently getting different predictions
+    if let Some(pin) = body.get("version") {
+        let Some(pin) = pin.as_u64() else {
+            return Routed::Immediate(Response::error(
+                400,
+                "`version` must be a whole number below 2^53",
+            ));
+        };
+        if pin != entry.info.version {
+            return Routed::Immediate(Response::error(
+                409,
+                &format!(
+                    "model `{name}` is at version {}, request pinned version {pin}",
+                    entry.info.version
+                ),
+            ));
+        }
+    }
+    let items = match body.get("series").and_then(|s| s.as_array()) {
+        Some(items) => items,
+        None => {
+            return Routed::Immediate(Response::error(
+                400,
+                "classify request needs a `series` array",
+            ))
+        }
+    };
+    let want_proba = body.get("proba").and_then(|p| p.as_bool()).unwrap_or(false);
+    let mut series = Vec::with_capacity(items.len());
+    for item in items {
+        match parse_series(item, false) {
+            Ok(s) => series.push(s),
+            Err(e) => return Routed::Immediate(Response::error(400, &e)),
+        }
+    }
+    state.metrics.classify_requests_total.inc();
+
+    let metrics = Arc::clone(&state.metrics);
+    let model_name = name.to_string();
+    let version = entry.info.version;
+    let on_done = Box::new(move |outcome: Result<ClassifyOutput, ClassifyError>| {
+        metrics
+            .classify_latency_seconds
+            .observe(ctx.started.elapsed().as_secs_f64());
+        let response = classify_response(&model_name, version, outcome);
+        metrics.record_status(response.status);
+        metrics
+            .request_latency_seconds
+            .observe(ctx.started.elapsed().as_secs_f64());
+        ctx.completions.push(Completed {
+            token: ctx.token,
+            generation: ctx.generation,
+            seq: ctx.seq,
+            bytes: response.serialize(ctx.keep_alive),
+        });
+    });
+    match state.registry.batcher().submit(
+        Arc::clone(entry.classifier()),
+        series,
+        want_proba,
+        on_done,
+    ) {
+        Ok(()) => Routed::Async,
+        Err(e @ ClassifyError::Saturated) => {
+            Routed::Immediate(Response::error(429, &e.to_string()))
+        }
+        Err(e @ ClassifyError::ShuttingDown) => {
+            Routed::Immediate(Response::error(503, &e.to_string()))
+        }
+        Err(ClassifyError::Model(e)) => Routed::Immediate(Response::error(500, &e)),
     }
 }
 

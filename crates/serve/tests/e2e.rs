@@ -310,6 +310,253 @@ fn malformed_wire_requests_get_4xx_and_the_connection_survives() {
     server_handle.join().expect("server thread panicked");
 }
 
+/// Reads one response off a raw client and returns the `Connection` header
+/// alongside the status and body.
+fn read_with_connection(client: &mut Client) -> (u16, String, Vec<u8>) {
+    let (status, headers, body) =
+        tsg_serve::http::read_response_with_headers(&mut client.reader).expect("response");
+    let connection = headers
+        .iter()
+        .find(|(k, _)| k == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase())
+        .unwrap_or_default();
+    (status, connection, body)
+}
+
+/// Whether the server closed the connection (EOF on the next read).
+fn connection_closed(client: &mut Client) -> bool {
+    use std::io::Read;
+    client
+        .stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut byte = [0u8; 1];
+    matches!(client.reader.read(&mut byte), Ok(0))
+}
+
+#[test]
+fn wire_protocol_regressions() {
+    use std::io::Write;
+    isolate_dataset_cache();
+    let (addr, server_handle) = start_server();
+
+    // regression 1: an HTTP/1.0 request without a Connection header must be
+    // answered with `Connection: close` and an actual close — the old server
+    // discarded the version and held the connection open forever
+    let mut http10 = Client::connect(&addr);
+    http10
+        .stream
+        .write_all(b"GET /healthz HTTP/1.0\r\n\r\n")
+        .expect("write");
+    let (status, connection, _) = read_with_connection(&mut http10);
+    assert_eq!(status, 200);
+    assert_eq!(connection, "close", "HTTP/1.0 must default to close");
+    assert!(connection_closed(&mut http10), "socket must actually close");
+
+    // an HTTP/1.0 client explicitly asking for keep-alive gets it
+    let mut http10_ka = Client::connect(&addr);
+    http10_ka
+        .stream
+        .write_all(b"GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+        .expect("write");
+    let (status, connection, _) = read_with_connection(&mut http10_ka);
+    assert_eq!(status, 200);
+    assert_eq!(connection, "keep-alive");
+    let (status, _) = http10_ka.call("GET", "/healthz", None);
+    assert_eq!(status, 200, "opted-in keep-alive connection must survive");
+
+    // regression 2: a body over MAX_BODY_BYTES is 413 Payload Too Large,
+    // not a generic 400 — and the connection closes (the body bytes that
+    // may follow would desync the stream)
+    let mut big = Client::connect(&addr);
+    let declared = tsg_serve::http::MAX_BODY_BYTES + 1;
+    big.stream
+        .write_all(
+            format!("POST /models/m/classify HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n")
+                .as_bytes(),
+        )
+        .expect("write");
+    let (status, connection, _) = read_with_connection(&mut big);
+    assert_eq!(status, 413, "oversized body must map to 413");
+    assert_eq!(connection, "close");
+    assert!(connection_closed(&mut big));
+
+    // regression 3: conflicting duplicate Content-Length headers are the
+    // request-smuggling foothold — reject as 400 and close
+    let mut dup = Client::connect(&addr);
+    dup.stream
+        .write_all(b"POST /healthz HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 16\r\n\r\nabcdabcdabcdabcd")
+        .expect("write");
+    let (status, connection, _) = read_with_connection(&mut dup);
+    assert_eq!(status, 400, "conflicting Content-Length must be rejected");
+    assert_eq!(connection, "close");
+    assert!(connection_closed(&mut dup));
+
+    // regression 4: the shutdown response must honestly say close — the old
+    // server computed keep-alive before routing set the shutdown flag, then
+    // silently dropped the connection it had just promised to keep open
+    let mut admin = Client::connect(&addr);
+    tsg_serve::http::send_request(&mut admin.stream, "POST", "/shutdown", None).expect("send");
+    let (status, connection, _) = read_with_connection(&mut admin);
+    assert_eq!(status, 200);
+    assert_eq!(
+        connection, "close",
+        "shutdown response must not promise keep-alive"
+    );
+    assert!(connection_closed(&mut admin));
+    server_handle.join().expect("server thread panicked");
+}
+
+#[test]
+fn pipelined_requests_get_in_order_responses() {
+    use std::io::Write;
+    isolate_dataset_cache();
+    let (addr, server_handle) = start_server();
+    let mut admin = Client::connect(&addr);
+
+    let fit = Json::obj(vec![
+        ("dataset", Json::Str(DATASET.into())),
+        ("config", Json::Str(CONFIG.into())),
+        ("seed", Json::Num(SEED as f64)),
+        ("max_instances", Json::Num(8.0)),
+        ("max_length", Json::Num(64.0)),
+    ]);
+    let (status, _) = admin.call("POST", "/models/pipe/fit", Some(&fit));
+    assert_eq!(status, 200);
+
+    // one write carrying five back-to-back requests. The mix matters: the
+    // classify requests complete asynchronously on the batch dispatcher
+    // while /healthz and the 404 answer inline, so in-order delivery proves
+    // the reorder stage, not accidental timing.
+    let classify_a = Json::obj(vec![(
+        "series",
+        Json::parse("[[1, 2, 3, 2, 1, 2, 3, 2]]").unwrap(),
+    )])
+    .write();
+    let classify_b = Json::obj(vec![(
+        "series",
+        Json::parse("[[5, 1, 5, 1, 5, 1, 5, 1]]").unwrap(),
+    )])
+    .write();
+    let mut wire = Vec::new();
+    for (method, path, body) in [
+        ("POST", "/models/pipe/classify", Some(classify_a.as_str())),
+        ("GET", "/healthz", None),
+        ("GET", "/definitely-not-a-route", None),
+        ("POST", "/models/pipe/classify", Some(classify_b.as_str())),
+        ("GET", "/models", None),
+    ] {
+        let body = body.unwrap_or_default();
+        wire.extend_from_slice(
+            format!(
+                "{method} {path} HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        );
+    }
+    let mut client = Client::connect(&addr);
+    client.stream.write_all(&wire).expect("pipelined write");
+
+    let expectations: [(u16, &str); 5] = [
+        (200, "predictions"),
+        (200, "uptime_seconds"),
+        (404, "no such route"),
+        (200, "predictions"),
+        (200, "models"),
+    ];
+    for (i, (want_status, want_fragment)) in expectations.iter().enumerate() {
+        let (status, connection, body) = read_with_connection(&mut client);
+        let text = String::from_utf8_lossy(&body).to_string();
+        assert_eq!(status, *want_status, "response {i} out of order: {text}");
+        assert!(
+            text.contains(want_fragment),
+            "response {i} body mismatch (expected `{want_fragment}`): {text}"
+        );
+        assert_eq!(connection, "keep-alive", "response {i}");
+    }
+    // the connection is still usable after the burst
+    let (status, _) = client.call("GET", "/healthz", None);
+    assert_eq!(status, 200);
+
+    let (status, _) = admin.call("POST", "/shutdown", None);
+    assert_eq!(status, 200);
+    server_handle.join().expect("server thread panicked");
+}
+
+#[test]
+fn version_pinning_detects_hot_swaps() {
+    isolate_dataset_cache();
+    let (addr, server_handle) = start_server();
+    let mut client = Client::connect(&addr);
+
+    let fit = |seed: f64| {
+        Json::obj(vec![
+            ("dataset", Json::Str(DATASET.into())),
+            ("config", Json::Str(CONFIG.into())),
+            ("seed", Json::Num(seed)),
+            ("max_instances", Json::Num(8.0)),
+            ("max_length", Json::Num(64.0)),
+        ])
+    };
+    let (status, info) = client.call("POST", "/models/pin/fit", Some(&fit(1.0)));
+    assert_eq!(status, 200, "{info}");
+    let v1 = info.get("version").unwrap().as_u64().expect("version");
+
+    // pinned to the live version: served, and the response echoes it
+    let series = Json::parse("[[1, 2, 3, 2, 1, 2, 3, 2]]").unwrap();
+    let pinned = Json::obj(vec![
+        ("series", series.clone()),
+        ("version", Json::Num(v1 as f64)),
+    ]);
+    let (status, reply) = client.call("POST", "/models/pin/classify", Some(&pinned));
+    assert_eq!(status, 200, "{reply}");
+    assert_eq!(reply.get("version").unwrap().as_u64(), Some(v1));
+
+    // hot-swap: refit under the same name bumps the version
+    let (status, info) = client.call("POST", "/models/pin/fit", Some(&fit(2.0)));
+    assert_eq!(status, 200);
+    let v2 = info.get("version").unwrap().as_u64().expect("version");
+    assert!(v2 > v1, "refit must advance the version ({v1} -> {v2})");
+
+    // the stale pin now gets 409 Conflict instead of silently classifying
+    // with a different model
+    let (status, reply) = client.call("POST", "/models/pin/classify", Some(&pinned));
+    assert_eq!(status, 409, "{reply}");
+    assert!(reply
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("version"));
+
+    // repinning to the new version works; unpinned requests always track the
+    // live model
+    let repinned = Json::obj(vec![
+        ("series", series.clone()),
+        ("version", Json::Num(v2 as f64)),
+    ]);
+    let (status, reply) = client.call("POST", "/models/pin/classify", Some(&repinned));
+    assert_eq!(status, 200, "{reply}");
+    assert_eq!(reply.get("version").unwrap().as_u64(), Some(v2));
+    let unpinned = Json::obj(vec![("series", series)]);
+    let (status, reply) = client.call("POST", "/models/pin/classify", Some(&unpinned));
+    assert_eq!(status, 200);
+    assert_eq!(reply.get("version").unwrap().as_u64(), Some(v2), "{reply}");
+
+    // a malformed pin is a 400, not a lookup against nonsense
+    let bad = Json::obj(vec![
+        ("series", Json::parse("[[1, 2, 3]]").unwrap()),
+        ("version", Json::Str("latest".into())),
+    ]);
+    let (status, _) = client.call("POST", "/models/pin/classify", Some(&bad));
+    assert_eq!(status, 400);
+
+    let (status, _) = client.call("POST", "/shutdown", None);
+    assert_eq!(status, 200);
+    server_handle.join().expect("server thread panicked");
+}
+
 #[test]
 fn invalid_requests_are_rejected_not_fatal() {
     isolate_dataset_cache();
