@@ -424,6 +424,28 @@ mod tests {
     }
 
     #[test]
+    fn fault_seam_bans_direct_fs_in_storage_paths() {
+        let src = "fn f() {\n\
+                   let _ = std::fs::rename(\"a\", \"b\");\n\
+                   let _ = std::fs::File::create(\"x\");\n\
+                   let _ = std::fs::read_dir(\".\");\n\
+                   let _ = tsg_faults::fsio::rename(a, b, site);\n\
+                   }\n";
+        let report = analyze_source("tsg_serve", "src/snapshot.rs", "f.rs", src);
+        let seam: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| f.rule == "fault-seam")
+            .collect();
+        assert_eq!(seam.len(), 2, "{:?}", report.findings);
+        assert!(seam[0].message.contains("fs::rename"));
+        assert!(seam[1].message.contains("File::create"));
+        // the same source outside the storage paths is not in scope
+        let report = analyze_source("tsg_serve", "src/metrics.rs", "f.rs", src);
+        assert!(report.findings.iter().all(|f| f.rule != "fault-seam"));
+    }
+
+    #[test]
     fn suppression_silences_and_records() {
         let src = "// tsg-allow(det-time): timing is the module's purpose\n\
                    use std::time::Instant;\n";

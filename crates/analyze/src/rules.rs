@@ -66,8 +66,11 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "tsg_eval",
 ];
 
-/// The serving request path: every module a byte from the network flows
-/// through between `accept()` and the response write.
+/// The panic-freedom domain: every module a byte from the network flows
+/// through between `accept()` and the response write, plus the crash-safety
+/// machinery behind it — the snapshot store and the fault-injection seams.
+/// A corrupt snapshot or an injected fault must degrade to an error
+/// response or a refit, never abort the process.
 pub const REQUEST_PATH_FILES: &[(&str, &str)] = &[
     ("tsg_serve", "src/http.rs"),
     ("tsg_serve", "src/json.rs"),
@@ -76,6 +79,16 @@ pub const REQUEST_PATH_FILES: &[(&str, &str)] = &[
     ("tsg_serve", "src/registry.rs"),
     ("tsg_serve", "src/epoll.rs"),
     ("tsg_serve", "src/event_loop.rs"),
+    ("tsg_serve", "src/snapshot.rs"),
+    ("tsg_faults", "src/lib.rs"),
+];
+
+/// Files whose file I/O must flow through the [`tsg_faults::fsio`] seam so
+/// deterministic fault schedules can reach every open/write/sync/rename of
+/// the storage paths (the dataset cache and the model snapshot store).
+pub const FAULT_SEAM_FILES: &[(&str, &str)] = &[
+    ("tsg_datasets", "src/cache.rs"),
+    ("tsg_serve", "src/snapshot.rs"),
 ];
 
 /// The only tsg_serve files allowed to create threads: the ops worker
@@ -94,6 +107,7 @@ pub const ENV_ENTRY_POINTS: &[(&str, &str)] = &[
     ("tsg_parallel", "src/lib.rs"),
     ("tsg_datasets", "src/source.rs"),
     ("tsg_datasets", "src/cache.rs"),
+    ("tsg_faults", "src/lib.rs"),
 ];
 
 /// Id of the meta-rule that reports malformed/unknown suppressions.
@@ -128,8 +142,9 @@ pub const RULES: &[Rule] = &[
     Rule {
         id: "panic-freedom",
         summary: "no unwrap/expect/panic!/unreachable!/unchecked indexing in the request path",
-        protects: "a malformed request never kills a connection thread (PR 4 serving layer)",
-        crates: CrateScope::Only(&["tsg_serve"]),
+        protects: "a malformed request never kills a connection thread (PR 4 serving \
+                   layer); a corrupt snapshot or injected fault degrades, never aborts (PR 8)",
+        crates: CrateScope::Only(&["tsg_serve", "tsg_faults"]),
         files: FileScope::Only(REQUEST_PATH_FILES),
         include_tests: false,
     },
@@ -148,6 +163,15 @@ pub const RULES: &[Rule] = &[
                    event loop and epoll shim stay single-threaded (PR 7)",
         crates: CrateScope::Except(&["tsg_parallel"]),
         files: FileScope::Except(SERVE_THREAD_SPAWNERS),
+        include_tests: false,
+    },
+    Rule {
+        id: "fault-seam",
+        summary: "no direct std::fs / File I/O where the tsg_faults::fsio seam is mandatory",
+        protects: "deterministic fault schedules reach every storage-path file touch \
+                   (PR 8 chaos harness) — a bypassed seam is an untestable failure mode",
+        crates: CrateScope::Only(&["tsg_datasets", "tsg_serve"]),
+        files: FileScope::Only(FAULT_SEAM_FILES),
         include_tests: false,
     },
     Rule {
@@ -270,6 +294,47 @@ pub fn check(rule: &Rule, toks: &[&Tok], safety_lines: &[u32]) -> Vec<RawFinding
                             "`thread::{}` outside tsg_parallel/tsg_serve — run work on the \
                              shared ThreadPool",
                             tail.text
+                        ),
+                    });
+                }
+            }
+        }
+        "fault-seam" => {
+            // std::fs entry points with an fsio equivalent (read_dir has
+            // none and stays legal — listing is not in the torn-write
+            // threat model)
+            const FS_TAILS: &[&str] = &[
+                "rename",
+                "remove_file",
+                "write",
+                "read",
+                "read_to_string",
+                "copy",
+                "create_dir_all",
+                "OpenOptions",
+            ];
+            for i in path_heads(toks, "fs") {
+                let tail = toks[i + 3];
+                if FS_TAILS.iter().any(|n| tail.is_ident(n)) {
+                    out.push(RawFinding {
+                        line: tail.line,
+                        message: format!(
+                            "`fs::{}` bypasses the fault-injection seam — route this file \
+                             touch through tsg_faults::fsio",
+                            tail.text
+                        ),
+                    });
+                }
+            }
+            for i in path_heads(toks, "File") {
+                let tail = toks[i + 3];
+                if tail.is_ident("open") || tail.is_ident("create") {
+                    out.push(RawFinding {
+                        line: tail.line,
+                        message: format!(
+                            "`File::{}` bypasses the fault-injection seam — use \
+                             tsg_faults::fsio::{} so chaos schedules can reach it",
+                            tail.text, tail.text
                         ),
                     });
                 }
@@ -401,8 +466,16 @@ mod tests {
         assert!(panic.applies_to("tsg_serve", "src/http.rs"));
         assert!(panic.applies_to("tsg_serve", "src/epoll.rs"));
         assert!(panic.applies_to("tsg_serve", "src/event_loop.rs"));
+        assert!(panic.applies_to("tsg_serve", "src/snapshot.rs"));
+        assert!(panic.applies_to("tsg_faults", "src/lib.rs"));
         assert!(!panic.applies_to("tsg_serve", "src/metrics.rs"));
         assert!(!panic.applies_to("tsg_core", "src/http.rs"));
+
+        let seam = rule_by_id("fault-seam").unwrap();
+        assert!(seam.applies_to("tsg_datasets", "src/cache.rs"));
+        assert!(seam.applies_to("tsg_serve", "src/snapshot.rs"));
+        assert!(!seam.applies_to("tsg_serve", "src/http.rs"));
+        assert!(!seam.applies_to("tsg_faults", "src/lib.rs"));
 
         let env = rule_by_id("env-discipline").unwrap();
         assert!(!env.applies_to("tsg_parallel", "src/lib.rs"));

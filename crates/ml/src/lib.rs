@@ -34,6 +34,7 @@ pub mod logreg;
 pub mod metrics;
 pub mod model_selection;
 pub mod scaling;
+pub mod snapshot;
 pub mod stacking;
 pub mod svm;
 pub mod traits;
@@ -48,6 +49,7 @@ pub use logreg::{LogisticRegression, LogisticRegressionParams};
 pub use metrics::{accuracy, error_rate, log_loss, ConfusionMatrix};
 pub use model_selection::{cross_val_log_loss, GridSearch};
 pub use scaling::{MinMaxScaler, StandardScaler};
+pub use snapshot::restore_classifier;
 pub use stacking::{StackingEnsemble, StackingParams};
 pub use svm::{SvmClassifier, SvmKernel, SvmParams};
 pub use traits::Classifier;

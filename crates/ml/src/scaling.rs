@@ -72,6 +72,24 @@ impl MinMaxScaler {
         let t = scaler.transform(x)?;
         Ok((scaler, t))
     }
+
+    /// Serialises the fitted scaling parameters (raw `f64` bits, so restored
+    /// scalers transform bit-identically).
+    pub fn snapshot_bytes(&self, out: &mut Vec<u8>) {
+        crate::snapshot::put_f64s(out, &self.mins);
+        crate::snapshot::put_f64s(out, &self.ranges);
+    }
+
+    /// Rebuilds a fitted scaler from snapshot bytes; `None` on truncation or
+    /// mismatched vector lengths (fails closed, like every snapshot reader).
+    pub fn from_snapshot(r: &mut crate::snapshot::SnapReader<'_>) -> Option<Self> {
+        let mins = r.f64s()?;
+        let ranges = r.f64s()?;
+        if mins.len() != ranges.len() {
+            return None;
+        }
+        Some(MinMaxScaler { mins, ranges })
+    }
 }
 
 /// Standard scaler mapping each feature to zero mean and unit variance.

@@ -36,6 +36,15 @@ pub trait Classifier: Send + Sync {
     fn describe(&self) -> String {
         "classifier".to_string()
     }
+
+    /// Serialises the fitted state (hyper-parameters included) into `out`,
+    /// tag-prefixed so [`crate::snapshot::restore_classifier`] can rebuild
+    /// the concrete model. Returns `false` — leaving `out` untouched — when
+    /// the model family does not support snapshots; callers must then fall
+    /// back to refitting rather than persisting a partial state.
+    fn snapshot_state(&self, _out: &mut Vec<u8>) -> bool {
+        false
+    }
 }
 
 /// Index of the largest value (ties broken towards the smaller index).

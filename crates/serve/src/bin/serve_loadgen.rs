@@ -10,6 +10,7 @@
 //! serve_loadgen --addr 127.0.0.1:7878 [--model default] [--connections 8]
 //!               [--requests 400] [--series-per-request 1] [--series-len 128]
 //!               [--fit DATASET] [--config uvg-fast] [--seed 7]
+//!               [--retries 3] [--chaos]
 //! ```
 //!
 //! With `--fit DATASET` the model is fitted (or refitted) through the wire
@@ -18,8 +19,16 @@
 //! After the run the tool scrapes `/metrics` and prints the server-side
 //! realized batch-size distribution, which shows how well micro-batching
 //! coalesced the concurrent stream.
+//!
+//! Requests that hit backpressure, a reset connection or a timeout are
+//! retried with capped exponential backoff and seeded jitter (`--retries`,
+//! default 3); retried requests and give-ups are reported separately from
+//! first-try successes. `--chaos` additionally makes the client itself
+//! hostile on a seeded schedule — aborting connections mid-request and
+//! stalling mid-body — to exercise the server's torn-input handling while
+//! still asserting every *completed* request got a correct response.
 
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -38,6 +47,8 @@ struct Args {
     seed: u64,
     max_instances: usize,
     max_length: usize,
+    retries: usize,
+    chaos: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -53,6 +64,8 @@ fn parse_args() -> Result<Args, String> {
         seed: 7,
         max_instances: 24,
         max_length: 128,
+        retries: 3,
+        chaos: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -87,6 +100,12 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--seed expects a number".to_string())?
             }
+            "--retries" => {
+                args.retries = value(&mut i)?
+                    .parse::<usize>()
+                    .map_err(|_| "--retries expects a number (0 disables)".to_string())?
+            }
+            "--chaos" => args.chaos = true,
             "--help" | "-h" => {
                 println!(
                     "serve_loadgen: load generator for tsg-serve\n\n\
@@ -101,7 +120,9 @@ fn parse_args() -> Result<Args, String> {
                      --config NAME           preset for --fit (default uvg-fast)\n  \
                      --max-instances N       training budget for --fit (default 24)\n  \
                      --max-length N          training series length budget for --fit (default 128)\n  \
-                     --seed N                series + fit seed (default 7)"
+                     --seed N                series + fit seed (default 7)\n  \
+                     --retries N             retries per request on 429/reset/timeout (default 3)\n  \
+                     --chaos                 seeded client-side chaos: mid-request aborts + stalls"
                 );
                 std::process::exit(0);
             }
@@ -146,6 +167,36 @@ struct WorkerStats {
     ok: usize,
     backpressure: usize,
     errors: usize,
+    /// Requests that succeeded only after at least one retry.
+    retried: usize,
+    /// Individual retry attempts (backoff sleeps taken).
+    retry_attempts: usize,
+    /// Requests abandoned after exhausting the retry budget.
+    gave_up: usize,
+    /// Client-side chaos: connections deliberately aborted mid-request.
+    chaos_aborts: usize,
+    /// Client-side chaos: requests dribbled with a mid-body stall.
+    chaos_stalls: usize,
+}
+
+/// Capped exponential backoff with seeded jitter: 10 ms doubling to a
+/// 250 ms ceiling, each sleep jittered ±50% off the worker's own stream so
+/// concurrent workers never retry in lockstep.
+fn backoff_sleep(attempt: usize, rng: &mut u64) {
+    let base = 10u64.saturating_mul(1u64 << attempt.min(5)).min(250);
+    let jitter = splitmix64(rng) % (base + 1);
+    std::thread::sleep(std::time::Duration::from_millis(base / 2 + jitter / 2));
+}
+
+/// The request `http::send_request` would produce, as raw bytes — so chaos
+/// mode can cut or stall the write at an arbitrary byte boundary.
+fn raw_request_bytes(method: &str, path: &str, body: &Json) -> Vec<u8> {
+    let payload = body.write();
+    format!(
+        "{method} {path} HTTP/1.1\r\nHost: tsg-serve\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{payload}",
+        payload.len()
+    )
+    .into_bytes()
 }
 
 fn percentile(sorted: &[u64], p: f64) -> f64 {
@@ -159,6 +210,8 @@ fn percentile(sorted: &[u64], p: f64) -> f64 {
 fn connect(addr: &str) -> std::io::Result<(TcpStream, BufReader<TcpStream>)> {
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
+    // a hung server must surface as a timeout error, never a stuck worker
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
     let reader = BufReader::new(stream.try_clone()?);
     Ok((stream, reader))
 }
@@ -225,6 +278,13 @@ fn main() {
                     };
                     let path = format!("/models/{}/classify", args.model);
                     let mut request_index = 0u64;
+                    // per-worker streams: one for backoff jitter, one for the
+                    // chaos schedule — both seeded, so a run is reproducible
+                    let mut jitter_rng = args.seed ^ ((worker as u64).wrapping_mul(0x9e37_79b9));
+                    let mut chaos_rng = args
+                        .seed
+                        .wrapping_mul(0xa076_1d64_78bd_642f)
+                        .wrapping_add(worker as u64);
                     while remaining
                         .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
                         .is_ok()
@@ -241,32 +301,126 @@ fn main() {
                             })
                             .collect();
                         let body = Json::obj(vec![("series", Json::Arr(series))]);
-                        let sent = Instant::now();
-                        match http::roundtrip_json(
-                            &mut stream,
-                            &mut reader,
-                            "POST",
-                            &path,
-                            Some(&body),
-                        ) {
-                            Ok((200, _)) => {
-                                stats
-                                    .latencies_micros
-                                    .push(sent.elapsed().as_micros() as u64);
-                                stats.ok += 1;
-                            }
-                            Ok((429, _)) => stats.backpressure += 1,
-                            Ok((status, body)) => {
-                                eprintln!("request failed with {status}: {body}");
-                                stats.errors += 1;
-                            }
-                            Err(e) => {
-                                eprintln!("transport error: {e}");
-                                stats.errors += 1;
-                                // reconnect and continue
+
+                        // chaos: before the real request, maybe abort a torn
+                        // request mid-write or dribble one with a stall — the
+                        // server must survive both and still answer the real
+                        // request on the (re)used connection afterwards
+                        if args.chaos && splitmix64(&mut chaos_rng).is_multiple_of(4) {
+                            let raw = raw_request_bytes("POST", &path, &body);
+                            let cut = 1 + (splitmix64(&mut chaos_rng) as usize) % (raw.len() - 1);
+                            if splitmix64(&mut chaos_rng).is_multiple_of(2) {
+                                // torn request: write a prefix, slam the door
+                                let _ = stream.write_all(&raw[..cut]);
+                                let _ = stream.shutdown(std::net::Shutdown::Both);
+                                stats.chaos_aborts += 1;
                                 match connect(&args.addr) {
                                     Ok(pair) => (stream, reader) = pair,
                                     Err(_) => return stats,
+                                }
+                            } else {
+                                // slow dribble: stall mid-body, then finish —
+                                // this IS the real request, sent hostilely
+                                stats.chaos_stalls += 1;
+                                let sent = Instant::now();
+                                let outcome = stream
+                                    .write_all(&raw[..cut])
+                                    .and_then(|()| {
+                                        stream.flush()?;
+                                        std::thread::sleep(std::time::Duration::from_millis(20));
+                                        stream.write_all(&raw[cut..])?;
+                                        stream.flush()
+                                    })
+                                    .and_then(|()| http::read_response(&mut reader));
+                                match outcome {
+                                    Ok((200, _)) => {
+                                        stats
+                                            .latencies_micros
+                                            .push(sent.elapsed().as_micros() as u64);
+                                        stats.ok += 1;
+                                    }
+                                    Ok((429, _)) => stats.backpressure += 1,
+                                    Ok((status, _)) => {
+                                        eprintln!("stalled request failed with {status}");
+                                        stats.errors += 1;
+                                    }
+                                    Err(_) => {
+                                        // the server may 408 + close a stall
+                                        // that outlives its budget; reconnect
+                                        match connect(&args.addr) {
+                                            Ok(pair) => (stream, reader) = pair,
+                                            Err(_) => return stats,
+                                        }
+                                    }
+                                }
+                                continue;
+                            }
+                        }
+
+                        let mut attempt = 0usize;
+                        loop {
+                            let sent = Instant::now();
+                            match http::roundtrip_json(
+                                &mut stream,
+                                &mut reader,
+                                "POST",
+                                &path,
+                                Some(&body),
+                            ) {
+                                Ok((200, _)) => {
+                                    stats
+                                        .latencies_micros
+                                        .push(sent.elapsed().as_micros() as u64);
+                                    stats.ok += 1;
+                                    if attempt > 0 {
+                                        stats.retried += 1;
+                                    }
+                                    break;
+                                }
+                                Ok((429, _)) => {
+                                    // backpressure: retry after a jittered
+                                    // backoff, report a give-up when the
+                                    // budget runs out
+                                    if attempt < args.retries {
+                                        attempt += 1;
+                                        stats.retry_attempts += 1;
+                                        backoff_sleep(attempt, &mut jitter_rng);
+                                    } else {
+                                        stats.backpressure += 1;
+                                        if args.retries > 0 {
+                                            stats.gave_up += 1;
+                                        }
+                                        break;
+                                    }
+                                }
+                                Ok((status, body)) => {
+                                    eprintln!("request failed with {status}: {body}");
+                                    stats.errors += 1;
+                                    break;
+                                }
+                                Err(e) => {
+                                    // reset/timeout: reconnect, then retry
+                                    // the same request on the fresh socket
+                                    let reconnected = match connect(&args.addr) {
+                                        Ok(pair) => {
+                                            (stream, reader) = pair;
+                                            true
+                                        }
+                                        Err(_) => false,
+                                    };
+                                    if reconnected && attempt < args.retries {
+                                        attempt += 1;
+                                        stats.retry_attempts += 1;
+                                        backoff_sleep(attempt, &mut jitter_rng);
+                                    } else {
+                                        eprintln!("transport error: {e}");
+                                        stats.errors += 1;
+                                        stats.gave_up += 1;
+                                        if !reconnected {
+                                            return stats;
+                                        }
+                                        break;
+                                    }
                                 }
                             }
                         }
@@ -289,12 +443,23 @@ fn main() {
     let ok: usize = stats.iter().map(|s| s.ok).sum();
     let backpressure: usize = stats.iter().map(|s| s.backpressure).sum();
     let errors: usize = stats.iter().map(|s| s.errors).sum();
+    let retried: usize = stats.iter().map(|s| s.retried).sum();
+    let retry_attempts: usize = stats.iter().map(|s| s.retry_attempts).sum();
+    let gave_up: usize = stats.iter().map(|s| s.gave_up).sum();
+    let chaos_aborts: usize = stats.iter().map(|s| s.chaos_aborts).sum();
+    let chaos_stalls: usize = stats.iter().map(|s| s.chaos_stalls).sum();
     let series_done = ok * args.series_per_request;
 
     println!(
         "serve_loadgen: {ok} ok / {backpressure} backpressure (429) / {errors} errors over {} connections in {elapsed:.2} s",
         args.connections
     );
+    println!(
+        "retries: {retried} requests recovered via {retry_attempts} attempt(s), {gave_up} gave up"
+    );
+    if args.chaos {
+        println!("chaos: {chaos_aborts} torn requests (aborted mid-write), {chaos_stalls} stalled requests");
+    }
     if ok > 0 {
         println!(
             "throughput: {:.1} req/s, {:.1} series/s",
@@ -320,6 +485,15 @@ fn main() {
                     .lines()
                     .filter(|l| l.starts_with("tsg_serve_batch_size"))
                 {
+                    println!("  {line}");
+                }
+                println!("server robustness counters (from /metrics):");
+                for line in text.lines().filter(|l| {
+                    l.starts_with("tsg_serve_requests_shed_total")
+                        || l.starts_with("tsg_serve_connections_reset_total")
+                        || l.starts_with("tsg_serve_faults_injected_total")
+                        || l.starts_with("tsg_serve_snapshot_load_failures_total")
+                }) {
                     println!("  {line}");
                 }
             }

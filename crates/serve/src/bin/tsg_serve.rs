@@ -5,6 +5,7 @@
 //!           [--max-wait-ms 2] [--queue-depth 256]
 //!           [--preload NAME[,NAME...]] [--config fast|paper|uvg-fast]
 //!           [--max-instances N] [--max-length N] [--seed N]
+//!           [--snapshot-dir DIR] [--request-budget-ms N]
 //! ```
 //!
 //! `--preload` fits the named catalogue datasets before the listener starts
@@ -12,6 +13,12 @@
 //! ephemeral port; the actual address is printed on the `listening on` line,
 //! which scripts (and the CI smoke test) parse. Stop the server with
 //! `POST /shutdown`.
+//!
+//! `--snapshot-dir` enables crash-safe model persistence: every successful
+//! fit writes a hash-verified snapshot, the boot sequence warm-restarts from
+//! whatever valid snapshots exist (skipping the refit for preloads already
+//! restored), and corrupt snapshots are detected, reported and refitted —
+//! never served.
 
 use std::time::Duration;
 use tsg_serve::registry::TrainingSource;
@@ -90,6 +97,17 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--seed expects a number".to_string())?;
                 args.serve.archive.seed = args.seed;
             }
+            "--snapshot-dir" => {
+                args.serve.snapshot_dir = Some(std::path::PathBuf::from(value(&mut i)?));
+            }
+            "--request-budget-ms" => {
+                let ms: u64 = value(&mut i)?
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "--request-budget-ms expects a positive number".to_string())?;
+                args.serve.request_budget = Duration::from_millis(ms);
+            }
             "--help" | "-h" => {
                 println!(
                     "tsg-serve: batching classification server\n\n\
@@ -103,7 +121,9 @@ fn parse_args() -> Result<Args, String> {
                      --config NAME       preset for preloads: fast | paper | uvg-fast (default fast)\n  \
                      --max-instances N   dataset budget for catalogue fits\n  \
                      --max-length N      series length budget for catalogue fits\n  \
-                     --seed N            fit seed (default 7)"
+                     --seed N            fit seed (default 7)\n  \
+                     --snapshot-dir DIR  crash-safe model snapshots + warm restart on boot\n  \
+                     --request-budget-ms N  mid-request stall budget before 408 (default 30000)"
                 );
                 std::process::exit(0);
             }
@@ -129,7 +149,20 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if args.serve.snapshot_dir.is_some() {
+        let restored = server.registry().warm_restart();
+        if restored > 0 {
+            println!("warm restart: restored {restored} model(s) from snapshots");
+        }
+    }
     for name in &args.preload {
+        // a warm-restarted model satisfies its preload — skip the refit
+        // (the snapshot restores bit-identical predictions, proven by
+        // tests/chaos.rs)
+        if server.registry().get(name).is_ok() {
+            println!("preload `{name}` already restored from snapshot");
+            continue;
+        }
         let source = TrainingSource::Catalogue {
             dataset: name.clone(),
             options: args.serve.archive,

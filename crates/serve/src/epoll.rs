@@ -153,6 +153,10 @@ impl Epoll {
         if events.is_empty() {
             return Ok(0);
         }
+        if tsg_faults::net_fault(tsg_faults::Site::EpollWait).is_some() {
+            // injected EINTR: surface exactly like a real signal interruption
+            return Ok(0);
+        }
         let capacity = c_int::try_from(events.len()).unwrap_or(c_int::MAX);
         // SAFETY: `events` is a live, exclusively borrowed slice of
         // ABI-matching EpollEvent values; the kernel writes at most

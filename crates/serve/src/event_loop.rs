@@ -41,7 +41,7 @@
 use crate::epoll::{
     Epoll, EpollEvent, Interest, Waker, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
 };
-use crate::http::{RequestParser, Response, MID_REQUEST_BUDGET};
+use crate::http::{RequestParser, Response};
 use crate::server::{route_request, Routed, ServerState};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -49,6 +49,7 @@ use std::os::fd::AsRawFd;
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
+use tsg_faults::{net_fault, NetFault, Site};
 
 /// A deferred unit of blocking work (model fits) executed on the ops worker.
 pub(crate) type OpsJob = Box<dyn FnOnce() + Send>;
@@ -230,7 +231,19 @@ impl Connection {
     /// Writes as much of the buffer as the socket accepts right now.
     fn flush(&mut self) {
         while self.write_pos < self.write_buf.len() {
-            let remaining = self.write_buf.get(self.write_pos..).unwrap_or_default();
+            let mut remaining = self.write_buf.get(self.write_pos..).unwrap_or_default();
+            match net_fault(Site::ConnWrite) {
+                Some(NetFault::Interrupt) => continue,
+                Some(NetFault::WouldBlock) => return,
+                Some(NetFault::Reset) | Some(NetFault::Err) => {
+                    self.broken = true;
+                    return;
+                }
+                Some(NetFault::Short) => {
+                    remaining = remaining.get(..1).unwrap_or(remaining);
+                }
+                None => {}
+            }
             match self.stream.write(remaining) {
                 Ok(0) => {
                     self.broken = true;
@@ -256,7 +269,22 @@ impl Connection {
     fn fill_from_socket(&mut self) {
         let mut chunk = [0u8; 16 * 1024];
         while self.wants_read() {
-            match self.stream.read(&mut chunk) {
+            let mut cap = chunk.len();
+            match net_fault(Site::ConnRead) {
+                Some(NetFault::Interrupt) => continue,
+                Some(NetFault::WouldBlock) => return,
+                Some(NetFault::Reset) | Some(NetFault::Err) => {
+                    self.broken = true;
+                    return;
+                }
+                Some(NetFault::Short) => cap = 1,
+                None => {}
+            }
+            let buf = match chunk.get_mut(..cap) {
+                Some(b) => b,
+                None => &mut chunk,
+            };
+            match self.stream.read(buf) {
                 Ok(0) => {
                     self.read_closed = true;
                     return;
@@ -462,6 +490,16 @@ fn accept_connections(
     free: &mut Vec<usize>,
 ) {
     loop {
+        match net_fault(Site::Accept) {
+            Some(NetFault::Interrupt) => continue,
+            Some(_) => {
+                // injected accept failure: exercise the same backoff path a
+                // real EMFILE burst takes
+                std::thread::sleep(ACCEPT_BACKOFF);
+                return;
+            }
+            None => {}
+        }
         match listener.accept() {
             Ok((stream, _peer)) => {
                 if stream.set_nonblocking(true).is_err() {
@@ -585,13 +623,15 @@ fn drain_requests(ctx: &LoopCtx<'_>, conn: &mut Connection, token: u64, generati
     }
 }
 
-/// Enforces [`MID_REQUEST_BUDGET`] on partially received requests: a peer
-/// that started a request but stalled gets a 408 and the connection closes.
+/// Enforces the server's mid-request budget (`ServeConfig::request_budget`,
+/// default [`crate::http::MID_REQUEST_BUDGET`]) on partially received
+/// requests: a peer that started a request but stalled gets a 408 and the
+/// connection closes.
 fn sweep_timeout(state: &Arc<ServerState>, conn: &mut Connection) {
     if conn.stop_reading {
         return;
     }
-    let timed_out = matches!(conn.request_started, Some(t) if t.elapsed() >= MID_REQUEST_BUDGET);
+    let timed_out = matches!(conn.request_started, Some(t) if t.elapsed() >= state.request_budget);
     if !timed_out {
         return;
     }
@@ -608,6 +648,9 @@ fn sweep_timeout(state: &Arc<ServerState>, conn: &mut Connection) {
 /// gauge. The slot re-enters the free list at the end of the iteration.
 fn close_connection(ctx: &LoopCtx<'_>, slot: &mut Slot) {
     if let Some(conn) = slot.conn.take() {
+        if conn.broken {
+            ctx.state.metrics.connections_reset_total.inc();
+        }
         let _ = ctx.epoll.delete(conn.stream.as_raw_fd());
         slot.generation += 1;
         ctx.state.metrics.connections_open.dec();

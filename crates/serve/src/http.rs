@@ -326,6 +326,29 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Reques
                 ))
             }
         }
+        // injectable read seam (same site as the event loop's socket fill)
+        if let Some(fault) = tsg_faults::net_fault(tsg_faults::Site::ConnRead) {
+            match fault {
+                tsg_faults::NetFault::Interrupt | tsg_faults::NetFault::Short => continue,
+                tsg_faults::NetFault::WouldBlock => {
+                    if !parser.has_buffered_bytes() {
+                        return Ok(RequestOutcome::Idle);
+                    }
+                    if budget.tolerates_timeout() {
+                        continue;
+                    }
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "injected timeout (tsg_faults)",
+                    ));
+                }
+                tsg_faults::NetFault::Reset | tsg_faults::NetFault::Err => {
+                    if let Some(e) = fault.to_error() {
+                        return Err(e);
+                    }
+                }
+            }
+        }
         let n = match reader.fill_buf() {
             Ok([]) => {
                 return if parser.has_buffered_bytes() {

@@ -32,7 +32,17 @@
 //!   realized batch-size distribution at `/metrics`;
 //! * [`server`] — routing and the public bind/preload/run API, used by the
 //!   `tsg-serve` binary; the `serve_loadgen` binary drives N concurrent
-//!   connections against it and reports throughput and latency percentiles.
+//!   connections against it and reports throughput and latency percentiles;
+//! * `snapshot` (internal) — crash-safe, hash-verified on-disk snapshots of
+//!   fitted models, written after every successful fit when `--snapshot-dir`
+//!   is set and reloaded on boot by
+//!   [`ModelRegistry::warm_restart`](registry::ModelRegistry::warm_restart);
+//!   a corrupt snapshot is detected and refitted, never served.
+//!
+//! The serving and storage I/O paths are threaded through the deterministic
+//! fault-injection seams of [`tsg_faults`] (compiled to no-ops unless the
+//! `fault-injection` feature — or any test build — enables them); see
+//! `docs/fault-injection.md` and `tests/chaos.rs`.
 //!
 //! Batching is *bit-neutral*: a series classified in a batch of 64 gets
 //! exactly the prediction a direct
@@ -47,6 +57,7 @@ pub mod json;
 pub mod metrics;
 pub mod registry;
 pub mod server;
+mod snapshot;
 
 pub use batcher::{BatchConfig, ClassifyError, ClassifyOutput, SharedBatcher};
 pub use json::Json;

@@ -135,10 +135,19 @@ pub struct ServerMetrics {
     pub classify_batches_total: Counter,
     /// Classify requests rejected with 429 (queue saturated).
     pub classify_rejected_total: Counter,
+    /// Requests shed with a 429 response, whatever the route — the
+    /// load-shedding signal the chaos harness and dashboards watch.
+    pub requests_shed_total: Counter,
     /// Models fitted since startup.
     pub models_fitted_total: Counter,
     /// Connections accepted since startup.
     pub connections_accepted_total: Counter,
+    /// Connections torn down because the socket errored (ECONNRESET, EPIPE,
+    /// injected resets) rather than closing cleanly.
+    pub connections_reset_total: Counter,
+    /// Model snapshots that failed to load (missing, corrupt, stale config)
+    /// and fell back to a refit.
+    pub snapshot_load_failures_total: Counter,
     /// Currently open connections in the event loop.
     pub connections_open: Gauge,
     /// End-to-end request latency in seconds (all routes).
@@ -160,8 +169,11 @@ impl Default for ServerMetrics {
             classify_series_total: Counter::default(),
             classify_batches_total: Counter::default(),
             classify_rejected_total: Counter::default(),
+            requests_shed_total: Counter::default(),
             models_fitted_total: Counter::default(),
             connections_accepted_total: Counter::default(),
+            connections_reset_total: Counter::default(),
+            snapshot_load_failures_total: Counter::default(),
             connections_open: Gauge::default(),
             request_latency_seconds: Histogram::new(&[
                 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
@@ -177,8 +189,12 @@ impl Default for ServerMetrics {
 }
 
 impl ServerMetrics {
-    /// Records the status class of a finished response.
+    /// Records the status class of a finished response. Every 429, whatever
+    /// the route, also counts as a shed request.
     pub fn record_status(&self, status: u16) {
+        if status == 429 {
+            self.requests_shed_total.inc();
+        }
         match status {
             200..=299 => self.responses_2xx.inc(),
             400..=499 => self.responses_4xx.inc(),
@@ -186,10 +202,12 @@ impl ServerMetrics {
         }
     }
 
-    /// Renders every metric in Prometheus text format.
-    pub fn render(&self, n_models: usize, uptime_seconds: f64) -> String {
+    /// Renders every metric in Prometheus text format. `faults_injected` is
+    /// supplied by the caller (from [`tsg_faults::injected_total`]) so this
+    /// module stays free of cross-crate state.
+    pub fn render(&self, n_models: usize, uptime_seconds: f64, faults_injected: u64) -> String {
         let mut out = String::new();
-        let counters: [(&str, &Counter); 10] = [
+        let counters: [(&str, &Counter); 13] = [
             ("tsg_serve_requests_total", &self.requests_total),
             ("tsg_serve_responses_2xx_total", &self.responses_2xx),
             ("tsg_serve_responses_4xx_total", &self.responses_4xx),
@@ -210,10 +228,19 @@ impl ServerMetrics {
                 "tsg_serve_classify_rejected_total",
                 &self.classify_rejected_total,
             ),
+            ("tsg_serve_requests_shed_total", &self.requests_shed_total),
             ("tsg_serve_models_fitted_total", &self.models_fitted_total),
             (
                 "tsg_serve_connections_accepted_total",
                 &self.connections_accepted_total,
+            ),
+            (
+                "tsg_serve_connections_reset_total",
+                &self.connections_reset_total,
+            ),
+            (
+                "tsg_serve_snapshot_load_failures_total",
+                &self.snapshot_load_failures_total,
             ),
         ];
         for (name, counter) in counters {
@@ -222,6 +249,9 @@ impl ServerMetrics {
                 counter.get()
             ));
         }
+        out.push_str(&format!(
+            "# TYPE tsg_serve_faults_injected_total counter\ntsg_serve_faults_injected_total {faults_injected}\n"
+        ));
         out.push_str(&format!(
             "# TYPE tsg_serve_models gauge\ntsg_serve_models {n_models}\n"
         ));
@@ -273,11 +303,16 @@ mod tests {
         assert_eq!(m.responses_2xx.get(), 1);
         assert_eq!(m.responses_4xx.get(), 2);
         assert_eq!(m.responses_5xx.get(), 1);
-        let text = m.render(2, 1.5);
+        assert_eq!(m.requests_shed_total.get(), 1, "the 429 must count as shed");
+        let text = m.render(2, 1.5, 7);
         assert!(text.contains("tsg_serve_requests_total 3\n"));
         assert!(text.contains("tsg_serve_models 2\n"));
         assert!(text.contains("tsg_serve_batch_size_count 0\n"));
         assert!(text.contains("tsg_serve_connections_open 0\n"));
+        assert!(text.contains("tsg_serve_requests_shed_total 1\n"));
+        assert!(text.contains("tsg_serve_connections_reset_total 0\n"));
+        assert!(text.contains("tsg_serve_snapshot_load_failures_total 0\n"));
+        assert!(text.contains("tsg_serve_faults_injected_total 7\n"));
     }
 
     #[test]

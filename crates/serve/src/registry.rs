@@ -172,6 +172,9 @@ pub struct ModelRegistry {
     next_version: AtomicU64,
     metrics: Arc<ServerMetrics>,
     n_threads: usize,
+    /// When set, every successful fit writes a crash-safe snapshot here and
+    /// [`ModelRegistry::warm_restart`] reloads fitted models on boot.
+    snapshot_dir: Option<std::path::PathBuf>,
 }
 
 impl ModelRegistry {
@@ -213,7 +216,14 @@ impl ModelRegistry {
             next_version: AtomicU64::new(1),
             metrics,
             n_threads: tsg_parallel::resolve_threads(n_threads),
+            snapshot_dir: None,
         })
+    }
+
+    /// Enables crash-safe model snapshots under `dir`: every successful fit
+    /// writes one, and [`ModelRegistry::warm_restart`] reloads them on boot.
+    pub fn set_snapshot_dir(&mut self, dir: std::path::PathBuf) {
+        self.snapshot_dir = Some(dir);
     }
 
     /// The shared micro-batch scheduler (for asynchronous submission by the
@@ -279,7 +289,72 @@ impl ModelRegistry {
         self.metrics.models_fitted_total.inc();
         // the replaced entry (if any) drops outside the lock; in-flight
         // requests keep the old model alive through their own Arcs
-        let _previous = self.models_write().insert(name.to_string(), entry);
+        let _previous = self.models_write().insert(name.to_string(), entry.clone());
+        // snapshot-on-fit: best effort — a failed write never fails the fit
+        // (the model is already serving), it only costs a refit on restart
+        if let Some(dir) = &self.snapshot_dir {
+            match entry.model.snapshot_bytes() {
+                Ok(payload) => {
+                    if let Err(e) = crate::snapshot::write_snapshot(dir, &info, seed, &payload) {
+                        eprintln!(
+                            "tsg-serve: snapshot of `{name}` failed: {e} (still serving; will refit after restart)"
+                        );
+                    }
+                }
+                Err(e) => eprintln!("tsg-serve: model `{name}` not snapshotted: {e}"),
+            }
+        }
+        Ok(info)
+    }
+
+    /// Reloads every valid snapshot under the snapshot directory, restoring
+    /// models with their stored metadata — **including their versions**, so
+    /// client version pins stay valid across a restart (the version counter
+    /// resumes past the largest restored stamp). Corrupt, truncated or
+    /// stale-config snapshots are counted in `snapshot_load_failures_total`
+    /// and skipped: a bad snapshot degrades to a refit, never to serving a
+    /// wrong model. Returns the number of models restored.
+    pub fn warm_restart(&self) -> usize {
+        let Some(dir) = self.snapshot_dir.clone() else {
+            return 0;
+        };
+        let mut restored = 0usize;
+        for path in crate::snapshot::list_snapshots(&dir) {
+            match self.restore_one(&path) {
+                Ok(info) => {
+                    restored += 1;
+                    self.next_version
+                        .fetch_max(info.version + 1, Ordering::Relaxed);
+                }
+                Err(reason) => {
+                    self.metrics.snapshot_load_failures_total.inc();
+                    eprintln!(
+                        "tsg-serve: skipping snapshot {}: {reason} (model will be refitted on demand)",
+                        path.display()
+                    );
+                }
+            }
+        }
+        restored
+    }
+
+    /// Restores one snapshot file into the registry (see
+    /// [`ModelRegistry::warm_restart`]).
+    fn restore_one(&self, path: &std::path::Path) -> Result<ModelInfo, String> {
+        let (info, seed, payload) =
+            crate::snapshot::read_snapshot(path).map_err(|e| e.to_string())?;
+        let config = config_named(&info.config, seed, self.n_threads)
+            .ok_or_else(|| format!("unknown config preset `{}`", info.config))?;
+        let clf = MvgClassifier::from_snapshot(config, &payload).map_err(|e| e.to_string())?;
+        if clf.n_classes() != info.n_classes || clf.feature_names().len() != info.n_features {
+            return Err("stored metadata does not match the restored model".into());
+        }
+        let entry = Arc::new(ModelEntry {
+            info: info.clone(),
+            model: Arc::new(clf),
+            batcher: Arc::clone(&self.batcher),
+        });
+        self.models_write().insert(info.name.clone(), entry);
         Ok(info)
     }
 
@@ -291,9 +366,16 @@ impl ModelRegistry {
             .ok_or_else(|| RegistryError::UnknownModel(name.to_string()))
     }
 
-    /// Removes a model; returns whether it existed.
+    /// Removes a model (and its on-disk snapshot, so a deleted model does
+    /// not resurrect on the next warm restart); returns whether it existed.
     pub fn remove(&self, name: &str) -> bool {
-        self.models_write().remove(name).is_some()
+        let existed = self.models_write().remove(name).is_some();
+        if existed {
+            if let Some(dir) = &self.snapshot_dir {
+                let _ = tsg_faults::fsio::remove_file(&crate::snapshot::snapshot_path(dir, name));
+            }
+        }
+        existed
     }
 
     /// Metadata of every registered model, sorted by name.
@@ -446,6 +528,83 @@ mod tests {
         let a = r.fit("a", catalogue_source(), "uvg-fast", 1).unwrap();
         let b = r.fit("b", catalogue_source(), "uvg-fast", 1).unwrap();
         assert!(b.version > a.version, "{} vs {}", a.version, b.version);
+    }
+
+    #[test]
+    fn warm_restart_restores_bit_identical_models_and_rejects_corruption() {
+        static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "tsg-registry-snap-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let probe = vec![TimeSeries::new((0..64).map(|t| (t as f64).sin()).collect())];
+        let probe_set = Dataset::from_series("probe", probe);
+
+        let mut first = registry();
+        first.set_snapshot_dir(dir.clone());
+        let info = first
+            .fit("demo", catalogue_source(), "uvg-fast", 3)
+            .unwrap();
+        let expected = first
+            .get("demo")
+            .unwrap()
+            .classifier()
+            .predict_proba(&probe_set)
+            .unwrap();
+        drop(first); // the original process is gone; only the snapshot remains
+
+        let metrics = Arc::new(ServerMetrics::default());
+        let second =
+            ModelRegistry::new(1, BatchConfig::default(), Arc::clone(&metrics)).map(|mut r| {
+                r.set_snapshot_dir(dir.clone());
+                r
+            });
+        let second = second.unwrap();
+        assert_eq!(second.warm_restart(), 1);
+        assert_eq!(metrics.snapshot_load_failures_total.get(), 0);
+        let entry = second.get("demo").unwrap();
+        // metadata — version included — survives the restart
+        assert_eq!(entry.info.version, info.version);
+        assert_eq!(entry.info.dataset.as_deref(), Some("BeetleFly"));
+        assert_eq!(entry.info.config, "uvg-fast");
+        // predictions are bit-identical to the pre-restart model
+        let restored = entry.classifier().predict_proba(&probe_set).unwrap();
+        for (a, b) in expected.iter().zip(restored.iter()) {
+            for (va, vb) in a.iter().zip(b.iter()) {
+                assert_eq!(va.to_bits(), vb.to_bits(), "restored model drifted");
+            }
+        }
+        // the version counter resumed past the restored stamp: a client pin
+        // on the restored version can never be silently re-used by a new fit
+        let refit = second
+            .fit("other", catalogue_source(), "uvg-fast", 3)
+            .unwrap();
+        assert!(refit.version > info.version);
+
+        // corrupt the snapshot: the next restart detects it, counts it and
+        // serves nothing rather than garbage
+        let snap = crate::snapshot::snapshot_path(&dir, "demo");
+        let valid = std::fs::read(&snap).unwrap();
+        std::fs::write(&snap, &valid[..valid.len() / 2]).unwrap();
+        let metrics3 = Arc::new(ServerMetrics::default());
+        let third = ModelRegistry::new(1, BatchConfig::default(), Arc::clone(&metrics3))
+            .map(|mut r| {
+                r.set_snapshot_dir(dir.clone());
+                r
+            })
+            .unwrap();
+        // "other"'s snapshot is still valid; only the corrupt one is skipped
+        assert_eq!(third.warm_restart(), 1);
+        assert_eq!(metrics3.snapshot_load_failures_total.get(), 1);
+        assert!(third.get("demo").is_err());
+        assert!(third.get("other").is_ok());
+
+        // removing a model removes its snapshot — no resurrection on restart
+        assert!(third.remove("other"));
+        assert!(!crate::snapshot::snapshot_path(&dir, "other").exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -33,9 +33,10 @@ use crate::json::Json;
 use crate::metrics::ServerMetrics;
 use crate::registry::{ModelRegistry, RegistryError, TrainingSource};
 use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tsg_datasets::archive::ArchiveOptions;
 use tsg_ts::{Dataset, TimeSeries};
 
@@ -50,6 +51,13 @@ pub struct ServeConfig {
     pub batch: BatchConfig,
     /// Default dataset budget for catalogue fits that do not override it.
     pub archive: ArchiveOptions,
+    /// Directory for model snapshots: every successful fit is snapshotted
+    /// there and `warm_restart` reloads them on boot. `None` disables
+    /// persistence.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Wall-clock budget for receiving one request; a peer that started a
+    /// request but stalled past this gets a 408 from the timeout sweep.
+    pub request_budget: Duration,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +67,8 @@ impl Default for ServeConfig {
             n_threads: 0,
             batch: BatchConfig::default(),
             archive: ArchiveOptions::bounded(60, 512, 7),
+            snapshot_dir: None,
+            request_budget: crate::http::MID_REQUEST_BUDGET,
         }
     }
 }
@@ -70,6 +80,7 @@ pub(crate) struct ServerState {
     pub(crate) shutdown: AtomicBool,
     pub(crate) started: Instant,
     pub(crate) archive: ArchiveOptions,
+    pub(crate) request_budget: Duration,
 }
 
 /// A bound (but not yet running) server.
@@ -97,12 +108,18 @@ impl Server {
     pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let metrics = Arc::new(ServerMetrics::default());
+        let mut registry =
+            ModelRegistry::new(config.n_threads, config.batch, Arc::clone(&metrics))?;
+        if let Some(dir) = &config.snapshot_dir {
+            registry.set_snapshot_dir(dir.clone());
+        }
         let state = Arc::new(ServerState {
-            registry: ModelRegistry::new(config.n_threads, config.batch, Arc::clone(&metrics))?,
+            registry,
             metrics,
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             archive: config.archive,
+            request_budget: config.request_budget,
         });
         Ok(Server { listener, state })
     }
@@ -179,9 +196,11 @@ pub(crate) fn route_request(
         ("GET", ["healthz"]) => Routed::Immediate(healthz(state)),
         ("GET", ["metrics"]) => Routed::Immediate(Response::text(
             200,
-            state
-                .metrics
-                .render(state.registry.len(), state.started.elapsed().as_secs_f64()),
+            state.metrics.render(
+                state.registry.len(),
+                state.started.elapsed().as_secs_f64(),
+                tsg_faults::injected_total(),
+            ),
         )),
         ("GET", ["models"]) => Routed::Immediate(list_models(state)),
         ("POST", ["models", name, "fit"]) => fit_model(request, state, name, ctx, ops),

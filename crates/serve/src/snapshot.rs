@@ -1,0 +1,289 @@
+//! Crash-safe on-disk snapshots of fitted models.
+//!
+//! One file per registered model under the server's `--snapshot-dir`,
+//! written atomically (temp file + rename, through the injectable
+//! [`tsg_faults::fsio`] seam) after every successful fit and reloaded by
+//! [`crate::registry::ModelRegistry::warm_restart`] on boot. The format is
+//! self-validating end to end:
+//!
+//! ```text
+//! magic   "TSGSNAP1"                      8 bytes
+//! version u32 = 1                         little-endian
+//! seed    u64                             fit seed (rebuilds the config)
+//! info    ModelInfo fields                length-prefixed strings, f64 bits
+//! payload u32-length-prefixed blob        MvgClassifier::snapshot_bytes
+//! hash    u64 FNV-1a                      over every byte above
+//! ```
+//!
+//! Readers verify magic, version and the content hash before touching the
+//! payload, and the payload itself re-verifies its config fingerprint and
+//! tree structure inside `tsg_core`/`tsg_ml` — a torn, truncated or
+//! bit-flipped snapshot is *detected* and reported, never served. Failure to
+//! read always degrades to a refit; the server can lose a snapshot but can
+//! never serve garbage from one.
+
+use crate::registry::ModelInfo;
+use std::io;
+use std::path::{Path, PathBuf};
+use tsg_faults::{fsio, Site};
+use tsg_ml::snapshot::{put_blob, put_f64, put_str, put_u32, put_u64, put_u8, SnapReader};
+
+/// Format magic; the trailing byte doubles as the major format generation.
+const MAGIC: &[u8; 8] = b"TSGSNAP1";
+
+/// Layout version under the magic; bump on any field change.
+const FORMAT_VERSION: u32 = 1;
+
+/// FNV-1a over `bytes` — the integrity trailer. A deliberately simple,
+/// dependency-free hash: the threat model is torn writes and bit rot, not an
+/// adversary crafting collisions in their own model files.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// The snapshot file for a model name: a sanitised prefix for debuggability
+/// plus an FNV-1a hash of the full name for uniqueness (wire model names are
+/// arbitrary strings; the filesystem never sees them verbatim).
+pub(crate) fn snapshot_path(dir: &Path, name: &str) -> PathBuf {
+    let safe: String = name
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+        .take(40)
+        .collect();
+    dir.join(format!("{safe}-{:016x}.snap", fnv1a(name.as_bytes())))
+}
+
+/// Snapshot files under `dir`, sorted by path for a deterministic restore
+/// order. Missing or unreadable directories read as empty.
+pub(crate) fn list_snapshots(dir: &Path) -> Vec<PathBuf> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().map(|e| e == "snap").unwrap_or(false))
+        .collect();
+    paths.sort();
+    paths
+}
+
+/// Atomically writes one model snapshot, returning its path. Every file
+/// touch goes through the injectable seam (`Snap*` fault sites), so chaos
+/// runs can tear, truncate or fail any step of the install.
+pub(crate) fn write_snapshot(
+    dir: &Path,
+    info: &ModelInfo,
+    seed: u64,
+    payload: &[u8],
+) -> io::Result<PathBuf> {
+    fsio::create_dir_all(dir)?;
+    let mut bytes = Vec::with_capacity(payload.len() + 256);
+    bytes.extend_from_slice(MAGIC);
+    put_u32(&mut bytes, FORMAT_VERSION);
+    put_u64(&mut bytes, seed);
+    put_str(&mut bytes, &info.name);
+    put_u64(&mut bytes, info.version);
+    match &info.dataset {
+        Some(d) => {
+            put_u8(&mut bytes, 1);
+            put_str(&mut bytes, d);
+        }
+        None => put_u8(&mut bytes, 0),
+    }
+    put_str(&mut bytes, &info.config);
+    put_u64(&mut bytes, info.n_train as u64);
+    put_u64(&mut bytes, info.n_classes as u64);
+    put_u64(&mut bytes, info.n_features as u64);
+    put_f64(&mut bytes, info.fit_seconds);
+    put_str(&mut bytes, &info.provenance);
+    put_blob(&mut bytes, payload);
+    let hash = fnv1a(&bytes);
+    put_u64(&mut bytes, hash);
+
+    let path = snapshot_path(dir, &info.name);
+    static TMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let tmp = path.with_extension(format!(
+        "tmp.{}.{}",
+        std::process::id(),
+        TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let result = (|| {
+        let mut file = fsio::create(&tmp, Site::SnapOpen)?;
+        fsio::write_all(&mut file, &bytes, Site::SnapWrite)?;
+        fsio::sync_all(&file, Site::SnapSync)?;
+        drop(file);
+        fsio::rename(&tmp, &path, Site::SnapRename)
+    })();
+    if result.is_err() {
+        // a failed install must not leave temp litter behind
+        let _ = fsio::remove_file(&tmp);
+    }
+    result.map(|()| path)
+}
+
+fn corrupt(detail: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("snapshot: {detail}"))
+}
+
+/// Reads and fully validates one snapshot file: magic, format version and
+/// content hash first, then the structured fields. Returns the stored
+/// metadata, the fit seed and the opaque classifier payload (still to be
+/// fingerprint-checked by `MvgClassifier::from_snapshot`).
+pub(crate) fn read_snapshot(path: &Path) -> io::Result<(ModelInfo, u64, Vec<u8>)> {
+    let bytes = fsio::read(path, Site::SnapOpen)?;
+    let body_len = bytes
+        .len()
+        .checked_sub(MAGIC.len() + 8)
+        .ok_or_else(|| corrupt("file shorter than header + trailer"))?;
+    let (body, trailer) = bytes.split_at(body_len + MAGIC.len());
+    let mut r = SnapReader::new(body);
+    let mut magic = [0u8; 8];
+    for slot in &mut magic {
+        *slot = r.u8().ok_or_else(|| corrupt("truncated magic"))?;
+    }
+    if &magic != MAGIC {
+        return Err(corrupt("bad magic (not a snapshot or wrong generation)"));
+    }
+    let mut stored_hash = [0u8; 8];
+    stored_hash.copy_from_slice(trailer);
+    if u64::from_le_bytes(stored_hash) != fnv1a(body) {
+        return Err(corrupt("content hash mismatch (torn or corrupt file)"));
+    }
+    let version = r.u32().ok_or_else(|| corrupt("truncated version"))?;
+    if version != FORMAT_VERSION {
+        return Err(corrupt("unsupported format version"));
+    }
+    let truncated = || corrupt("truncated field");
+    let seed = r.u64().ok_or_else(truncated)?;
+    let name = r.str().ok_or_else(truncated)?;
+    let model_version = r.u64().ok_or_else(truncated)?;
+    let dataset = match r.u8().ok_or_else(truncated)? {
+        0 => None,
+        1 => Some(r.str().ok_or_else(truncated)?),
+        _ => return Err(corrupt("bad dataset flag")),
+    };
+    let config = r.str().ok_or_else(truncated)?;
+    let n_train = r.u64().ok_or_else(truncated)? as usize;
+    let n_classes = r.u64().ok_or_else(truncated)? as usize;
+    let n_features = r.u64().ok_or_else(truncated)? as usize;
+    let fit_seconds = r.f64().ok_or_else(truncated)?;
+    let provenance = r.str().ok_or_else(truncated)?;
+    let payload = r.blob().ok_or_else(truncated)?.to_vec();
+    if !r.is_empty() {
+        return Err(corrupt("trailing bytes"));
+    }
+    let info = ModelInfo {
+        name,
+        version: model_version,
+        dataset,
+        config,
+        n_train,
+        n_classes,
+        n_features,
+        fit_seconds,
+        provenance,
+    };
+    Ok((info, seed, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_info() -> ModelInfo {
+        ModelInfo {
+            name: "demo/model name!".into(),
+            version: 42,
+            dataset: Some("BeetleFly".into()),
+            config: "uvg-fast".into(),
+            n_train: 16,
+            n_classes: 2,
+            n_features: 27,
+            fit_seconds: 0.125,
+            provenance: "cached".into(),
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tsg-snap-test-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field_and_payload() {
+        let dir = temp_dir("roundtrip");
+        let info = sample_info();
+        let payload = vec![1u8, 2, 3, 250, 0, 7];
+        let path = write_snapshot(&dir, &info, 9, &payload).unwrap();
+        let (back, seed, body) = read_snapshot(&path).unwrap();
+        assert_eq!(back.name, info.name);
+        assert_eq!(back.version, 42);
+        assert_eq!(back.dataset.as_deref(), Some("BeetleFly"));
+        assert_eq!(back.config, "uvg-fast");
+        assert_eq!(back.n_train, 16);
+        assert_eq!(back.n_classes, 2);
+        assert_eq!(back.n_features, 27);
+        assert_eq!(back.fit_seconds.to_bits(), 0.125f64.to_bits());
+        assert_eq!(back.provenance, "cached");
+        assert_eq!(seed, 9);
+        assert_eq!(body, payload);
+        assert_eq!(list_snapshots(&dir), vec![path.clone()]);
+        // an inline fit (no dataset) roundtrips too
+        let mut inline = sample_info();
+        inline.name = "other".into();
+        inline.dataset = None;
+        let p2 = write_snapshot(&dir, &inline, 1, &[]).unwrap();
+        assert_eq!(read_snapshot(&p2).unwrap().0.dataset, None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_truncation_and_any_bitflip_is_detected() {
+        let dir = temp_dir("corrupt");
+        let info = sample_info();
+        let path = write_snapshot(&dir, &info, 9, &[9u8; 64]).unwrap();
+        let valid = std::fs::read(&path).unwrap();
+        for cut in 0..valid.len() {
+            std::fs::write(&path, &valid[..cut]).unwrap();
+            assert!(read_snapshot(&path).is_err(), "cut at {cut} accepted");
+        }
+        // flip one bit at a spread of positions — the hash must catch all
+        for pos in (0..valid.len()).step_by(7) {
+            let mut bad = valid.clone();
+            bad[pos] ^= 0x20;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(read_snapshot(&path).is_err(), "flip at {pos} accepted");
+        }
+        std::fs::write(&path, &valid).unwrap();
+        assert!(read_snapshot(&path).is_ok(), "pristine file must read back");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hostile_names_map_to_safe_distinct_paths() {
+        let dir = PathBuf::from("/snapdir");
+        let a = snapshot_path(&dir, "../../etc/passwd");
+        let b = snapshot_path(&dir, "..\\..\\etc\\passwd");
+        let c = snapshot_path(&dir, "model v1 (prod)");
+        for p in [&a, &b, &c] {
+            assert_eq!(p.parent(), Some(dir.as_path()), "{p:?} escaped the dir");
+        }
+        assert_ne!(a, b, "distinct names must not collide");
+        // same name → same path (refits overwrite in place)
+        assert_eq!(snapshot_path(&dir, "m"), snapshot_path(&dir, "m"));
+    }
+
+    #[test]
+    fn missing_directory_lists_empty_and_read_errors_cleanly() {
+        let ghost = PathBuf::from("/nonexistent-tsg-snapshot-dir");
+        assert!(list_snapshots(&ghost).is_empty());
+        assert!(read_snapshot(&ghost.join("x.snap")).is_err());
+    }
+}

@@ -63,6 +63,7 @@ fn start_server() -> (String, std::thread::JoinHandle<()>) {
             queue_depth: 128,
         },
         archive: archive_options(),
+        ..ServeConfig::default()
     };
     let server = Server::bind(config).expect("bind ephemeral port");
     let addr = server.local_addr().unwrap().to_string();
