@@ -81,6 +81,7 @@ pub const REQUEST_PATH_FILES: &[(&str, &str)] = &[
     ("tsg_serve", "src/event_loop.rs"),
     ("tsg_serve", "src/snapshot.rs"),
     ("tsg_faults", "src/lib.rs"),
+    ("tsg_trace", "src/lib.rs"),
 ];
 
 /// Files whose file I/O must flow through the [`tsg_faults::fsio`] seam so
@@ -108,6 +109,16 @@ pub const ENV_ENTRY_POINTS: &[(&str, &str)] = &[
     ("tsg_datasets", "src/source.rs"),
     ("tsg_datasets", "src/cache.rs"),
     ("tsg_faults", "src/lib.rs"),
+    ("tsg_trace", "src/log.rs"),
+];
+
+/// Files outside the serving/tracing layer with a documented, reviewed need
+/// to read the wall clock: the eval crate's explicit timing harness and the
+/// benchmark binary's wall-clock report. Everything else must stay
+/// clock-free and surface timings through the `tsg_core::TraceSink` seam.
+pub const CLOCK_EXEMPT_FILES: &[(&str, &str)] = &[
+    ("tsg_eval", "src/timing.rs"),
+    ("tsg_bench", "src/bin/fig6_fig7_classifiers.rs"),
 ];
 
 /// Id of the meta-rule that reports malformed/unknown suppressions.
@@ -144,7 +155,7 @@ pub const RULES: &[Rule] = &[
         summary: "no unwrap/expect/panic!/unreachable!/unchecked indexing in the request path",
         protects: "a malformed request never kills a connection thread (PR 4 serving \
                    layer); a corrupt snapshot or injected fault degrades, never aborts (PR 8)",
-        crates: CrateScope::Only(&["tsg_serve", "tsg_faults"]),
+        crates: CrateScope::Only(&["tsg_serve", "tsg_faults", "tsg_trace"]),
         files: FileScope::Only(REQUEST_PATH_FILES),
         include_tests: false,
     },
@@ -172,6 +183,16 @@ pub const RULES: &[Rule] = &[
                    (PR 8 chaos harness) — a bypassed seam is an untestable failure mode",
         crates: CrateScope::Only(&["tsg_datasets", "tsg_serve"]),
         files: FileScope::Only(FAULT_SEAM_FILES),
+        include_tests: false,
+    },
+    Rule {
+        id: "clock-discipline",
+        summary: "no Instant/SystemTime outside tsg_serve/tsg_trace (plus documented harnesses)",
+        protects: "tracing observes, never perturbs (PR 9 observability): every clock read \
+                   lives in the serving/tracing layer; deterministic crates surface timings \
+                   through the clock-free TraceSink seam",
+        crates: CrateScope::Except(&["tsg_serve", "tsg_trace"]),
+        files: FileScope::Except(CLOCK_EXEMPT_FILES),
         include_tests: false,
     },
     Rule {
@@ -340,6 +361,14 @@ pub fn check(rule: &Rule, toks: &[&Tok], safety_lines: &[u32]) -> Vec<RawFinding
                 }
             }
         }
+        "clock-discipline" => {
+            flag_idents(toks, &["Instant", "SystemTime"], &mut out, |name| {
+                format!(
+                    "`{name}` reads a clock outside the serving/tracing layer — clocks live \
+                     in tsg_trace/tsg_serve; expose timings through the TraceSink seam"
+                )
+            });
+        }
         "env-discipline" => {
             const VAR_FAMILY: &[&str] =
                 &["var", "var_os", "vars", "vars_os", "set_var", "remove_var"];
@@ -468,6 +497,7 @@ mod tests {
         assert!(panic.applies_to("tsg_serve", "src/event_loop.rs"));
         assert!(panic.applies_to("tsg_serve", "src/snapshot.rs"));
         assert!(panic.applies_to("tsg_faults", "src/lib.rs"));
+        assert!(panic.applies_to("tsg_trace", "src/lib.rs"));
         assert!(!panic.applies_to("tsg_serve", "src/metrics.rs"));
         assert!(!panic.applies_to("tsg_core", "src/http.rs"));
 
@@ -479,8 +509,17 @@ mod tests {
 
         let env = rule_by_id("env-discipline").unwrap();
         assert!(!env.applies_to("tsg_parallel", "src/lib.rs"));
+        assert!(!env.applies_to("tsg_trace", "src/log.rs"));
         assert!(env.applies_to("tsg_parallel", "src/other.rs"));
         assert!(env.applies_to("tsg_core", "src/lib.rs"));
+
+        let clocks = rule_by_id("clock-discipline").unwrap();
+        assert!(clocks.applies_to("tsg_core", "src/extractor.rs"));
+        assert!(clocks.applies_to("tsg_graph", "src/lib.rs"));
+        assert!(!clocks.applies_to("tsg_serve", "src/event_loop.rs"));
+        assert!(!clocks.applies_to("tsg_trace", "src/lib.rs"));
+        assert!(!clocks.applies_to("tsg_eval", "src/timing.rs"));
+        assert!(!clocks.applies_to("tsg_bench", "src/bin/fig6_fig7_classifiers.rs"));
 
         let threads = rule_by_id("thread-discipline").unwrap();
         assert!(!threads.applies_to("tsg_serve", "src/server.rs"));

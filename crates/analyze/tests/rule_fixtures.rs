@@ -273,6 +273,70 @@ fn env_discipline_exempts_documented_entry_points() {
     assert!(args.findings.is_empty(), "{:?}", args.findings);
 }
 
+// ---------------------------------------------------------------- clock-discipline
+
+#[test]
+fn clock_discipline_flags_clock_types_outside_the_serving_layer() {
+    let src = "use std::time::Instant;\nfn f() { let _ = Instant::now(); }\n";
+    let report = analyze("tsg_graph", "src/lib.rs", src);
+    assert!(finding_rules(&report).contains(&"clock-discipline"));
+    let sys = analyze(
+        "tsg_core",
+        "src/extractor.rs",
+        "fn f() { let _ = std::time::SystemTime::now(); }\n",
+    );
+    assert!(finding_rules(&sys).contains(&"clock-discipline"));
+}
+
+#[test]
+fn clock_discipline_exempts_owning_crates_and_documented_harnesses() {
+    let src = "use std::time::Instant;\nfn f() { let _ = Instant::now(); }\n";
+    // the serving/tracing layer owns the clocks
+    for (krate, path) in [
+        ("tsg_serve", "src/event_loop.rs"),
+        ("tsg_trace", "src/lib.rs"),
+        // documented measurement harnesses are carved out file-by-file
+        ("tsg_eval", "src/timing.rs"),
+        ("tsg_bench", "src/bin/fig6_fig7_classifiers.rs"),
+    ] {
+        let report = analyze(krate, path, src);
+        assert!(
+            !finding_rules(&report).contains(&"clock-discipline"),
+            "false positive in {krate}/{path}: {:?}",
+            report.findings
+        );
+    }
+    // test code measuring its own elapsed time is fine
+    let in_tests = analyze(
+        "tsg_graph",
+        "tests/perf.rs",
+        "fn f() { let _ = std::time::Instant::now(); }\n",
+    );
+    assert!(
+        !finding_rules(&in_tests).contains(&"clock-discipline"),
+        "{:?}",
+        in_tests.findings
+    );
+    // Duration is pure data, not a clock read
+    let duration = analyze(
+        "tsg_graph",
+        "src/lib.rs",
+        "use std::time::Duration;\nconst T: Duration = Duration::from_millis(2);\n",
+    );
+    assert!(duration.findings.is_empty(), "{:?}", duration.findings);
+}
+
+#[test]
+fn clock_discipline_overlaps_det_time_in_deterministic_crates() {
+    // inside a det-* crate both rules fire: det-time states the determinism
+    // contract, clock-discipline states the tracing-layer ownership contract
+    let src = "fn f() { let _ = std::time::Instant::now(); }\n";
+    let report = analyze("tsg_ml", "src/forest.rs", src);
+    let rules = finding_rules(&report);
+    assert!(rules.contains(&"det-time"), "{rules:?}");
+    assert!(rules.contains(&"clock-discipline"), "{rules:?}");
+}
+
 // ---------------------------------------------------------------- suppressions
 
 #[test]

@@ -10,10 +10,12 @@
 //! classifiers.
 
 use crate::graph_features::{
-    block_len, graph_feature_block, graph_feature_block_with, graph_feature_names,
+    block_len, graph_feature_block, graph_feature_block_traced, graph_feature_block_with,
+    graph_feature_names,
 };
 use crate::parallel::parallel_map;
 use crate::representation::{ScaleMode, SeriesGraphs};
+use crate::trace::{NoopTraceSink, TraceSink};
 use serde::{Deserialize, Serialize};
 use tsg_graph::motifs::MotifWorkspace;
 use tsg_graph::visibility::VisibilityKind;
@@ -171,7 +173,9 @@ impl FeatureConfig {
 /// reusing the calling thread's motif workspace (the thread-local inside
 /// [`tsg_graph::motifs::count_motifs`]).
 pub fn extract_series_features(series: &TimeSeries, config: &FeatureConfig) -> Vec<f64> {
-    extract_features_impl(series, config, graph_feature_block)
+    extract_features_impl(series, config, &mut NoopTraceSink, |graph, include, _| {
+        graph_feature_block(graph, include)
+    })
 }
 
 /// [`extract_series_features`] with a caller-held motif workspace (the
@@ -182,15 +186,32 @@ pub fn extract_series_features_with(
     config: &FeatureConfig,
     workspace: &mut MotifWorkspace,
 ) -> Vec<f64> {
-    extract_features_impl(series, config, |graph, include| {
+    extract_features_impl(series, config, &mut NoopTraceSink, |graph, include, _| {
         graph_feature_block_with(graph, include, workspace)
     })
 }
 
-fn extract_features_impl(
+/// [`extract_series_features_with`] with a [`TraceSink`] observing the
+/// `Scale`/`GraphBuild`/`MotifCount` sub-stages — the seam the serving
+/// layer uses for per-request latency attribution. The sink only receives
+/// callbacks (this crate stays clock-free); the returned features are
+/// bit-identical to the untraced entry points.
+pub fn extract_series_features_traced<S: TraceSink>(
     series: &TimeSeries,
     config: &FeatureConfig,
-    mut feature_block: impl FnMut(&Graph, bool) -> Vec<f64>,
+    workspace: &mut MotifWorkspace,
+    sink: &mut S,
+) -> Vec<f64> {
+    extract_features_impl(series, config, sink, |graph, include, sink| {
+        graph_feature_block_traced(graph, include, workspace, sink)
+    })
+}
+
+fn extract_features_impl<S: TraceSink>(
+    series: &TimeSeries,
+    config: &FeatureConfig,
+    sink: &mut S,
+    mut feature_block: impl FnMut(&Graph, bool, &mut S) -> Vec<f64>,
 ) -> Vec<f64> {
     let prepared;
     let series = if config.detrend {
@@ -199,10 +220,16 @@ fn extract_features_impl(
     } else {
         series
     };
-    let graphs = SeriesGraphs::build(series, &config.kinds, config.scale_mode, config.multiscale);
+    let graphs = SeriesGraphs::build_with_sink(
+        series,
+        &config.kinds,
+        config.scale_mode,
+        config.multiscale,
+        sink,
+    );
     let mut features = Vec::with_capacity(graphs.len() * block_len(config.include_other_stats));
     for sg in &graphs.graphs {
-        features.extend(feature_block(&sg.graph, config.include_other_stats));
+        features.extend(feature_block(&sg.graph, config.include_other_stats, sink));
     }
     features
 }

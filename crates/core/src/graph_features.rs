@@ -7,6 +7,7 @@
 //! Table 2.
 
 use crate::motif_groups::{motif_feature_names, motif_probability_distribution};
+use crate::trace::{ExtractStage, NoopTraceSink, TraceSink};
 use tsg_graph::motifs::{count_motifs, count_motifs_with, MotifWorkspace};
 use tsg_graph::stats::GraphStatistics;
 use tsg_graph::Graph;
@@ -31,11 +32,21 @@ pub fn graph_feature_block_with(
     include_other_stats: bool,
     workspace: &mut MotifWorkspace,
 ) -> Vec<f64> {
-    features_from_counts(
-        count_motifs_with(graph, workspace),
-        graph,
-        include_other_stats,
-    )
+    graph_feature_block_traced(graph, include_other_stats, workspace, &mut NoopTraceSink)
+}
+
+/// [`graph_feature_block_with`] with a [`TraceSink`] observing the motif
+/// census (the hottest kernel). Callbacks only — results are identical.
+pub fn graph_feature_block_traced(
+    graph: &Graph,
+    include_other_stats: bool,
+    workspace: &mut MotifWorkspace,
+    sink: &mut impl TraceSink,
+) -> Vec<f64> {
+    sink.enter(ExtractStage::MotifCount);
+    let counts = count_motifs_with(graph, workspace);
+    sink.exit(ExtractStage::MotifCount);
+    features_from_counts(counts, graph, include_other_stats)
 }
 
 fn features_from_counts(

@@ -26,16 +26,18 @@ pub mod importance;
 pub mod motif_groups;
 pub mod parallel;
 pub mod representation;
+pub mod trace;
 
 pub use classifier::{ClassifierChoice, MvgClassifier, MvgConfig};
 pub use extractor::{
     extract_dataset_features, extract_features_streaming, extract_series_features,
-    extract_series_features_with, FeatureConfig, StreamedFeatures,
+    extract_series_features_traced, extract_series_features_with, FeatureConfig, StreamedFeatures,
 };
 pub use graph_features::{graph_feature_block, graph_feature_names};
 pub use importance::{rank_features, FeatureImportance};
 pub use motif_groups::{motif_probability_distribution, MotifGroup, MOTIF_GROUPS};
 pub use representation::{ScaleMode, SeriesGraphs};
+pub use trace::{ExtractStage, NoopTraceSink, TraceSink};
 
 /// Crate-wide error type (re-used from the ML substrate, whose stages
 /// dominate the fallible surface).

@@ -5,6 +5,7 @@
 //! graphs for one series together with the scale index and graph kind of each
 //! member, which is what the feature extractor iterates over.
 
+use crate::trace::{ExtractStage, NoopTraceSink, TraceSink};
 use serde::{Deserialize, Serialize};
 use tsg_graph::visibility::VisibilityKind;
 use tsg_graph::Graph;
@@ -64,14 +65,29 @@ impl SeriesGraphs {
         mode: ScaleMode,
         options: MultiscaleOptions,
     ) -> Self {
+        Self::build_with_sink(series, kinds, mode, options, &mut NoopTraceSink)
+    }
+
+    /// [`SeriesGraphs::build`] with a [`TraceSink`] observing the `Scale`
+    /// and `GraphBuild` stages. The sink callbacks are the only
+    /// difference — the built graphs are bit-identical.
+    pub fn build_with_sink(
+        series: &TimeSeries,
+        kinds: &[VisibilityKind],
+        mode: ScaleMode,
+        options: MultiscaleOptions,
+        sink: &mut impl TraceSink,
+    ) -> Self {
         let mut scales: Vec<(usize, Vec<f64>)> = Vec::new();
         match mode {
             ScaleMode::Uniscale => {
                 scales.push((0, series.values().to_vec()));
             }
             ScaleMode::ApproximatedMultiscale | ScaleMode::FullMultiscale => {
+                sink.enter(ExtractStage::Scale);
                 let rep = MultiscaleRepresentation::build(series, options)
                     .expect("multiscale construction cannot fail on non-empty series");
+                sink.exit(ExtractStage::Scale);
                 if mode == ScaleMode::FullMultiscale {
                     scales.push((0, rep.original.values().to_vec()));
                 }
@@ -88,10 +104,13 @@ impl SeriesGraphs {
         let mut graphs = Vec::with_capacity(scales.len() * kinds.len());
         for (scale, values) in &scales {
             for &kind in kinds {
+                sink.enter(ExtractStage::GraphBuild);
+                let graph = kind.build(values);
+                sink.exit(ExtractStage::GraphBuild);
                 graphs.push(ScaleGraph {
                     scale: *scale,
                     kind,
-                    graph: kind.build(values),
+                    graph,
                 });
             }
         }

@@ -39,9 +39,13 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
-use tsg_core::{extract_series_features_with, MvgClassifier};
+use tsg_core::{
+    extract_series_features_traced, extract_series_features_with, ExtractStage, MvgClassifier,
+    TraceSink,
+};
 use tsg_graph::motifs::MotifWorkspace;
 use tsg_parallel::ThreadPool;
+use tsg_trace::{Stage, StageSet, TraceHandle};
 use tsg_ts::TimeSeries;
 
 /// Tuning knobs of the micro-batch scheduler.
@@ -117,7 +121,48 @@ struct Job {
     model: Arc<MvgClassifier>,
     series: Vec<TimeSeries>,
     want_proba: bool,
+    /// The request's trace, when the caller is tracing; spans recorded here
+    /// from the dispatcher cover queue wait, coalescing, extraction
+    /// sub-stages and the model pass.
+    trace: Option<TraceHandle>,
+    /// When [`SharedBatcher::submit`] enqueued the job — the start of its
+    /// queue-wait span.
+    submitted: Instant,
     on_done: OnDone,
+}
+
+/// Maps an extraction sub-stage to its request-level span.
+fn request_stage(stage: ExtractStage) -> Stage {
+    match stage {
+        ExtractStage::Scale => Stage::Scale,
+        ExtractStage::GraphBuild => Stage::GraphBuild,
+        ExtractStage::MotifCount => Stage::MotifCount,
+    }
+}
+
+/// The serve-side [`TraceSink`]: a stack-local timer accumulating extraction
+/// sub-stage durations into a [`StageSet`], flushed to the request's trace
+/// once per series. The hot path touches no shared state — one `Instant`
+/// read per bracket, one atomic add per *stage* at flush time.
+#[derive(Default)]
+struct StageTimer {
+    stages: StageSet,
+    current: Option<(ExtractStage, Instant)>,
+}
+
+impl TraceSink for StageTimer {
+    fn enter(&mut self, stage: ExtractStage) {
+        self.current = Some((stage, Instant::now()));
+    }
+
+    fn exit(&mut self, stage: ExtractStage) {
+        if let Some((entered, started)) = self.current.take() {
+            if entered == stage {
+                self.stages
+                    .add(request_stage(stage), started.elapsed().as_micros() as u64);
+            }
+        }
+    }
 }
 
 /// Rendezvous for the blocking [`SharedBatcher::classify`] wrapper.
@@ -249,6 +294,20 @@ impl SharedBatcher {
         want_proba: bool,
         on_done: OnDone,
     ) -> Result<(), ClassifyError> {
+        self.submit_traced(model, series, want_proba, None, on_done)
+    }
+
+    /// [`SharedBatcher::submit`] with the request's trace attached: the
+    /// dispatcher records queue-wait, batch-coalesce, extraction sub-stage
+    /// and predict spans onto it as the job moves through the batch.
+    pub fn submit_traced(
+        &self,
+        model: Arc<MvgClassifier>,
+        series: Vec<TimeSeries>,
+        want_proba: bool,
+        trace: Option<TraceHandle>,
+        on_done: OnDone,
+    ) -> Result<(), ClassifyError> {
         if series.is_empty() {
             on_done(Ok(ClassifyOutput {
                 predictions: Vec::new(),
@@ -279,6 +338,8 @@ impl SharedBatcher {
                 model,
                 series,
                 want_proba,
+                trace,
+                submitted: Instant::now(),
                 on_done,
             });
         }
@@ -333,11 +394,10 @@ impl Drop for SharedBatcher {
 
 fn dispatch_loop(shared: &Shared) {
     loop {
-        let batch = collect_batch(shared);
-        let Some(batch) = batch else {
+        let Some((batch, seen)) = collect_batch(shared) else {
             return; // shutdown with an empty queue
         };
-        run_batch(shared, batch);
+        run_batch(shared, batch, seen);
     }
 }
 
@@ -346,8 +406,10 @@ fn dispatch_loop(shared: &Shared) {
 /// `max_wait` — then takes the *front* job's model and pulls every queued
 /// job for that model (up to `max_batch` series) into one batch, leaving
 /// other models' jobs queued in arrival order for the next round. Returns
-/// `None` on shutdown.
-fn collect_batch(shared: &Shared) -> Option<Vec<Job>> {
+/// the batch plus the instant the dispatcher first *saw* work this round —
+/// the boundary between a job's queue-wait and batch-coalesce spans.
+/// Returns `None` on shutdown.
+fn collect_batch(shared: &Shared) -> Option<(Vec<Job>, Instant)> {
     let mut queue = lock_recover(&shared.queue);
     loop {
         if queue.shutdown {
@@ -361,7 +423,8 @@ fn collect_batch(shared: &Shared) -> Option<Vec<Job>> {
             .wait(queue)
             .unwrap_or_else(|poison| poison.into_inner());
     }
-    let deadline = Instant::now() + shared.config.max_wait;
+    let seen = Instant::now();
+    let deadline = seen + shared.config.max_wait;
     loop {
         if queue.shutdown {
             return None;
@@ -405,7 +468,7 @@ fn collect_batch(shared: &Shared) -> Option<Vec<Job>> {
         // dispatcher comes straight back instead of parking on the condvar
         shared.wake.notify_one();
     }
-    Some(batch)
+    Some((batch, seen))
 }
 
 /// Extracts features for every series of the batch on the pool and runs the
@@ -415,11 +478,29 @@ fn collect_batch(shared: &Shared) -> Option<Vec<Job>> {
 /// slicing) is caught and every job's completion is invoked with an error,
 /// so no submitter is ever left waiting forever and the dispatcher thread
 /// survives to serve the next batch.
-fn run_batch(shared: &Shared, batch: Vec<Job>) {
+fn run_batch(shared: &Shared, batch: Vec<Job>, seen: Instant) {
     let batch_size: usize = batch.iter().map(|j| j.series.len()).sum();
     shared.metrics.classify_batches_total.inc();
     shared.metrics.classify_series_total.add(batch_size as u64);
     shared.metrics.batch_size.observe(batch_size as f64);
+
+    // split each job's time-in-queue into two disjoint spans: queue-wait
+    // (submit → dispatcher saw work, or 0 for jobs that arrived during the
+    // coalescing window) and batch-coalesce (the rest, up to dispatch)
+    let dispatched = Instant::now();
+    for job in &batch {
+        if let Some(trace) = &job.trace {
+            let seen_for_job = seen.max(job.submitted);
+            trace.record(
+                Stage::QueueWait,
+                seen_for_job.saturating_duration_since(job.submitted),
+            );
+            trace.record(
+                Stage::BatchCoalesce,
+                dispatched.saturating_duration_since(seen_for_job),
+            );
+        }
+    }
 
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         compute_batch(shared, &batch, batch_size)
@@ -457,15 +538,25 @@ fn compute_batch(
         return Ok(Vec::new());
     };
     let model = &front.model;
-    let all_series: Vec<&TimeSeries> = batch.iter().flat_map(|j| j.series.iter()).collect();
+    let items: Vec<(&TimeSeries, Option<&TraceHandle>)> = batch
+        .iter()
+        .flat_map(|j| j.series.iter().map(move |s| (s, j.trace.as_ref())))
+        .collect();
     let features = model.config().features.clone();
-    let rows: Vec<Vec<f64>> = shared.pool.map(&all_series, |series| {
-        shared
-            .workspaces
-            .with(|ws| extract_series_features_with(series, &features, ws))
+    let rows: Vec<Vec<f64>> = shared.pool.map(&items, |&(series, trace)| {
+        shared.workspaces.with(|ws| match trace {
+            Some(trace) => {
+                let mut sink = StageTimer::default();
+                let row = extract_series_features_traced(series, &features, ws, &mut sink);
+                sink.stages.flush(trace);
+                row
+            }
+            None => extract_series_features_with(series, &features, ws),
+        })
     });
 
     let want_any_proba = batch.iter().any(|j| j.want_proba);
+    let predict_started = Instant::now();
     let (predictions, probabilities) = if want_any_proba {
         let (p, proba) = model
             .predict_with_proba_from_feature_rows(rows)
@@ -477,6 +568,14 @@ fn compute_batch(
             .map_err(|e| ClassifyError::Model(e.to_string()))?;
         (p, None)
     };
+    // one model pass serves the whole batch; every traced request in it
+    // waited on that same pass, so each gets the full predict duration
+    let predict_elapsed = predict_started.elapsed();
+    for job in batch {
+        if let Some(trace) = &job.trace {
+            trace.record(Stage::Predict, predict_elapsed);
+        }
+    }
     if predictions.len() != batch_size {
         return Err(ClassifyError::Model(format!(
             "model returned {} predictions for {batch_size} series",
@@ -776,6 +875,34 @@ mod tests {
         let out = b.classify(Arc::clone(&model), series, false).unwrap();
         assert_eq!(out.predictions, direct);
         assert_eq!(out.batch_size, 7);
+    }
+
+    #[test]
+    fn traced_submission_populates_batch_stage_spans() {
+        let model = tiny_model(1);
+        let b = batcher(BatchConfig::default());
+        let trace = tsg_trace::ActiveTrace::begin("/models/tiny/classify", 0);
+        let (tx, rx) = std::sync::mpsc::channel();
+        b.submit_traced(
+            Arc::clone(&model),
+            test_series(32),
+            true,
+            Some(Arc::clone(&trace)),
+            Box::new(move |result| tx.send(result).unwrap()),
+        )
+        .unwrap();
+        rx.recv_timeout(Duration::from_secs(10))
+            .expect("callback fired")
+            .unwrap();
+        let finished = trace.finish(0);
+        let micros = |s: Stage| finished.stage(s);
+        // the model pass and the graph-build/motif-count kernels over 32
+        // series always take a measurable amount of time; scale stays zero
+        // for the uniscale config
+        assert!(micros(Stage::Predict) > 0, "{finished:?}");
+        assert!(micros(Stage::GraphBuild) > 0, "{finished:?}");
+        assert!(micros(Stage::MotifCount) > 0, "{finished:?}");
+        assert_eq!(micros(Stage::Scale), 0, "uniscale never scales");
     }
 
     #[test]

@@ -34,6 +34,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 use tsg_serve::http;
 use tsg_serve::json::Json;
+use tsg_trace::Stage;
 
 struct Args {
     addr: String,
@@ -49,6 +50,7 @@ struct Args {
     max_length: usize,
     retries: usize,
     chaos: bool,
+    json_out: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -66,6 +68,7 @@ fn parse_args() -> Result<Args, String> {
         max_length: 128,
         retries: 3,
         chaos: false,
+        json_out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -106,6 +109,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--retries expects a number (0 disables)".to_string())?
             }
             "--chaos" => args.chaos = true,
+            "--json-out" => args.json_out = Some(std::path::PathBuf::from(value(&mut i)?)),
             "--help" | "-h" => {
                 println!(
                     "serve_loadgen: load generator for tsg-serve\n\n\
@@ -122,7 +126,8 @@ fn parse_args() -> Result<Args, String> {
                      --max-length N          training series length budget for --fit (default 128)\n  \
                      --seed N                series + fit seed (default 7)\n  \
                      --retries N             retries per request on 429/reset/timeout (default 3)\n  \
-                     --chaos                 seeded client-side chaos: mid-request aborts + stalls"
+                     --chaos                 seeded client-side chaos: mid-request aborts + stalls\n  \
+                     --json-out PATH         write a machine-readable benchmark artifact"
                 );
                 std::process::exit(0);
             }
@@ -205,6 +210,40 @@ fn percentile(sorted: &[u64], p: f64) -> f64 {
     }
     let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
     sorted[rank] as f64 / 1000.0
+}
+
+/// The value of the first metrics line starting with `line_prefix` (use a
+/// trailing space or `{…}` label block to make the prefix exact).
+fn scraped_value(text: &str, line_prefix: &str) -> Option<f64> {
+    text.lines()
+        .find(|l| l.starts_with(line_prefix))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+/// The per-stage latency breakdown from the server's
+/// `tsg_serve_stage_seconds` histograms: `{stage: {count, total_seconds,
+/// mean_ms}}` for every stage the server observed.
+fn stage_breakdown_json(metrics: &str) -> Json {
+    let mut stages = Vec::new();
+    for stage in Stage::ALL {
+        let label = format!("{{stage=\"{}\"}} ", stage.as_str());
+        let count =
+            scraped_value(metrics, &format!("tsg_serve_stage_seconds_count{label}")).unwrap_or(0.0);
+        let total =
+            scraped_value(metrics, &format!("tsg_serve_stage_seconds_sum{label}")).unwrap_or(0.0);
+        if count > 0.0 {
+            stages.push((
+                stage.as_str(),
+                Json::obj(vec![
+                    ("count", Json::Num(count)),
+                    ("total_seconds", Json::Num(total)),
+                    ("mean_ms", Json::Num(1000.0 * total / count)),
+                ]),
+            ));
+        }
+    }
+    Json::obj(stages)
 }
 
 fn connect(addr: &str) -> std::io::Result<(TcpStream, BufReader<TcpStream>)> {
@@ -475,29 +514,107 @@ fn main() {
         );
     }
 
-    // scrape the realized batch-size distribution from the server
-    if let Ok((mut stream, mut reader)) = connect(&args.addr) {
-        if http::send_request(&mut stream, "GET", "/metrics", None).is_ok() {
-            if let Ok((200, body)) = http::read_response(&mut reader) {
-                let text = String::from_utf8_lossy(&body);
-                println!("server batch-size distribution (from /metrics):");
-                for line in text
-                    .lines()
-                    .filter(|l| l.starts_with("tsg_serve_batch_size"))
-                {
-                    println!("  {line}");
+    // scrape the realized batch-size distribution (and, for the JSON
+    // artifact, the per-stage latency histograms) from the server
+    let metrics_text: Option<String> =
+        connect(&args.addr)
+            .ok()
+            .and_then(|(mut stream, mut reader)| {
+                http::send_request(&mut stream, "GET", "/metrics", None).ok()?;
+                match http::read_response(&mut reader) {
+                    Ok((200, body)) => Some(String::from_utf8_lossy(&body).into_owned()),
+                    _ => None,
                 }
-                println!("server robustness counters (from /metrics):");
-                for line in text.lines().filter(|l| {
-                    l.starts_with("tsg_serve_requests_shed_total")
-                        || l.starts_with("tsg_serve_connections_reset_total")
-                        || l.starts_with("tsg_serve_faults_injected_total")
-                        || l.starts_with("tsg_serve_snapshot_load_failures_total")
-                }) {
-                    println!("  {line}");
-                }
-            }
+            });
+    if let Some(text) = &metrics_text {
+        println!("server batch-size distribution (from /metrics):");
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("tsg_serve_batch_size"))
+        {
+            println!("  {line}");
         }
+        println!("server robustness counters (from /metrics):");
+        for line in text.lines().filter(|l| {
+            l.starts_with("tsg_serve_requests_shed_total")
+                || l.starts_with("tsg_serve_connections_reset_total")
+                || l.starts_with("tsg_serve_faults_injected_total")
+                || l.starts_with("tsg_serve_snapshot_load_failures_total")
+        }) {
+            println!("  {line}");
+        }
+    }
+
+    if let Some(path) = &args.json_out {
+        let counter = |name: &str| {
+            metrics_text
+                .as_deref()
+                .and_then(|t| scraped_value(t, &format!("{name} ")))
+                .map(Json::Num)
+                .unwrap_or(Json::Null)
+        };
+        let artifact = Json::obj(vec![
+            ("ok", Json::Num(ok as f64)),
+            ("backpressure", Json::Num(backpressure as f64)),
+            ("errors", Json::Num(errors as f64)),
+            ("retried", Json::Num(retried as f64)),
+            ("retry_attempts", Json::Num(retry_attempts as f64)),
+            ("gave_up", Json::Num(gave_up as f64)),
+            ("chaos_aborts", Json::Num(chaos_aborts as f64)),
+            ("chaos_stalls", Json::Num(chaos_stalls as f64)),
+            ("connections", Json::Num(args.connections as f64)),
+            (
+                "series_per_request",
+                Json::Num(args.series_per_request as f64),
+            ),
+            ("elapsed_seconds", Json::Num(elapsed)),
+            ("throughput_rps", Json::Num(ok as f64 / elapsed.max(1e-9))),
+            (
+                "throughput_series_per_s",
+                Json::Num(series_done as f64 / elapsed.max(1e-9)),
+            ),
+            (
+                "latency_ms",
+                Json::obj(vec![
+                    ("p50", Json::Num(percentile(&latencies, 0.50))),
+                    ("p90", Json::Num(percentile(&latencies, 0.90))),
+                    ("p99", Json::Num(percentile(&latencies, 0.99))),
+                    ("max", Json::Num(percentile(&latencies, 1.0))),
+                ]),
+            ),
+            (
+                "stages",
+                metrics_text
+                    .as_deref()
+                    .map(stage_breakdown_json)
+                    .unwrap_or(Json::Null),
+            ),
+            (
+                "server_counters",
+                Json::obj(vec![
+                    (
+                        "faults_injected",
+                        counter("tsg_serve_faults_injected_total"),
+                    ),
+                    (
+                        "connections_reset",
+                        counter("tsg_serve_connections_reset_total"),
+                    ),
+                    ("requests_shed", counter("tsg_serve_requests_shed_total")),
+                    (
+                        "snapshot_load_failures",
+                        counter("tsg_serve_snapshot_load_failures_total"),
+                    ),
+                ]),
+            ),
+        ]);
+        let mut payload = artifact.write();
+        payload.push('\n');
+        if let Err(e) = std::fs::write(path, payload) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote json artifact to {}", path.display());
     }
 
     if ok == 0 || errors > 0 {

@@ -6,6 +6,7 @@
 //!           [--preload NAME[,NAME...]] [--config fast|paper|uvg-fast]
 //!           [--max-instances N] [--max-length N] [--seed N]
 //!           [--snapshot-dir DIR] [--request-budget-ms N]
+//!           [--trace-capacity N]
 //! ```
 //!
 //! `--preload` fits the named catalogue datasets before the listener starts
@@ -108,6 +109,13 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or_else(|| "--request-budget-ms expects a positive number".to_string())?;
                 args.serve.request_budget = Duration::from_millis(ms);
             }
+            "--trace-capacity" => {
+                args.serve.trace_capacity = value(&mut i)?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "--trace-capacity expects a positive number".to_string())?
+            }
             "--help" | "-h" => {
                 println!(
                     "tsg-serve: batching classification server\n\n\
@@ -123,7 +131,10 @@ fn parse_args() -> Result<Args, String> {
                      --max-length N      series length budget for catalogue fits\n  \
                      --seed N            fit seed (default 7)\n  \
                      --snapshot-dir DIR  crash-safe model snapshots + warm restart on boot\n  \
-                     --request-budget-ms N  mid-request stall budget before 408 (default 30000)"
+                     --request-budget-ms N  mid-request stall budget before 408 (default 30000)\n  \
+                     --trace-capacity N  flight-recorder slots for /debug/traces (default 256)\n\n\
+                     env:\n  \
+                     TSG_LOG=error|warn|info|debug|trace|off  structured log level (default info)"
                 );
                 std::process::exit(0);
             }
@@ -135,6 +146,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn main() {
+    tsg_trace::log::init_from_env();
     let args = match parse_args() {
         Ok(args) => args,
         Err(e) => {

@@ -43,6 +43,7 @@ use crate::epoll::{
 };
 use crate::http::{RequestParser, Response};
 use crate::server::{route_request, Routed, ServerState};
+use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
@@ -50,6 +51,7 @@ use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 use tsg_faults::{net_fault, NetFault, Site};
+use tsg_trace::{ActiveTrace, Stage, TraceHandle};
 
 /// A deferred unit of blocking work (model fits) executed on the ops worker.
 pub(crate) type OpsJob = Box<dyn FnOnce() + Send>;
@@ -95,6 +97,9 @@ pub(crate) struct Completed {
     pub(crate) seq: u64,
     /// Fully serialized response bytes.
     pub(crate) bytes: Vec<u8>,
+    /// The request's trace, finalized once the bytes hit the socket (or the
+    /// connection dies). `None` for untraced wire errors.
+    pub(crate) trace: Option<TraceHandle>,
 }
 
 /// The queue worker threads complete into, plus the waker that makes the
@@ -142,6 +147,9 @@ pub(crate) struct AsyncCtx {
     pub(crate) keep_alive: bool,
     /// When the request was parsed (for the latency histograms).
     pub(crate) started: Instant,
+    /// The request's trace; async handlers record their spans onto it and
+    /// hand it back through [`Completed`].
+    pub(crate) trace: TraceHandle,
 }
 
 /// Per-connection state machine.
@@ -153,7 +161,15 @@ struct Connection {
     /// How much of `write_buf` has been written already.
     write_pos: usize,
     /// Responses that completed out of order, waiting for their turn.
-    reorder: Vec<(u64, Vec<u8>)>,
+    reorder: Vec<(u64, Vec<u8>, Option<TraceHandle>)>,
+    /// Cumulative bytes ever appended to `write_buf` (never reset, unlike
+    /// the buffer itself).
+    enqueued_total: u64,
+    /// Cumulative bytes ever written to the socket.
+    written_total: u64,
+    /// Traces of enqueued responses, in enqueue order, waiting for their
+    /// bytes to reach the socket so the write-out span can close.
+    pending_traces: VecDeque<PendingTrace>,
     /// Sequence number the next parsed request will get.
     next_seq: u64,
     /// Sequence number the next appended response must have.
@@ -173,6 +189,18 @@ struct Connection {
     interest: Interest,
 }
 
+/// A trace waiting for its response bytes to be fully written.
+struct PendingTrace {
+    /// The `enqueued_total` watermark at which this response's last byte has
+    /// entered the write buffer; once `written_total` catches up, the bytes
+    /// are on the socket.
+    watermark: u64,
+    trace: TraceHandle,
+    /// When the response entered the write buffer — the start of the
+    /// write-out span.
+    enqueued_at: Instant,
+}
+
 impl Connection {
     fn new(stream: TcpStream) -> Connection {
         Connection {
@@ -181,6 +209,9 @@ impl Connection {
             write_buf: Vec::new(),
             write_pos: 0,
             reorder: Vec::new(),
+            enqueued_total: 0,
+            written_total: 0,
+            pending_traces: VecDeque::new(),
             next_seq: 0,
             next_flush_seq: 0,
             stop_reading: false,
@@ -209,22 +240,35 @@ impl Connection {
 
     /// Appends a response in sequence order, parking it in the reorder stage
     /// if earlier responses are still outstanding.
-    fn enqueue_response(&mut self, seq: u64, bytes: Vec<u8>) {
+    fn enqueue_response(&mut self, seq: u64, bytes: Vec<u8>, trace: Option<TraceHandle>) {
         if seq != self.next_flush_seq {
-            self.reorder.push((seq, bytes));
+            self.reorder.push((seq, bytes, trace));
             return;
         }
-        self.write_buf.extend_from_slice(&bytes);
-        self.next_flush_seq += 1;
+        self.append_outgoing(bytes, trace);
         // release any directly following responses that were parked
         while let Some(pos) = self
             .reorder
             .iter()
-            .position(|(s, _)| *s == self.next_flush_seq)
+            .position(|(s, _, _)| *s == self.next_flush_seq)
         {
-            let (_, ready) = self.reorder.swap_remove(pos);
-            self.write_buf.extend_from_slice(&ready);
-            self.next_flush_seq += 1;
+            let (_, ready, ready_trace) = self.reorder.swap_remove(pos);
+            self.append_outgoing(ready, ready_trace);
+        }
+    }
+
+    /// Moves one in-order response into the write buffer, opening its
+    /// write-out span.
+    fn append_outgoing(&mut self, bytes: Vec<u8>, trace: Option<TraceHandle>) {
+        self.write_buf.extend_from_slice(&bytes);
+        self.enqueued_total += bytes.len() as u64;
+        self.next_flush_seq += 1;
+        if let Some(trace) = trace {
+            self.pending_traces.push_back(PendingTrace {
+                watermark: self.enqueued_total,
+                trace,
+                enqueued_at: Instant::now(),
+            });
         }
     }
 
@@ -249,7 +293,10 @@ impl Connection {
                     self.broken = true;
                     return;
                 }
-                Ok(n) => self.write_pos += n,
+                Ok(n) => {
+                    self.write_pos += n;
+                    self.written_total += n as u64;
+                }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
                 Err(_) => {
@@ -390,13 +437,21 @@ pub(crate) fn run(
             let Some(slot) = slots.get_mut(
                 usize::try_from(completed.token.saturating_sub(TOKEN_BASE)).unwrap_or(usize::MAX),
             ) else {
+                if let Some(trace) = completed.trace {
+                    finalize_trace(state, &trace);
+                }
                 continue;
             };
             if slot.generation != completed.generation {
-                continue; // the connection this belonged to is gone
+                // the connection this belonged to is gone; the flight
+                // recorder still keeps the trace (without a write-out span)
+                if let Some(trace) = completed.trace {
+                    finalize_trace(state, &trace);
+                }
+                continue;
             }
             if let Some(conn) = slot.conn.as_mut() {
-                conn.enqueue_response(completed.seq, completed.bytes);
+                conn.enqueue_response(completed.seq, completed.bytes, completed.trace);
             }
         }
 
@@ -433,6 +488,7 @@ pub(crate) fn run(
                 drain_requests(&ctx, conn, token, slot.generation);
                 sweep_timeout(ctx.state, conn);
                 conn.flush();
+                finish_written_traces(ctx.state, conn);
             }
             if conn.broken || conn.finished() {
                 close_connection(&ctx, slot);
@@ -535,7 +591,12 @@ fn accept_connections(
                 // transient failures (EMFILE bursts, ECONNABORTED races) must
                 // not kill the server; the pause keeps the level-triggered
                 // loop from spinning on a still-pending connection
-                eprintln!("tsg-serve: accept failed (retrying): {e}");
+                tsg_trace::log::warn(
+                    "server",
+                    "accept failed (retrying)",
+                    None,
+                    &[("error", &e.to_string())],
+                );
                 std::thread::sleep(ACCEPT_BACKOFF);
                 return;
             }
@@ -548,10 +609,19 @@ fn accept_connections(
 /// close afterwards.
 fn drain_requests(ctx: &LoopCtx<'_>, conn: &mut Connection, token: u64, generation: u64) {
     while !conn.stop_reading && conn.in_flight() < MAX_PIPELINE {
+        let parse_started = Instant::now();
         match conn.parser.next_request() {
             Ok(Some(request)) => {
                 ctx.state.metrics.requests_total.inc();
                 let started = Instant::now();
+                // the trace is born at parse start, so its total covers the
+                // whole pipeline from first decode to last socket write
+                let trace = ActiveTrace::begin_at(
+                    &request.path,
+                    tsg_faults::injected_total(),
+                    parse_started,
+                );
+                trace.record(Stage::Parse, parse_started.elapsed());
                 let seq = conn.next_seq;
                 conn.next_seq += 1;
                 let client_keep_alive = request.keep_alive();
@@ -562,6 +632,7 @@ fn drain_requests(ctx: &LoopCtx<'_>, conn: &mut Connection, token: u64, generati
                     seq,
                     keep_alive: client_keep_alive,
                     started,
+                    trace: Arc::clone(&trace),
                 };
                 match route_request(ctx.state, &request, async_ctx, ctx.ops) {
                     Routed::Immediate(response) => {
@@ -580,7 +651,12 @@ fn drain_requests(ctx: &LoopCtx<'_>, conn: &mut Connection, token: u64, generati
                             .metrics
                             .request_latency_seconds
                             .observe(started.elapsed().as_secs_f64());
-                        conn.enqueue_response(seq, response.serialize(keep_alive));
+                        trace.set_status(response.status);
+                        let bytes = {
+                            let _span = trace.span(Stage::Serialize);
+                            response.serialize(keep_alive)
+                        };
+                        conn.enqueue_response(seq, bytes, Some(trace));
                     }
                     Routed::Async => {
                         // async routes never flip the shutdown flag, so the
@@ -595,13 +671,14 @@ fn drain_requests(ctx: &LoopCtx<'_>, conn: &mut Connection, token: u64, generati
             Err(parse_error) => {
                 // the stream is no longer aligned to message boundaries:
                 // answer with the mapped status (400 malformed / 413 too
-                // large) and close once flushed
+                // large) and close once flushed; no trace — there is no
+                // request to attribute one to
                 let seq = conn.next_seq;
                 conn.next_seq += 1;
                 let response = Response::error(parse_error.status(), parse_error.message());
                 ctx.state.metrics.record_status(response.status);
                 conn.stop_reading = true;
-                conn.enqueue_response(seq, response.serialize(false));
+                conn.enqueue_response(seq, response.serialize(false), None);
                 break;
             }
         }
@@ -640,16 +717,51 @@ fn sweep_timeout(state: &Arc<ServerState>, conn: &mut Connection) {
     let response = Response::error(408, "timed out reading request");
     state.metrics.record_status(response.status);
     conn.stop_reading = true;
-    conn.enqueue_response(seq, response.serialize(false));
+    conn.enqueue_response(seq, response.serialize(false), None);
+}
+
+/// Closes the write-out span of every response whose bytes have fully
+/// reached the socket, and finalizes the trace into the flight recorder.
+fn finish_written_traces(state: &Arc<ServerState>, conn: &mut Connection) {
+    while conn
+        .pending_traces
+        .front()
+        .is_some_and(|p| p.watermark <= conn.written_total)
+    {
+        let Some(pending) = conn.pending_traces.pop_front() else {
+            break;
+        };
+        pending
+            .trace
+            .record(Stage::WriteOut, pending.enqueued_at.elapsed());
+        finalize_trace(state, &pending.trace);
+    }
+}
+
+/// Ends a trace: per-stage histograms first, then the flight recorder.
+fn finalize_trace(state: &Arc<ServerState>, trace: &ActiveTrace) {
+    let finished = trace.finish(tsg_faults::injected_total());
+    state.metrics.observe_stages(&finished);
+    state.traces.record(finished);
 }
 
 /// Tears a connection down: deregisters the fd, drops the stream, bumps the
 /// slot generation (so stale completions are recognised) and updates the
 /// gauge. The slot re-enters the free list at the end of the iteration.
 fn close_connection(ctx: &LoopCtx<'_>, slot: &mut Slot) {
-    if let Some(conn) = slot.conn.take() {
+    if let Some(mut conn) = slot.conn.take() {
         if conn.broken {
             ctx.state.metrics.connections_reset_total.inc();
+        }
+        // traces whose responses never (fully) reached the peer still land
+        // in the flight recorder, just without a write-out span
+        for pending in conn.pending_traces.drain(..) {
+            finalize_trace(ctx.state, &pending.trace);
+        }
+        for (_, _, trace) in conn.reorder.drain(..) {
+            if let Some(trace) = trace {
+                finalize_trace(ctx.state, &trace);
+            }
         }
         let _ = ctx.epoll.delete(conn.stream.as_raw_fd());
         slot.generation += 1;

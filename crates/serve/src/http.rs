@@ -39,6 +39,10 @@ pub struct Request {
     pub method: String,
     /// Request path (query string stripped).
     pub path: String,
+    /// Raw query string (the part after `?`, empty when absent). Routing
+    /// matches on `path`; handlers that take parameters read them here via
+    /// [`Request::query_param`].
+    pub query: String,
     /// Lowercased header names with their values.
     pub headers: Vec<(String, String)>,
     /// Request body (empty when no `Content-Length` was sent).
@@ -67,6 +71,17 @@ impl Request {
             Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
             _ => self.version_minor >= 1,
         }
+    }
+
+    /// Looks up a query-string parameter by name (`?a=1&b=2` style; no
+    /// percent-decoding — the debug endpoints that use this take only
+    /// numeric and hex values). A bare key (`?verbose`) yields `Some("")`.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .split('&')
+            .map(|pair| pair.split_once('=').unwrap_or((pair, "")))
+            .find(|(key, _)| *key == name)
+            .map(|(_, value)| value)
     }
 
     /// Parses the body as JSON.
@@ -160,7 +175,7 @@ impl RequestParser {
             return Err(ParseError::Malformed("header section too large".into()));
         }
         let head = self.buf.get(..head_len).unwrap_or_default();
-        let (method, path, version_minor, headers) = parse_head(head)?;
+        let (method, path, query, version_minor, headers) = parse_head(head)?;
         let content_length = content_length(&headers)?;
         if content_length > MAX_BODY_BYTES {
             return Err(ParseError::TooLarge(format!(
@@ -176,6 +191,7 @@ impl RequestParser {
         Ok(Some(Request {
             method,
             path,
+            query,
             headers,
             body,
             version_minor,
@@ -204,7 +220,9 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
 
 /// Parses the request line and headers out of a complete head.
 #[allow(clippy::type_complexity)]
-fn parse_head(head: &[u8]) -> Result<(String, String, u8, Vec<(String, String)>), ParseError> {
+fn parse_head(
+    head: &[u8],
+) -> Result<(String, String, String, u8, Vec<(String, String)>), ParseError> {
     let text = std::str::from_utf8(head)
         .map_err(|_| ParseError::Malformed("request head is not UTF-8".into()))?;
     let mut lines = text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
@@ -222,7 +240,10 @@ fn parse_head(head: &[u8]) -> Result<(String, String, u8, Vec<(String, String)>)
         return Err(ParseError::Malformed("unsupported HTTP version".into()));
     }
     let version_minor = if version == "HTTP/1.0" { 0 } else { 1 };
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path.to_string(), query.to_string()),
+        None => (target.to_string(), String::new()),
+    };
 
     let mut headers = Vec::new();
     for line in lines {
@@ -233,7 +254,7 @@ fn parse_head(head: &[u8]) -> Result<(String, String, u8, Vec<(String, String)>)
             headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
         }
     }
-    Ok((method, path, version_minor, headers))
+    Ok((method, path, query, version_minor, headers))
 }
 
 /// Resolves `Content-Length` across *all* its occurrences. Disagreeing
@@ -603,10 +624,29 @@ mod tests {
         match parse_raw(raw).unwrap() {
             RequestOutcome::Request(r) => {
                 assert_eq!(r.path, "/metrics");
+                assert_eq!(r.query, "verbose=1");
                 assert!(!r.keep_alive());
             }
             other => panic!("unexpected outcome {other:?}"),
         }
+    }
+
+    #[test]
+    fn query_params_resolve_by_name() {
+        let r = parse_bytes(b"GET /debug/traces?slow_ms=5&trace_id=a3&bare HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.path, "/debug/traces");
+        assert_eq!(r.query_param("slow_ms"), Some("5"));
+        assert_eq!(r.query_param("trace_id"), Some("a3"));
+        assert_eq!(r.query_param("bare"), Some(""));
+        assert_eq!(r.query_param("missing"), None);
+
+        let none = parse_bytes(b"GET /debug/traces HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(none.query, "");
+        assert_eq!(none.query_param("slow_ms"), None);
     }
 
     #[test]

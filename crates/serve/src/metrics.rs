@@ -7,6 +7,7 @@
 //! micro-units (`value * 1e6` rounded) to stay in integer atomics.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use tsg_trace::{FinishedTrace, Stage};
 
 /// A fixed-bucket cumulative histogram.
 #[derive(Debug)]
@@ -56,15 +57,47 @@ impl Histogram {
     /// Renders the histogram in Prometheus text format (cumulative buckets).
     fn render(&self, name: &str, out: &mut String) {
         out.push_str(&format!("# TYPE {name} histogram\n"));
+        self.render_series(name, "", out);
+    }
+
+    /// Renders the bucket/sum/count lines of one series, with an optional
+    /// extra label (e.g. `stage="parse"`) and no `# TYPE` header — so one
+    /// metric family can hold several labeled histograms.
+    ///
+    /// Every bucket counter is loaded exactly once into a snapshot before
+    /// anything is formatted, and `_count` is the snapshot's own `+Inf`
+    /// cumulative value. Under concurrent `observe` calls the rendered
+    /// series is therefore always internally consistent: `_count` equals
+    /// the `+Inf` bucket by construction, never a torn read of counters
+    /// that moved mid-render. (`_sum` is a separate atomic and may run a
+    /// hair ahead of or behind the snapshot — Prometheus semantics allow
+    /// that; bucket/count consistency is what scrapers rely on.)
+    fn render_series(&self, name: &str, label: &str, out: &mut String) {
+        let snapshot: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let sum_micros = self.sum_micros.load(Ordering::Relaxed);
+        let sep = if label.is_empty() { "" } else { "," };
         let mut cumulative = 0u64;
-        for (i, bound) in self.bounds.iter().enumerate() {
-            cumulative += self.counts[i].load(Ordering::Relaxed);
-            out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+        for (bound, count) in self.bounds.iter().zip(&snapshot) {
+            cumulative += count;
+            out.push_str(&format!(
+                "{name}_bucket{{{label}{sep}le=\"{bound}\"}} {cumulative}\n"
+            ));
         }
-        cumulative += self.counts[self.bounds.len()].load(Ordering::Relaxed);
-        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
-        out.push_str(&format!("{name}_sum {}\n", self.sum()));
-        out.push_str(&format!("{name}_count {}\n", self.count()));
+        cumulative += snapshot.get(self.bounds.len()).copied().unwrap_or(0);
+        out.push_str(&format!(
+            "{name}_bucket{{{label}{sep}le=\"+Inf\"}} {cumulative}\n"
+        ));
+        let suffix = if label.is_empty() {
+            String::new()
+        } else {
+            format!("{{{label}}}")
+        };
+        out.push_str(&format!("{name}_sum{suffix} {}\n", sum_micros as f64 / 1e6));
+        out.push_str(&format!("{name}_count{suffix} {cumulative}\n"));
     }
 }
 
@@ -156,6 +189,10 @@ pub struct ServerMetrics {
     pub classify_latency_seconds: Histogram,
     /// Series per dispatched micro-batch.
     pub batch_size: Histogram,
+    /// Per-stage latency attribution, one histogram per [`Stage`] in
+    /// [`Stage::ALL`] order, rendered as
+    /// `tsg_serve_stage_seconds{stage="..."}` — fed by finished traces.
+    pub stage_seconds: [Histogram; Stage::COUNT],
 }
 
 impl Default for ServerMetrics {
@@ -184,11 +221,32 @@ impl Default for ServerMetrics {
                 10.0,
             ]),
             batch_size: Histogram::new(&[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0]),
+            // stages run well under the end-to-end latency, so the stage
+            // buckets start at 25 µs instead of 500 µs
+            stage_seconds: std::array::from_fn(|_| {
+                Histogram::new(&[
+                    0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+                    0.05, 0.1, 0.25, 1.0,
+                ])
+            }),
         }
     }
 }
 
 impl ServerMetrics {
+    /// Feeds a finished trace's non-zero stage spans into the per-stage
+    /// histograms (zero spans are stages the request never entered — a
+    /// `/healthz` has no `predict` — and would only distort the
+    /// distributions).
+    pub fn observe_stages(&self, trace: &FinishedTrace) {
+        for (stage, histogram) in Stage::ALL.iter().zip(&self.stage_seconds) {
+            let micros = trace.stage(*stage);
+            if micros > 0 {
+                histogram.observe(micros as f64 / 1e6);
+            }
+        }
+    }
+
     /// Records the status class of a finished response. Every 429, whatever
     /// the route, also counts as a shed request.
     pub fn record_status(&self, status: u16) {
@@ -267,6 +325,14 @@ impl ServerMetrics {
         self.classify_latency_seconds
             .render("tsg_serve_classify_latency_seconds", &mut out);
         self.batch_size.render("tsg_serve_batch_size", &mut out);
+        out.push_str("# TYPE tsg_serve_stage_seconds histogram\n");
+        for (stage, histogram) in Stage::ALL.iter().zip(&self.stage_seconds) {
+            histogram.render_series(
+                "tsg_serve_stage_seconds",
+                &format!("stage=\"{}\"", stage.as_str()),
+                &mut out,
+            );
+        }
         out
     }
 }
@@ -325,6 +391,79 @@ mod tests {
         g.dec();
         g.dec(); // saturates instead of wrapping
         assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn rendered_count_always_equals_the_inf_bucket_under_concurrency() {
+        // the torn-read regression: _count used to come from a separate
+        // atomic loaded after the buckets, so a concurrent observe could
+        // make _count != the +Inf cumulative bucket in one render
+        let h = std::sync::Arc::new(Histogram::new(&[0.5, 2.0]));
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let stop = &stop;
+            for _ in 0..3 {
+                let h = std::sync::Arc::clone(&h);
+                scope.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        h.observe(0.1);
+                        h.observe(1.0);
+                        h.observe(9.0);
+                    }
+                });
+            }
+            for _ in 0..200 {
+                let mut out = String::new();
+                h.render("x", &mut out);
+                let value = |marker: &str| -> u64 {
+                    out.lines()
+                        .find_map(|l| l.strip_prefix(marker))
+                        .and_then(|rest| rest.trim().parse().ok())
+                        .expect("rendered line present")
+                };
+                assert_eq!(
+                    value("x_bucket{le=\"+Inf\"}"),
+                    value("x_count"),
+                    "torn render:\n{out}"
+                );
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+    }
+
+    #[test]
+    fn stage_histograms_render_labeled_series() {
+        let m = ServerMetrics::default();
+        let mut trace = tsg_trace::ActiveTrace::begin("/x", 0).finish(0);
+        trace.stage_micros = [0; Stage::COUNT];
+        trace.stage_micros[Stage::Parse.index()] = 30; // 30 µs
+        trace.stage_micros[Stage::Predict.index()] = 2_000; // 2 ms
+        m.observe_stages(&trace);
+        let text = m.render(0, 0.0, 0);
+        assert!(text.contains("# TYPE tsg_serve_stage_seconds histogram\n"));
+        // one TYPE line for the whole family, not one per stage
+        assert_eq!(text.matches("TYPE tsg_serve_stage_seconds").count(), 1);
+        assert!(
+            text.contains("tsg_serve_stage_seconds_bucket{stage=\"parse\",le=\"0.00005\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tsg_serve_stage_seconds_count{stage=\"parse\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tsg_serve_stage_seconds_count{stage=\"predict\"} 1\n"),
+            "{text}"
+        );
+        // untouched stages render with zero observations
+        assert!(
+            text.contains("tsg_serve_stage_seconds_count{stage=\"write_out\"} 0\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tsg_serve_stage_seconds_sum{stage=\"predict\"} 0.002\n"),
+            "{text}"
+        );
     }
 
     #[test]

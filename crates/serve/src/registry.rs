@@ -296,12 +296,22 @@ impl ModelRegistry {
             match entry.model.snapshot_bytes() {
                 Ok(payload) => {
                     if let Err(e) = crate::snapshot::write_snapshot(dir, &info, seed, &payload) {
-                        eprintln!(
-                            "tsg-serve: snapshot of `{name}` failed: {e} (still serving; will refit after restart)"
+                        tsg_trace::log::warn(
+                            "registry",
+                            &format!(
+                                "snapshot of `{name}` failed (still serving; will refit after restart)"
+                            ),
+                            None,
+                            &[("error", &e.to_string())],
                         );
                     }
                 }
-                Err(e) => eprintln!("tsg-serve: model `{name}` not snapshotted: {e}"),
+                Err(e) => tsg_trace::log::warn(
+                    "registry",
+                    &format!("model `{name}` not snapshotted"),
+                    None,
+                    &[("error", &e.to_string())],
+                ),
             }
         }
         Ok(info)
@@ -328,9 +338,14 @@ impl ModelRegistry {
                 }
                 Err(reason) => {
                     self.metrics.snapshot_load_failures_total.inc();
-                    eprintln!(
-                        "tsg-serve: skipping snapshot {}: {reason} (model will be refitted on demand)",
-                        path.display()
+                    tsg_trace::log::warn(
+                        "registry",
+                        &format!(
+                            "skipping snapshot {}: {reason} (model will be refitted on demand)",
+                            path.display()
+                        ),
+                        None,
+                        &[],
                     );
                 }
             }

@@ -38,6 +38,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 use tsg_datasets::archive::ArchiveOptions;
+use tsg_trace::{FinishedTrace, FlightRecorder, Stage};
 use tsg_ts::{Dataset, TimeSeries};
 
 /// Server configuration.
@@ -58,6 +59,9 @@ pub struct ServeConfig {
     /// Wall-clock budget for receiving one request; a peer that started a
     /// request but stalled past this gets a 408 from the timeout sweep.
     pub request_budget: Duration,
+    /// How many finished request traces the flight recorder retains
+    /// (oldest evicted first); served by `GET /debug/traces`.
+    pub trace_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +73,7 @@ impl Default for ServeConfig {
             archive: ArchiveOptions::bounded(60, 512, 7),
             snapshot_dir: None,
             request_budget: crate::http::MID_REQUEST_BUDGET,
+            trace_capacity: 256,
         }
     }
 }
@@ -81,6 +86,7 @@ pub(crate) struct ServerState {
     pub(crate) started: Instant,
     pub(crate) archive: ArchiveOptions,
     pub(crate) request_budget: Duration,
+    pub(crate) traces: FlightRecorder,
 }
 
 /// A bound (but not yet running) server.
@@ -120,6 +126,7 @@ impl Server {
             started: Instant::now(),
             archive: config.archive,
             request_budget: config.request_budget,
+            traces: FlightRecorder::new(config.trace_capacity),
         });
         Ok(Server { listener, state })
     }
@@ -203,6 +210,7 @@ pub(crate) fn route_request(
             ),
         )),
         ("GET", ["models"]) => Routed::Immediate(list_models(state)),
+        ("GET", ["debug", "traces"]) => Routed::Immediate(debug_traces(state, request)),
         ("POST", ["models", name, "fit"]) => fit_model(request, state, name, ctx, ops),
         ("POST", ["models", name, "classify"]) => classify(request, state, name, ctx),
         ("DELETE", ["models", name]) => Routed::Immediate(if state.registry.remove(name) {
@@ -264,6 +272,70 @@ fn model_info_json(info: &crate::registry::ModelInfo) -> Json {
 fn list_models(state: &Arc<ServerState>) -> Response {
     let models = state.registry.list().iter().map(model_info_json).collect();
     Response::json(200, &Json::obj(vec![("models", Json::Arr(models))]))
+}
+
+/// One finished trace as JSON. Every stage key is always present (zeros
+/// included) so scrapers never need existence checks.
+fn trace_json(trace: &FinishedTrace) -> Json {
+    let stages = Stage::ALL
+        .iter()
+        .map(|&stage| (stage.as_str(), Json::Num(trace.stage(stage) as f64)))
+        .collect();
+    Json::obj(vec![
+        ("trace_id", Json::Str(format!("{:016x}", trace.id))),
+        ("path", Json::Str(trace.path.clone())),
+        (
+            "model",
+            trace
+                .model
+                .as_ref()
+                .map(|m| Json::Str(m.clone()))
+                .unwrap_or(Json::Null),
+        ),
+        ("status", Json::Num(f64::from(trace.status))),
+        ("total_micros", Json::Num(trace.total_micros as f64)),
+        ("stages_micros", Json::obj(stages)),
+        ("faults_injected", Json::Num(trace.faults_injected as f64)),
+        ("seq", Json::Num(trace.seq as f64)),
+    ])
+}
+
+/// `GET /debug/traces` — the flight recorder, oldest first. `?slow_ms=N`
+/// keeps only traces at least that slow; `?trace_id=HEX` looks one up.
+fn debug_traces(state: &Arc<ServerState>, request: &Request) -> Response {
+    let slow_micros = match request.query_param("slow_ms") {
+        None => None,
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(ms) if ms >= 0.0 && ms.is_finite() => Some((ms * 1000.0) as u64),
+            _ => return Response::error(400, "`slow_ms` must be a non-negative number"),
+        },
+    };
+    let wanted_id = match request.query_param("trace_id") {
+        None => None,
+        Some(raw) => match u64::from_str_radix(raw, 16) {
+            Ok(id) => Some(id),
+            Err(_) => return Response::error(400, "`trace_id` must be a hex trace id"),
+        },
+    };
+    let mut traces = state.traces.snapshot();
+    if let Some(min_micros) = slow_micros {
+        traces.retain(|t| t.total_micros >= min_micros);
+    }
+    if let Some(id) = wanted_id {
+        traces.retain(|t| t.id == id);
+    }
+    Response::json(
+        200,
+        &Json::obj(vec![
+            ("capacity", Json::Num(state.traces.capacity() as f64)),
+            (
+                "recorded_total",
+                Json::Num(state.traces.recorded_total() as f64),
+            ),
+            ("count", Json::Num(traces.len() as f64)),
+            ("traces", Json::Arr(traces.iter().map(trace_json).collect())),
+        ]),
+    )
 }
 
 /// Parses `{"values": [...], "label": n}` or a bare `[...]` array.
@@ -413,11 +485,18 @@ fn fit_model(
             .metrics
             .request_latency_seconds
             .observe(ctx.started.elapsed().as_secs_f64());
+        ctx.trace.set_model(&name);
+        ctx.trace.set_status(response.status);
+        let bytes = {
+            let _span = ctx.trace.span(Stage::Serialize);
+            response.serialize(ctx.keep_alive)
+        };
         ctx.completions.push(Completed {
             token: ctx.token,
             generation: ctx.generation,
             seq: ctx.seq,
-            bytes: response.serialize(ctx.keep_alive),
+            bytes,
+            trace: Some(ctx.trace),
         });
     });
     match ops.send(job) {
@@ -518,6 +597,8 @@ fn classify(request: &Request, state: &Arc<ServerState>, name: &str, ctx: AsyncC
     let metrics = Arc::clone(&state.metrics);
     let model_name = name.to_string();
     let version = entry.info.version;
+    ctx.trace.set_model(name);
+    let batch_trace = Arc::clone(&ctx.trace);
     let on_done = Box::new(move |outcome: Result<ClassifyOutput, ClassifyError>| {
         metrics
             .classify_latency_seconds
@@ -527,17 +608,24 @@ fn classify(request: &Request, state: &Arc<ServerState>, name: &str, ctx: AsyncC
         metrics
             .request_latency_seconds
             .observe(ctx.started.elapsed().as_secs_f64());
+        ctx.trace.set_status(response.status);
+        let bytes = {
+            let _span = ctx.trace.span(Stage::Serialize);
+            response.serialize(ctx.keep_alive)
+        };
         ctx.completions.push(Completed {
             token: ctx.token,
             generation: ctx.generation,
             seq: ctx.seq,
-            bytes: response.serialize(ctx.keep_alive),
+            bytes,
+            trace: Some(ctx.trace),
         });
     });
-    match state.registry.batcher().submit(
+    match state.registry.batcher().submit_traced(
         Arc::clone(entry.classifier()),
         series,
         want_proba,
+        Some(batch_trace),
         on_done,
     ) {
         Ok(()) => Routed::Async,

@@ -315,6 +315,58 @@ fn seeded_fault_schedules_never_hang_corrupt_or_panic() {
     }
 }
 
+#[test]
+fn injected_faults_are_visible_on_request_traces() {
+    let _guard = lock();
+    tsg_faults::disable();
+    let cache_dir = temp_dir("trace-faults-cache");
+    std::env::set_var(tsg_datasets::cache::CACHE_DIR_ENV, &cache_dir);
+
+    // fit with injection off so the model comes up without interference
+    let (addr, handle) = start_server(None);
+    let fit = resilient_call(&addr, "POST", "/models/m/fit", Some(&fit_body()), 8)
+        .expect("fit never completed");
+    assert_eq!(fit.0, 200, "fit failed: {}", fit.1);
+
+    // a transparent-retry schedule: every request still succeeds, but its
+    // reads and writes take seeded EINTR/short-write hits — and each trace
+    // must attribute the hits that landed inside its own lifetime
+    tsg_faults::configure(0xD1, "conn_read:eintr:0.5,conn_write:short:0.5").expect("plan");
+    assert!(tsg_faults::is_active());
+    let probe = Json::obj(vec![(
+        "series",
+        Json::parse("[[1, 2, 3, 2, 1, 2, 3, 2, 1, 2, 3, 2]]").unwrap(),
+    )]);
+    for i in 0..8 {
+        let (status, reply) = resilient_call(&addr, "POST", "/models/m/classify", Some(&probe), 8)
+            .unwrap_or_else(|| panic!("classify {i} never completed"));
+        assert_eq!(status, 200, "classify {i} failed: {reply}");
+    }
+    tsg_faults::disable();
+
+    let (status, recorder) =
+        resilient_call(&addr, "GET", "/debug/traces", None, 4).expect("trace scrape");
+    assert_eq!(status, 200, "{recorder}");
+    let traces = recorder.get("traces").unwrap().as_array().unwrap();
+    let attributed = traces
+        .iter()
+        .filter(|t| {
+            t.get("path").unwrap().as_str() == Some("/models/m/classify")
+                && t.get("status").unwrap().as_usize() == Some(200)
+                && t.get("faults_injected").unwrap().as_u64().unwrap() >= 1
+        })
+        .count();
+    assert!(
+        attributed >= 1,
+        "no classify trace attributed an injected fault: {recorder}"
+    );
+
+    let (status, _) = resilient_call(&addr, "POST", "/shutdown", None, 4).expect("shutdown");
+    assert_eq!(status, 200);
+    handle.join().expect("server thread panicked");
+    std::fs::remove_dir_all(&cache_dir).ok();
+}
+
 /// Spawns the real `tsg-serve` binary and returns the child plus its stdout
 /// reader, already advanced past the `listening on` line (whose address is
 /// returned). Lines seen on the way are collected for assertions.

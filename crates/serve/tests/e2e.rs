@@ -480,7 +480,138 @@ fn pipelined_requests_get_in_order_responses() {
     let (status, _) = client.call("GET", "/healthz", None);
     assert_eq!(status, 200);
 
+    // every request in the burst was born with its own trace id, even though
+    // all five were parsed back-to-back out of a single read — plus the fit
+    // and the follow-up healthz, all distinct
+    let (status, recorder) = client.call("GET", "/debug/traces", None);
+    assert_eq!(status, 200, "{recorder}");
+    let traces = recorder.get("traces").unwrap().as_array().unwrap();
+    let ids: Vec<&str> = traces
+        .iter()
+        .map(|t| t.get("trace_id").unwrap().as_str().unwrap())
+        .collect();
+    let unique: std::collections::BTreeSet<&str> = ids.iter().copied().collect();
+    assert_eq!(unique.len(), ids.len(), "trace ids must be unique: {ids:?}");
+    assert!(
+        ids.len() >= 7,
+        "burst requests missing from recorder: {ids:?}"
+    );
+
     let (status, _) = admin.call("POST", "/shutdown", None);
+    assert_eq!(status, 200);
+    server_handle.join().expect("server thread panicked");
+}
+
+#[test]
+fn flight_recorder_attributes_stage_latency_to_classify_traces() {
+    isolate_dataset_cache();
+    let (addr, server_handle) = start_server();
+    let mut client = Client::connect(&addr);
+
+    let fit = Json::obj(vec![
+        ("dataset", Json::Str(DATASET.into())),
+        ("config", Json::Str(CONFIG.into())),
+        ("seed", Json::Num(SEED as f64)),
+        ("max_instances", Json::Num(8.0)),
+        ("max_length", Json::Num(64.0)),
+    ]);
+    let (status, reply) = client.call("POST", "/models/obs/fit", Some(&fit));
+    assert_eq!(status, 200, "{reply}");
+
+    // a long-enough series that graph build and motif counting each cost a
+    // measurable (≥ 1 µs) slice of the request
+    let series: Vec<f64> = (0..512).map(|i| (i as f64 * 0.37).sin() * 10.0).collect();
+    let body = Json::obj(vec![("series", Json::Arr(vec![Json::nums(series)]))]);
+    const REQUESTS: usize = 6;
+    for _ in 0..REQUESTS {
+        let (status, reply) = client.call("POST", "/models/obs/classify", Some(&body));
+        assert_eq!(status, 200, "{reply}");
+    }
+
+    let (status, recorder) = client.call("GET", "/debug/traces", None);
+    assert_eq!(status, 200, "{recorder}");
+    let capacity = recorder.get("capacity").unwrap().as_usize().unwrap();
+    let count = recorder.get("count").unwrap().as_usize().unwrap();
+    let recorded = recorder.get("recorded_total").unwrap().as_usize().unwrap();
+    let traces = recorder.get("traces").unwrap().as_array().unwrap();
+    assert!(capacity >= 1);
+    assert_eq!(count, traces.len(), "{recorder}");
+    assert!(recorded >= count, "{recorder}");
+
+    let classify: Vec<&Json> = traces
+        .iter()
+        .filter(|t| t.get("path").unwrap().as_str() == Some("/models/obs/classify"))
+        .collect();
+    assert!(
+        classify.len() >= REQUESTS,
+        "classify traces missing: {recorder}"
+    );
+
+    const STAGES: [&str; 9] = [
+        "parse",
+        "queue_wait",
+        "batch_coalesce",
+        "scale",
+        "graph_build",
+        "motif_count",
+        "predict",
+        "serialize",
+        "write_out",
+    ];
+    let mut ids = std::collections::BTreeSet::new();
+    for trace in &classify {
+        let id = trace.get("trace_id").unwrap().as_str().unwrap();
+        assert_eq!(id.len(), 16, "trace ids are fixed-width hex: {id}");
+        assert!(id.chars().all(|c| c.is_ascii_hexdigit()), "{id}");
+        assert!(ids.insert(id.to_string()), "duplicate trace id {id}");
+        assert_eq!(trace.get("status").unwrap().as_usize(), Some(200));
+        assert_eq!(trace.get("model").unwrap().as_str(), Some("obs"));
+        let total = trace.get("total_micros").unwrap().as_u64().unwrap();
+        assert!(total > 0, "{trace}");
+        let stages = trace.get("stages_micros").unwrap();
+        // a single-series request's spans are disjoint sub-intervals of its
+        // lifetime, so the truncated per-stage sum can never exceed the
+        // truncated total
+        let sum: u64 = STAGES
+            .iter()
+            .map(|s| stages.get(s).unwrap().as_u64().unwrap())
+            .sum();
+        assert!(
+            sum <= total,
+            "stage sum {sum} exceeds total {total}: {trace}"
+        );
+        // the extraction stages dominate a 512-point classify; they cannot
+        // round down to zero
+        assert!(
+            stages.get("graph_build").unwrap().as_u64().unwrap() > 0,
+            "{trace}"
+        );
+        assert!(
+            stages.get("motif_count").unwrap().as_u64().unwrap() > 0,
+            "{trace}"
+        );
+    }
+
+    // ?trace_id= pins one trace exactly
+    let one = ids.iter().next().unwrap().clone();
+    let (status, pinned) = client.call("GET", &format!("/debug/traces?trace_id={one}"), None);
+    assert_eq!(status, 200, "{pinned}");
+    assert_eq!(pinned.get("count").unwrap().as_usize(), Some(1), "{pinned}");
+    let hit = &pinned.get("traces").unwrap().as_array().unwrap()[0];
+    assert_eq!(hit.get("trace_id").unwrap().as_str(), Some(one.as_str()));
+
+    // ?slow_ms= keeps only slower-than traces; nothing here took an hour
+    let (status, slow) = client.call("GET", "/debug/traces?slow_ms=3600000", None);
+    assert_eq!(status, 200);
+    assert_eq!(slow.get("count").unwrap().as_usize(), Some(0), "{slow}");
+
+    // malformed filters are 400s, not panics or silent full dumps
+    let (status, _) = client.call("GET", "/debug/traces?slow_ms=nope", None);
+    assert_eq!(status, 400);
+    let (status, _) = client.call("GET", "/debug/traces?trace_id=zzzz", None);
+    assert_eq!(status, 400);
+
+    let (status, _) = client.call("POST", "/shutdown", None);
     assert_eq!(status, 200);
     server_handle.join().expect("server thread panicked");
 }
