@@ -5,7 +5,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use tsg_core::{extract_dataset_features, extract_series_features, FeatureConfig};
+use tsg_core::{
+    extract_dataset_features, extract_series_features, FeatureConfig, FeatureSelection,
+};
 use tsg_ts::{generators, Dataset, TimeSeries};
 
 fn make_series(n: usize) -> TimeSeries {
@@ -38,6 +40,25 @@ fn bench_extraction(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("mvg", n), &series, |b, s| {
             b.iter(|| extract_series_features(std::hint::black_box(s), &FeatureConfig::mvg()))
+        });
+        // the tiered catalogue: full graph features + the statistical layer
+        group.bench_with_input(BenchmarkId::new("wide", n), &series, |b, s| {
+            b.iter(|| extract_series_features(std::hint::black_box(s), &FeatureConfig::wide()))
+        });
+        // a pruned serving config — a concentrated selection (T0 HVG block
+        // plus the statistical layer) that lets the extractor skip the VG
+        // builds and all downscaled graphs entirely: the latency win
+        // importance-driven pruning buys on the extraction hot path
+        let wide = FeatureConfig::wide();
+        let names: Vec<String> = wide
+            .feature_names_for_length(n)
+            .into_iter()
+            .filter(|name| name.starts_with("T0 HVG") || name.starts_with("stat "))
+            .collect();
+        let mut pruned = wide;
+        pruned.selection = Some(FeatureSelection::new(names));
+        group.bench_with_input(BenchmarkId::new("pruned", n), &series, |b, s| {
+            b.iter(|| extract_series_features(std::hint::black_box(s), &pruned))
         });
     }
     group.finish();

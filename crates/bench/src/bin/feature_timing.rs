@@ -1,0 +1,221 @@
+//! Per-family cost table for the tiered feature catalogue.
+//!
+//! Times every catalogue family in isolation on a deterministic synthetic
+//! series (the graph families over the full MVG representation, the
+//! statistical families over the raw values) and reports microseconds per
+//! series and per feature next to each family's declared cost tier — the
+//! empirical backing for the tier labels in `docs/feature-catalogue.md`.
+//!
+//! `--json-out PATH` additionally writes a machine-readable artifact which
+//! CI uploads next to the loadgen JSONs, so per-family cost is trackable
+//! across commits.
+//!
+//! ```sh
+//! feature_timing [--length 256] [--reps 200] [--seed 3] [--json-out PATH]
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use tsg_core::catalogue::{
+    autocorrelation_features, distribution_features, fft_magnitude_features, peak_features,
+    stat_family_len, trend_features, StatFamily, StatisticalConfig, FAMILIES,
+};
+use tsg_core::{motif_probability_distribution, FeatureConfig, SeriesGraphs};
+use tsg_eval::{Stopwatch, Table};
+use tsg_graph::motifs::count_motifs;
+use tsg_graph::stats::GraphStatistics;
+use tsg_serve::json::Json;
+use tsg_ts::{generators, TimeSeries};
+
+struct Args {
+    length: usize,
+    reps: usize,
+    seed: u64,
+    json_out: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        length: 256,
+        reps: 200,
+        seed: 3,
+        json_out: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("flag `{}` needs a value", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--length" => {
+                args.length = value(&mut i)?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 3)
+                    .ok_or_else(|| "--length expects a number >= 3".to_string())?
+            }
+            "--reps" => {
+                args.reps = value(&mut i)?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "--reps expects a positive number".to_string())?
+            }
+            "--seed" => {
+                args.seed = value(&mut i)?
+                    .parse()
+                    .map_err(|_| "--seed expects a number".to_string())?
+            }
+            "--json-out" => args.json_out = Some(std::path::PathBuf::from(value(&mut i)?)),
+            "--help" | "-h" => {
+                println!(
+                    "feature_timing: per-family cost table for the feature catalogue\n\n\
+                     flags:\n  \
+                     --length N     series length (default 256)\n  \
+                     --reps N       timing repetitions per family (default 200)\n  \
+                     --seed N       series generator seed (default 3)\n  \
+                     --json-out P   write the machine-readable cost table to P"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+    let series = TimeSeries::with_label(
+        generators::ecg_like(&mut rng, args.length, args.length / 8, 2.0, false, 0.05),
+        0,
+    );
+    let values = series.values();
+
+    // the graph families run over the full wide-config MVG representation
+    // (every scale, both graph kinds) — the same graphs the extractor builds
+    let config = FeatureConfig::wide();
+    let stat = StatisticalConfig::standard();
+    let graphs = SeriesGraphs::build(&series, &config.kinds, config.scale_mode, config.multiscale);
+    let motif_len = motif_probability_distribution(&count_motifs(&graphs.graphs[0].graph)).len();
+    let stats_len = GraphStatistics::compute(&graphs.graphs[0].graph)
+        .to_features()
+        .len();
+
+    println!(
+        "feature catalogue cost table: length {}, {} graphs in the MVG representation, {} reps\n",
+        args.length,
+        graphs.len(),
+        args.reps
+    );
+
+    let mut sw = Stopwatch::new();
+    let mut rows: Vec<(&'static str, usize)> = Vec::new();
+    for spec in FAMILIES {
+        let n_features = match spec.name {
+            "motifs" => graphs.len() * motif_len,
+            "graph-stats" => graphs.len() * stats_len,
+            name => {
+                let family = StatFamily::ALL
+                    .iter()
+                    .copied()
+                    .find(|f| f.family_name() == name)
+                    .expect("every catalogue family is timed");
+                stat_family_len(family, &stat)
+            }
+        };
+        sw.time(spec.name, || {
+            for _ in 0..args.reps {
+                match spec.name {
+                    "motifs" => {
+                        for g in &graphs.graphs {
+                            black_box(motif_probability_distribution(&count_motifs(&g.graph)));
+                        }
+                    }
+                    "graph-stats" => {
+                        for g in &graphs.graphs {
+                            black_box(GraphStatistics::compute(&g.graph).to_features());
+                        }
+                    }
+                    "dist" => {
+                        black_box(distribution_features(values));
+                    }
+                    "trend" => {
+                        black_box(trend_features(values));
+                    }
+                    "peaks" => {
+                        black_box(peak_features(values));
+                    }
+                    "acf" => {
+                        black_box(autocorrelation_features(values, stat.acf_lags));
+                    }
+                    "fft" => {
+                        black_box(fft_magnitude_features(values, stat.fft_coefficients));
+                    }
+                    other => unreachable!("unknown family `{other}`"),
+                }
+            }
+        });
+        rows.push((spec.name, n_features));
+    }
+
+    let mut table = Table::new(&[
+        "family",
+        "tier",
+        "scope",
+        "features",
+        "us/series",
+        "us/feature",
+    ]);
+    let mut families_json = Vec::new();
+    for (name, n_features) in &rows {
+        let spec = tsg_core::catalogue::family(name).expect("timed families are in the catalogue");
+        let per_series_us = 1e6 * sw.seconds(name) / args.reps as f64;
+        let per_feature_us = per_series_us / *n_features as f64;
+        table.add_row(vec![
+            name.to_string(),
+            spec.tier.as_str().to_string(),
+            spec.scope.as_str().to_string(),
+            n_features.to_string(),
+            format!("{per_series_us:.1}"),
+            format!("{per_feature_us:.3}"),
+        ]);
+        families_json.push(Json::obj(vec![
+            ("family", Json::Str(name.to_string())),
+            ("tier", Json::Str(spec.tier.as_str().into())),
+            ("scope", Json::Str(spec.scope.as_str().into())),
+            ("n_features", Json::Num(*n_features as f64)),
+            ("micros_per_series", Json::Num(per_series_us)),
+            ("micros_per_feature", Json::Num(per_feature_us)),
+        ]));
+    }
+    println!("{}", table.to_aligned());
+
+    if let Some(path) = &args.json_out {
+        let doc = Json::obj(vec![
+            ("length", Json::Num(args.length as f64)),
+            ("reps", Json::Num(args.reps as f64)),
+            ("seed", Json::Num(args.seed as f64)),
+            ("n_graphs", Json::Num(graphs.len() as f64)),
+            ("families", Json::Arr(families_json)),
+        ]);
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(path, format!("{doc}\n")).expect("write --json-out artifact");
+        println!("\nwrote {}", path.display());
+    }
+}

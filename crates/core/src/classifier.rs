@@ -248,6 +248,11 @@ impl MvgClassifier {
         if train.is_empty() {
             return Err(MlError::InvalidData("training dataset is empty".into()));
         }
+        if let Some(selection) = &self.config.features.selection {
+            selection
+                .validate(&self.config.features)
+                .map_err(|e| MlError::InvalidData(format!("invalid feature selection: {e}")))?;
+        }
         let labels = train
             .labels_required()
             .map_err(|e| MlError::InvalidData(e.to_string()))?;
@@ -402,6 +407,32 @@ impl MvgClassifier {
     /// fixed parameters; empty otherwise).
     pub fn feature_importances(&self) -> Vec<FeatureImportance> {
         rank_features(&self.feature_names, &self.gbt_importance)
+    }
+
+    /// The pruning half of the wide-then-prune workflow: a copy of this
+    /// classifier's configuration whose feature extraction is restricted to
+    /// the `k` most important features of *this* (fitted, wide) classifier.
+    ///
+    /// The returned configuration is what a caller refits to obtain the
+    /// compact per-dataset model the serving registry deploys. Requires a
+    /// fitted classifier of a family that exposes importances (fixed-
+    /// parameter boosting or forest); errors otherwise, and when `k == 0`.
+    pub fn pruned_config(&self, k: usize) -> crate::Result<MvgConfig> {
+        if self.model.is_none() {
+            return Err(MlError::NotFitted);
+        }
+        if self.config.features.selection.is_some() {
+            return Err(MlError::InvalidData(
+                "configuration is already pruned; prune from the wide fit instead".into(),
+            ));
+        }
+        let ranked = self.feature_importances();
+        let selection =
+            crate::catalogue::FeatureSelection::from_importances(&ranked, &self.feature_names, k)
+                .map_err(MlError::InvalidData)?;
+        let mut config = self.config.clone();
+        config.features.selection = Some(selection);
+        Ok(config)
     }
 
     /// FNV-1a fingerprint of the behaviour-relevant configuration fields:
@@ -709,6 +740,112 @@ mod tests {
         clf.fit(&train).unwrap();
         // forests don't snapshot (yet): callers must fall back to refitting
         assert!(clf.snapshot_bytes().is_err());
+    }
+
+    #[test]
+    fn pruned_config_selects_top_k_and_refits() {
+        let train = structured_dataset(10, 128, 31);
+        let test = structured_dataset(8, 128, 32);
+        let wide_config = MvgConfig::fast().with_features(FeatureConfig::wide());
+        let mut wide = MvgClassifier::new(wide_config);
+        wide.fit(&train).unwrap();
+
+        let pruned_config = wide.pruned_config(24).unwrap();
+        let selection = pruned_config.features.selection.as_ref().unwrap();
+        assert_eq!(selection.len(), 24);
+        // selection is in wide order and drawn from the wide names
+        let wide_names = wide.feature_names();
+        let positions: Vec<usize> = selection
+            .names()
+            .iter()
+            .map(|n| wide_names.iter().position(|w| w == n).unwrap())
+            .collect();
+        assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        // the top-k by importance are exactly the selected set
+        let ranked = wide.feature_importances();
+        let mut expected: Vec<&str> = ranked[..24].iter().map(|f| f.name.as_str()).collect();
+        expected.sort_unstable();
+        let mut got: Vec<&str> = selection.names().iter().map(|s| s.as_str()).collect();
+        got.sort_unstable();
+        assert_eq!(got, expected);
+
+        let mut pruned = MvgClassifier::new(pruned_config);
+        pruned.fit(&train).unwrap();
+        assert_eq!(pruned.feature_names().len(), 24);
+        let acc_wide = wide.score(&test).unwrap();
+        let acc_pruned = pruned.score(&test).unwrap();
+        assert!(
+            acc_pruned >= acc_wide - 0.15,
+            "pruned accuracy {acc_pruned} collapsed vs wide {acc_wide}"
+        );
+    }
+
+    #[test]
+    fn pruned_config_error_paths() {
+        let unfitted = MvgClassifier::new(MvgConfig::fast());
+        assert!(unfitted.pruned_config(8).is_err());
+
+        let train = structured_dataset(6, 96, 33);
+        let mut clf = MvgClassifier::new(MvgConfig::fast());
+        clf.fit(&train).unwrap();
+        assert!(clf.pruned_config(0).is_err());
+        // pruning an already-pruned configuration is rejected
+        let pruned_config = clf.pruned_config(8).unwrap();
+        let mut pruned = MvgClassifier::new(pruned_config);
+        pruned.fit(&train).unwrap();
+        assert!(pruned.pruned_config(4).is_err());
+        // a family without importances cannot drive pruning
+        let config = MvgConfig::fast().with_classifier(ClassifierChoice::Svm(SvmParams {
+            c: 1.0,
+            kernel: SvmKernel::Rbf { gamma: 1.0 },
+            ..Default::default()
+        }));
+        let mut svm = MvgClassifier::new(config);
+        svm.fit(&train).unwrap();
+        assert!(svm.pruned_config(8).is_err());
+    }
+
+    #[test]
+    fn fit_rejects_selection_not_in_catalogue() {
+        let train = structured_dataset(4, 96, 34);
+        let mut config = MvgConfig::fast();
+        config.features.selection = Some(crate::catalogue::FeatureSelection::new(vec![
+            "T0 VG bogus_feature".to_string(),
+        ]));
+        let mut clf = MvgClassifier::new(config);
+        let err = clf.fit(&train).unwrap_err();
+        assert!(
+            err.to_string().contains("not in the running catalogue"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn pruned_snapshot_round_trips_with_selection_fingerprint() {
+        let train = structured_dataset(8, 96, 35);
+        let test = structured_dataset(6, 96, 36);
+        let wide_config = MvgConfig::fast().with_features(FeatureConfig::wide());
+        let mut wide = MvgClassifier::new(wide_config);
+        wide.fit(&train).unwrap();
+        let pruned_config = wide.pruned_config(16).unwrap();
+        let mut pruned = MvgClassifier::new(pruned_config.clone());
+        pruned.fit(&train).unwrap();
+        let bytes = pruned.snapshot_bytes().unwrap();
+        let restored = MvgClassifier::from_snapshot(pruned_config.clone(), &bytes).unwrap();
+        assert_eq!(restored.feature_names(), pruned.feature_names());
+        assert_eq!(
+            restored.predict(&test).unwrap(),
+            pruned.predict(&test).unwrap()
+        );
+        // a different selection is a different fingerprint
+        let other = wide.pruned_config(8).unwrap();
+        assert!(MvgClassifier::from_snapshot(other, &bytes).is_err());
+        // and the wide config cannot claim the pruned snapshot
+        assert!(MvgClassifier::from_snapshot(
+            MvgConfig::fast().with_features(FeatureConfig::wide()),
+            &bytes
+        )
+        .is_err());
     }
 
     #[test]

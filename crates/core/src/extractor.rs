@@ -1,32 +1,46 @@
 //! Algorithm 1: building MVGs and extracting statistical features.
 //!
 //! A [`FeatureConfig`] pins down one point in the paper's design space —
-//! which graph kinds (VG / HVG / both), which scales (UVG / AMVG / MVG) and
+//! which graph kinds (VG / HVG / both), which scales (UVG / AMVG / MVG),
 //! whether the scalar statistics accompany the motif probability
-//! distributions. [`extract_series_features`] turns one series into a flat
+//! distributions, and (beyond the paper) whether the per-series statistical
+//! layer of the [catalogue](crate::catalogue) is appended and whether an
+//! importance-chosen [`FeatureSelection`] prunes the wide vector down to a
+//! compact subset. [`extract_series_features`] turns one series into a flat
 //! feature vector under that configuration and
 //! [`extract_dataset_features`] maps a whole dataset into a
 //! [`FeatureMatrix`] (in parallel), producing the input of the generic
 //! classifiers.
+//!
+//! With a selection attached the extractor computes **only what the subset
+//! needs**: graphs whose features were all pruned away are never built,
+//! motif censuses run only where a motif probability survived, and the
+//! statistical families are computed family-by-family on demand. Pruned
+//! extraction is exactly a column selection of wide extraction, bit-for-bit
+//! (pinned by `tests/determinism.rs`).
 
-use crate::graph_features::{
-    block_len, graph_feature_block, graph_feature_block_traced, graph_feature_block_with,
-    graph_feature_names,
+use crate::catalogue::{
+    compute_stat_family, stat_family_names, FeatureSelection, StatFamily, StatisticalConfig,
 };
+use crate::graph_features::{block_len, graph_feature_names};
+use crate::motif_groups::motif_probability_distribution;
 use crate::parallel::parallel_map;
-use crate::representation::{ScaleMode, SeriesGraphs};
-use crate::trace::{NoopTraceSink, TraceSink};
+use crate::representation::{scale_values_with_sink, ScaleMode};
+use crate::trace::{ExtractStage, NoopTraceSink, TraceSink};
 use serde::{Deserialize, Serialize};
-use tsg_graph::motifs::MotifWorkspace;
+use std::collections::BTreeMap;
+use std::fmt;
+use tsg_graph::motifs::{count_motifs, count_motifs_with, MotifWorkspace};
+use tsg_graph::stats::GraphStatistics;
 use tsg_graph::visibility::VisibilityKind;
-use tsg_graph::Graph;
+use tsg_graph::{Graph, MotifCounts};
 use tsg_ml::data::FeatureMatrix;
 use tsg_ts::multiscale::MultiscaleOptions;
 use tsg_ts::preprocess::detrend;
 use tsg_ts::{Dataset, TimeSeries};
 
 /// Configuration of the feature extraction stage.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
 pub struct FeatureConfig {
     /// Which visibility criteria to build graphs with.
     pub kinds: Vec<VisibilityKind>,
@@ -40,6 +54,36 @@ pub struct FeatureConfig {
     /// Remove the least-squares linear trend before graph construction
     /// (visibility graphs do not handle monotone trends well, §2.1).
     pub detrend: bool,
+    /// The per-series statistical layer of the catalogue (disabled by
+    /// default: the paper's configurations are pure graph features).
+    pub statistical: StatisticalConfig,
+    /// Optional importance-chosen subset of the wide catalogue. When set,
+    /// extraction produces exactly `selection.len()` features in selection
+    /// order and skips every computation the subset does not need.
+    pub selection: Option<FeatureSelection>,
+}
+
+// The `Debug` rendering feeds `MvgClassifier::config_fingerprint`, which is
+// persisted in model snapshots. The two catalogue fields are appended only
+// when they deviate from their defaults so every pre-catalogue
+// configuration keeps its historical fingerprint and old snapshots still
+// load.
+impl fmt::Debug for FeatureConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("FeatureConfig");
+        s.field("kinds", &self.kinds)
+            .field("scale_mode", &self.scale_mode)
+            .field("include_other_stats", &self.include_other_stats)
+            .field("multiscale", &self.multiscale)
+            .field("detrend", &self.detrend);
+        if self.statistical != StatisticalConfig::default() {
+            s.field("statistical", &self.statistical);
+        }
+        if let Some(selection) = &self.selection {
+            s.field("selection", selection);
+        }
+        s.finish()
+    }
 }
 
 impl Default for FeatureConfig {
@@ -58,6 +102,18 @@ impl FeatureConfig {
             include_other_stats: true,
             multiscale: MultiscaleOptions::default(),
             detrend: false,
+            statistical: StatisticalConfig::default(),
+            selection: None,
+        }
+    }
+
+    /// The wide catalogue: the paper's full MVG graph features plus the
+    /// per-series statistical layer — the fit-wide-then-prune starting
+    /// point.
+    pub fn wide() -> Self {
+        FeatureConfig {
+            statistical: StatisticalConfig::standard(),
+            ..FeatureConfig::mvg()
         }
     }
 
@@ -85,6 +141,8 @@ impl FeatureConfig {
             include_other_stats,
             multiscale: MultiscaleOptions::default(),
             detrend: false,
+            statistical: StatisticalConfig::default(),
+            selection: None,
         }
     }
 
@@ -104,9 +162,10 @@ impl FeatureConfig {
         format!("{} {} {}", self.scale_mode.short_name(), kinds, features)
     }
 
-    /// Number of scales the configuration produces for a series of length
-    /// `len`.
-    pub fn n_scales_for_length(&self, len: usize) -> usize {
+    /// Number of PAA halvings a series of length `len` admits — the single
+    /// source of truth shared by scale counting, feature naming and the
+    /// multiscale cascade itself.
+    fn halvings_for_length(&self, len: usize) -> usize {
         let mut halvings = 0usize;
         let mut current = len;
         while current / 2 > self.multiscale.tau
@@ -116,56 +175,97 @@ impl FeatureConfig {
             current /= 2;
             halvings += 1;
         }
+        halvings
+    }
+
+    /// The scale indices the configuration produces for a series of length
+    /// `len`, in wide-vector order (`0` = the original series; AMVG falls
+    /// back to `[0]` when the series is too short to downscale).
+    pub fn scale_indices_for_length(&self, len: usize) -> Vec<usize> {
+        let halvings = self.halvings_for_length(len);
         match self.scale_mode {
-            ScaleMode::Uniscale => 1,
-            ScaleMode::ApproximatedMultiscale => halvings.max(1),
-            ScaleMode::FullMultiscale => 1 + halvings,
+            ScaleMode::Uniscale => vec![0],
+            ScaleMode::ApproximatedMultiscale => {
+                if halvings == 0 {
+                    vec![0]
+                } else {
+                    (1..=halvings).collect()
+                }
+            }
+            ScaleMode::FullMultiscale => (0..=halvings).collect(),
         }
+    }
+
+    /// Number of scales the configuration produces for a series of length
+    /// `len`.
+    pub fn n_scales_for_length(&self, len: usize) -> usize {
+        self.scale_indices_for_length(len).len()
     }
 
     /// Number of features produced for a series of length `len`.
     pub fn n_features_for_length(&self, len: usize) -> usize {
+        if let Some(selection) = &self.selection {
+            return selection.len();
+        }
         self.n_scales_for_length(len) * self.kinds.len() * block_len(self.include_other_stats)
+            + self.statistical.n_features()
     }
 
     /// Feature names for a series of length `len`, e.g. `T0 HVG P(M44)` or
-    /// `T2 VG assortativity` — the naming used in Figure 10.
+    /// `T2 VG assortativity` (the naming used in Figure 10), followed by
+    /// the `stat …` names of the statistical layer when enabled. With a
+    /// selection attached the names are the selection itself,
+    /// length-independent.
     pub fn feature_names_for_length(&self, len: usize) -> Vec<String> {
-        let scales: Vec<usize> = match self.scale_mode {
-            ScaleMode::Uniscale => vec![0],
-            ScaleMode::ApproximatedMultiscale => {
-                let n = self.n_scales_for_length(len);
-                // when the series is too short to downscale we fall back to T0
-                let halvings_possible = {
-                    let mut h = 0usize;
-                    let mut cur = len;
-                    while cur / 2 > self.multiscale.tau
-                        && cur >= 2
-                        && h < self.multiscale.max_scales
-                    {
-                        cur /= 2;
-                        h += 1;
-                    }
-                    h
-                };
-                if halvings_possible == 0 {
-                    vec![0]
-                } else {
-                    (1..=n).collect()
-                }
-            }
-            ScaleMode::FullMultiscale => (0..self.n_scales_for_length(len)).collect(),
-        };
+        if let Some(selection) = &self.selection {
+            return selection.names().to_vec();
+        }
         let block_names = graph_feature_names(self.include_other_stats);
-        let mut out = Vec::new();
-        for scale in scales {
+        let mut out = Vec::with_capacity(self.n_features_for_length(len));
+        for scale in self.scale_indices_for_length(len) {
             for kind in &self.kinds {
                 for name in &block_names {
                     out.push(format!("T{} {} {}", scale, kind.short_name(), name));
                 }
             }
         }
+        out.extend(self.statistical.feature_names());
         out
+    }
+
+    /// Whether `name` denotes a feature this configuration's catalogue can
+    /// produce for *some* series length — the membership test behind
+    /// [`FeatureSelection::validate`].
+    pub fn is_known_feature_name(&self, name: &str) -> bool {
+        if self.statistical.enabled && self.statistical.feature_names().iter().any(|n| n == name) {
+            return true;
+        }
+        let Some(rest) = name.strip_prefix('T') else {
+            return false;
+        };
+        let Some((scale_str, rest)) = rest.split_once(' ') else {
+            return false;
+        };
+        let Ok(scale) = scale_str.parse::<usize>() else {
+            return false;
+        };
+        let Some((kind_str, block_name)) = rest.split_once(' ') else {
+            return false;
+        };
+        if !self.kinds.iter().any(|k| k.short_name() == kind_str) {
+            return false;
+        }
+        if !graph_feature_names(self.include_other_stats)
+            .iter()
+            .any(|n| n == block_name)
+        {
+            return false;
+        }
+        // a series of length L admits at most log2(L) halvings, and T0 is
+        // reachable under every mode (AMVG falls back to it)
+        scale < 64
+            && scale <= self.multiscale.max_scales
+            && (self.scale_mode != ScaleMode::Uniscale || scale == 0)
     }
 }
 
@@ -173,8 +273,8 @@ impl FeatureConfig {
 /// reusing the calling thread's motif workspace (the thread-local inside
 /// [`tsg_graph::motifs::count_motifs`]).
 pub fn extract_series_features(series: &TimeSeries, config: &FeatureConfig) -> Vec<f64> {
-    extract_features_impl(series, config, &mut NoopTraceSink, |graph, include, _| {
-        graph_feature_block(graph, include)
+    extract_features_impl(series, config, &mut NoopTraceSink, |graph, _| {
+        count_motifs(graph)
     })
 }
 
@@ -186,24 +286,27 @@ pub fn extract_series_features_with(
     config: &FeatureConfig,
     workspace: &mut MotifWorkspace,
 ) -> Vec<f64> {
-    extract_features_impl(series, config, &mut NoopTraceSink, |graph, include, _| {
-        graph_feature_block_with(graph, include, workspace)
+    extract_features_impl(series, config, &mut NoopTraceSink, |graph, _| {
+        count_motifs_with(graph, workspace)
     })
 }
 
 /// [`extract_series_features_with`] with a [`TraceSink`] observing the
-/// `Scale`/`GraphBuild`/`MotifCount` sub-stages — the seam the serving
-/// layer uses for per-request latency attribution. The sink only receives
-/// callbacks (this crate stays clock-free); the returned features are
-/// bit-identical to the untraced entry points.
+/// `Scale`/`GraphBuild`/`MotifCount`/`Statistical` sub-stages — the seam
+/// the serving layer uses for per-request latency attribution. The sink
+/// only receives callbacks (this crate stays clock-free); the returned
+/// features are bit-identical to the untraced entry points.
 pub fn extract_series_features_traced<S: TraceSink>(
     series: &TimeSeries,
     config: &FeatureConfig,
     workspace: &mut MotifWorkspace,
     sink: &mut S,
 ) -> Vec<f64> {
-    extract_features_impl(series, config, sink, |graph, include, sink| {
-        graph_feature_block_traced(graph, include, workspace, sink)
+    extract_features_impl(series, config, sink, |graph, sink| {
+        sink.enter(ExtractStage::MotifCount);
+        let counts = count_motifs_with(graph, workspace);
+        sink.exit(ExtractStage::MotifCount);
+        counts
     })
 }
 
@@ -211,7 +314,7 @@ fn extract_features_impl<S: TraceSink>(
     series: &TimeSeries,
     config: &FeatureConfig,
     sink: &mut S,
-    mut feature_block: impl FnMut(&Graph, bool, &mut S) -> Vec<f64>,
+    census: impl FnMut(&Graph, &mut S) -> MotifCounts,
 ) -> Vec<f64> {
     let prepared;
     let series = if config.detrend {
@@ -220,18 +323,187 @@ fn extract_features_impl<S: TraceSink>(
     } else {
         series
     };
-    let graphs = SeriesGraphs::build_with_sink(
-        series,
-        &config.kinds,
-        config.scale_mode,
-        config.multiscale,
-        sink,
+    match &config.selection {
+        None => extract_wide(series, config, sink, census),
+        Some(selection) => extract_selected(series, config, selection, sink, census),
+    }
+}
+
+/// The full catalogue: every graph block in scale-then-kind order, then the
+/// statistical layer.
+fn extract_wide<S: TraceSink>(
+    series: &TimeSeries,
+    config: &FeatureConfig,
+    sink: &mut S,
+    mut census: impl FnMut(&Graph, &mut S) -> MotifCounts,
+) -> Vec<f64> {
+    let scale_values = scale_values_with_sink(series, config.scale_mode, config.multiscale, sink);
+    let mut features = Vec::with_capacity(
+        scale_values.len() * config.kinds.len() * block_len(config.include_other_stats)
+            + config.statistical.n_features(),
     );
-    let mut features = Vec::with_capacity(graphs.len() * block_len(config.include_other_stats));
-    for sg in &graphs.graphs {
-        features.extend(feature_block(&sg.graph, config.include_other_stats, sink));
+    for (_, values) in &scale_values {
+        for &kind in &config.kinds {
+            sink.enter(ExtractStage::GraphBuild);
+            let graph = kind.build(values);
+            sink.exit(ExtractStage::GraphBuild);
+            let counts = census(&graph, sink);
+            features.extend(motif_probability_distribution(&counts));
+            if config.include_other_stats {
+                features.extend(GraphStatistics::compute(&graph).to_features());
+            }
+        }
+    }
+    if config.statistical.enabled {
+        sink.enter(ExtractStage::Statistical);
+        features.extend(config.statistical.compute(series.values()));
+        sink.exit(ExtractStage::Statistical);
     }
     features
+}
+
+/// Where one selected column's value comes from.
+#[derive(Clone, Copy)]
+enum ColumnSpec {
+    /// Motif probability `idx` of the graph at `slot` (scale-major, then
+    /// kind).
+    Motif { slot: usize, idx: usize },
+    /// Scalar graph statistic `idx` of the graph at `slot`.
+    GraphStat { slot: usize, idx: usize },
+    /// Feature `idx` of one per-series statistical family.
+    Stat { family: StatFamily, idx: usize },
+}
+
+/// Pruned extraction: compute only the graphs, censuses and statistical
+/// families the selection needs, then emit columns in selection order.
+/// Selected names that do not exist at this series length (e.g. a scale the
+/// series is too short to produce) yield `0.0`, mirroring the zero-padding
+/// of the wide path.
+fn extract_selected<S: TraceSink>(
+    series: &TimeSeries,
+    config: &FeatureConfig,
+    selection: &FeatureSelection,
+    sink: &mut S,
+    mut census: impl FnMut(&Graph, &mut S) -> MotifCounts,
+) -> Vec<f64> {
+    let scales = config.scale_indices_for_length(series.len());
+    let n_kinds = config.kinds.len();
+    let block_names = graph_feature_names(config.include_other_stats);
+
+    // the wide layout of this series length, as name -> column source
+    let mut spec_of: BTreeMap<String, ColumnSpec> = BTreeMap::new();
+    for (si, &scale) in scales.iter().enumerate() {
+        for (ki, kind) in config.kinds.iter().enumerate() {
+            let slot = si * n_kinds + ki;
+            for (bi, block_name) in block_names.iter().enumerate() {
+                let name = format!("T{} {} {}", scale, kind.short_name(), block_name);
+                let spec = if bi < block_len(false) {
+                    ColumnSpec::Motif { slot, idx: bi }
+                } else {
+                    ColumnSpec::GraphStat {
+                        slot,
+                        idx: bi - block_len(false),
+                    }
+                };
+                spec_of.insert(name, spec);
+            }
+        }
+    }
+    if config.statistical.enabled {
+        for family in StatFamily::ALL {
+            for (idx, name) in stat_family_names(family, &config.statistical)
+                .into_iter()
+                .enumerate()
+            {
+                spec_of.insert(name, ColumnSpec::Stat { family, idx });
+            }
+        }
+    }
+    let columns: Vec<Option<ColumnSpec>> = selection
+        .names()
+        .iter()
+        .map(|name| spec_of.get(name).copied())
+        .collect();
+
+    // which graphs (and which halves of their blocks) the columns touch
+    let n_slots = scales.len() * n_kinds;
+    let mut need_motifs = vec![false; n_slots];
+    let mut need_stats = vec![false; n_slots];
+    let mut needed_families: Vec<StatFamily> = Vec::new();
+    for spec in columns.iter().flatten() {
+        match spec {
+            ColumnSpec::Motif { slot, .. } => need_motifs[*slot] = true,
+            ColumnSpec::GraphStat { slot, .. } => need_stats[*slot] = true,
+            ColumnSpec::Stat { family, .. } => {
+                if !needed_families.contains(family) {
+                    needed_families.push(*family);
+                }
+            }
+        }
+    }
+
+    let scale_values = scale_values_with_sink(series, config.scale_mode, config.multiscale, sink);
+    debug_assert_eq!(
+        scale_values.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+        scales,
+        "scale layout must match the cascade"
+    );
+    let mut motif_probs: Vec<Option<Vec<f64>>> = vec![None; n_slots];
+    let mut graph_stats: Vec<Option<Vec<f64>>> = vec![None; n_slots];
+    for (si, (_, values)) in scale_values.iter().enumerate() {
+        for (ki, &kind) in config.kinds.iter().enumerate() {
+            let slot = si * n_kinds + ki;
+            if slot >= n_slots || (!need_motifs[slot] && !need_stats[slot]) {
+                continue;
+            }
+            sink.enter(ExtractStage::GraphBuild);
+            let graph = kind.build(values);
+            sink.exit(ExtractStage::GraphBuild);
+            if need_motifs[slot] {
+                let counts = census(&graph, sink);
+                motif_probs[slot] = Some(motif_probability_distribution(&counts));
+            }
+            if need_stats[slot] {
+                graph_stats[slot] = Some(GraphStatistics::compute(&graph).to_features());
+            }
+        }
+    }
+
+    let mut family_values: BTreeMap<StatFamily, Vec<f64>> = BTreeMap::new();
+    if !needed_families.is_empty() {
+        sink.enter(ExtractStage::Statistical);
+        for family in StatFamily::ALL {
+            if needed_families.contains(&family) {
+                family_values.insert(
+                    family,
+                    compute_stat_family(family, &config.statistical, series.values()),
+                );
+            }
+        }
+        sink.exit(ExtractStage::Statistical);
+    }
+
+    let lookup = |stored: &[Option<Vec<f64>>], slot: usize, idx: usize| {
+        stored
+            .get(slot)
+            .and_then(|s| s.as_ref())
+            .and_then(|v| v.get(idx))
+            .copied()
+            .unwrap_or(0.0)
+    };
+    columns
+        .iter()
+        .map(|spec| match spec {
+            None => 0.0,
+            Some(ColumnSpec::Motif { slot, idx }) => lookup(&motif_probs, *slot, *idx),
+            Some(ColumnSpec::GraphStat { slot, idx }) => lookup(&graph_stats, *slot, *idx),
+            Some(ColumnSpec::Stat { family, idx }) => family_values
+                .get(family)
+                .and_then(|v| v.get(*idx))
+                .copied()
+                .unwrap_or(0.0),
+        })
+        .collect()
 }
 
 /// Extracts features for every series of a dataset, in parallel, and returns
@@ -375,6 +647,7 @@ mod tests {
             FeatureConfig::mvg(),
             FeatureConfig::uvg(),
             FeatureConfig::amvg(),
+            FeatureConfig::wide(),
             FeatureConfig::uniscale_single(VisibilityKind::Horizontal, false),
             FeatureConfig::uniscale_single(VisibilityKind::Natural, true),
         ];
@@ -390,6 +663,170 @@ mod tests {
             assert_eq!(features.len(), config.n_features_for_length(series.len()));
             assert!(features.iter().all(|v| v.is_finite()));
         }
+    }
+
+    // The satellite property: the two name/count sources can never drift
+    // again, for every scale mode, statistical layer and length 1..=512.
+    #[test]
+    fn names_and_counts_agree_for_all_lengths_and_modes() {
+        let mut configs = vec![
+            FeatureConfig::mvg(),
+            FeatureConfig::uvg(),
+            FeatureConfig::amvg(),
+            FeatureConfig::wide(),
+            FeatureConfig::uniscale_single(VisibilityKind::Horizontal, false),
+        ];
+        configs.push(FeatureConfig {
+            statistical: StatisticalConfig::standard(),
+            ..FeatureConfig::amvg()
+        });
+        for config in &configs {
+            for len in 1..=512usize {
+                let names = config.feature_names_for_length(len);
+                assert_eq!(
+                    names.len(),
+                    config.n_features_for_length(len),
+                    "config {} length {len}",
+                    config.label()
+                );
+                assert_eq!(
+                    config.n_scales_for_length(len),
+                    config.scale_indices_for_length(len).len()
+                );
+            }
+        }
+        // and extraction itself matches the predicted width on a sample
+        for config in &configs {
+            for len in [1usize, 2, 5, 16, 31, 32, 33, 100, 128] {
+                let series = TimeSeries::new((0..len).map(|i| ((i as f64) * 0.3).sin()).collect());
+                let features = extract_series_features(&series, config);
+                assert_eq!(
+                    features.len(),
+                    config.n_features_for_length(len),
+                    "config {} length {len}",
+                    config.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_config_appends_statistical_layer_after_graph_block() {
+        let series = TimeSeries::new((0..256).map(|i| ((i as f64) * 0.17).sin()).collect());
+        let graph_only = extract_series_features(&series, &FeatureConfig::mvg());
+        let wide = extract_series_features(&series, &FeatureConfig::wide());
+        assert_eq!(
+            wide.len(),
+            graph_only.len() + StatisticalConfig::standard().n_features()
+        );
+        // the graph prefix is bit-identical: the layer only appends
+        assert_eq!(&wide[..graph_only.len()], &graph_only[..]);
+        let names = FeatureConfig::wide().feature_names_for_length(256);
+        assert!(names[graph_only.len()..]
+            .iter()
+            .all(|n| n.starts_with("stat ")));
+    }
+
+    #[test]
+    fn selection_extracts_exactly_the_chosen_wide_columns() {
+        let series = TimeSeries::new(
+            (0..200)
+                .map(|i| ((i as f64) * 0.21).sin() + 0.2 * ((i as f64) * 0.037).cos())
+                .collect(),
+        );
+        let wide_config = FeatureConfig::wide();
+        let wide = extract_series_features(&series, &wide_config);
+        let wide_names = wide_config.feature_names_for_length(series.len());
+        // every 7th column, covering motifs, graph stats and stat families
+        let chosen: Vec<String> = wide_names.iter().step_by(7).cloned().collect();
+        let pruned_config = FeatureConfig {
+            selection: Some(FeatureSelection::new(chosen.clone())),
+            ..FeatureConfig::wide()
+        };
+        let pruned = extract_series_features(&series, &pruned_config);
+        assert_eq!(pruned.len(), chosen.len());
+        for (i, name) in chosen.iter().enumerate() {
+            let wide_idx = wide_names.iter().position(|n| n == name).unwrap();
+            assert_eq!(
+                pruned[i].to_bits(),
+                wide[wide_idx].to_bits(),
+                "column {name} differs"
+            );
+        }
+        assert_eq!(pruned_config.feature_names_for_length(series.len()), chosen);
+        assert_eq!(
+            pruned_config.n_features_for_length(series.len()),
+            chosen.len()
+        );
+    }
+
+    #[test]
+    fn selection_of_missing_scale_yields_zero_not_panic() {
+        // scale T5 requires a long series; a short one must produce 0.0
+        let selection =
+            FeatureSelection::new(vec!["T0 VG P(M44)".to_string(), "T5 VG P(M44)".to_string()]);
+        let config = FeatureConfig {
+            selection: Some(selection),
+            ..FeatureConfig::mvg()
+        };
+        let short = TimeSeries::new((0..40).map(|i| (i as f64 * 0.4).sin()).collect());
+        let features = extract_series_features(&short, &config);
+        assert_eq!(features.len(), 2);
+        assert!(features[0] > 0.0);
+        assert_eq!(features[1], 0.0);
+    }
+
+    #[test]
+    fn known_feature_names_follow_the_catalogue() {
+        let wide = FeatureConfig::wide();
+        assert!(wide.is_known_feature_name("T0 VG P(M44)"));
+        assert!(wide.is_known_feature_name("T7 HVG assortativity"));
+        assert!(wide.is_known_feature_name("stat mean"));
+        assert!(wide.is_known_feature_name("stat fft_mag_8"));
+        assert!(!wide.is_known_feature_name("stat fft_mag_9"));
+        assert!(!wide.is_known_feature_name("T0 VG bogus_feature"));
+        assert!(!wide.is_known_feature_name("bogus"));
+        assert!(!wide.is_known_feature_name("T999999999999999999999 VG P(M44)"));
+
+        let mvg = FeatureConfig::mvg();
+        assert!(!mvg.is_known_feature_name("stat mean"), "layer disabled");
+        let uvg = FeatureConfig::uvg();
+        assert!(uvg.is_known_feature_name("T0 VG P(M44)"));
+        assert!(!uvg.is_known_feature_name("T1 VG P(M44)"), "uniscale");
+        let mpds = FeatureConfig::uniscale_single(VisibilityKind::Horizontal, false);
+        assert!(!mpds.is_known_feature_name("T0 HVG assortativity"));
+        assert!(
+            !mpds.is_known_feature_name("T0 VG P(M44)"),
+            "kind not built"
+        );
+    }
+
+    #[test]
+    fn selection_validation_rejects_unknown_duplicate_and_empty() {
+        let wide = FeatureConfig::wide();
+        let ok = FeatureSelection::new(vec!["T0 VG P(M44)".into(), "stat mean".into()]);
+        assert!(ok.validate(&wide).is_ok());
+        let unknown = FeatureSelection::new(vec!["T0 VG nope".into()]);
+        assert!(unknown
+            .validate(&wide)
+            .unwrap_err()
+            .contains("not in the running catalogue"));
+        let dup = FeatureSelection::new(vec!["stat mean".into(), "stat mean".into()]);
+        assert!(dup.validate(&wide).unwrap_err().contains("duplicate"));
+        let empty = FeatureSelection::new(vec![]);
+        assert!(empty.validate(&wide).is_err());
+    }
+
+    #[test]
+    fn legacy_debug_rendering_is_unchanged_for_pre_catalogue_configs() {
+        // the fingerprint (and therefore snapshot compatibility) of every
+        // pre-catalogue configuration depends on this exact rendering
+        let rendered = format!("{:?}", FeatureConfig::uvg());
+        assert!(!rendered.contains("statistical"), "{rendered}");
+        assert!(!rendered.contains("selection"), "{rendered}");
+        assert!(rendered.starts_with("FeatureConfig { kinds: [Natural, Horizontal]"));
+        let wide = format!("{:?}", FeatureConfig::wide());
+        assert!(wide.contains("statistical"), "{wide}");
     }
 
     #[test]
@@ -429,7 +866,11 @@ mod tests {
     #[test]
     fn streaming_extraction_matches_eager_bitwise() {
         let d = toy_dataset(9, 96); // 18 series: exercises a partial chunk
-        for config in [FeatureConfig::mvg(), FeatureConfig::uvg()] {
+        for config in [
+            FeatureConfig::mvg(),
+            FeatureConfig::uvg(),
+            FeatureConfig::wide(),
+        ] {
             let (eager, names) = extract_dataset_features(&d, &config, 2);
             let streamed = extract_features_streaming(
                 d.series().iter().cloned().map(Ok::<_, String>),

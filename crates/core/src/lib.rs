@@ -19,6 +19,7 @@
 //! them separately (UVG vs AMVG vs MVG, HVG vs VG, MPDs vs all features —
 //! exactly the ablations of the paper's Table 2).
 
+pub mod catalogue;
 pub mod classifier;
 pub mod extractor;
 pub mod graph_features;
@@ -28,6 +29,9 @@ pub mod parallel;
 pub mod representation;
 pub mod trace;
 
+pub use catalogue::{
+    CostTier, FamilyScope, FamilySpec, FeatureSelection, StatFamily, StatisticalConfig, FAMILIES,
+};
 pub use classifier::{ClassifierChoice, MvgClassifier, MvgConfig};
 pub use extractor::{
     extract_dataset_features, extract_features_streaming, extract_series_features,

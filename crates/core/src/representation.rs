@@ -78,29 +78,7 @@ impl SeriesGraphs {
         options: MultiscaleOptions,
         sink: &mut impl TraceSink,
     ) -> Self {
-        let mut scales: Vec<(usize, Vec<f64>)> = Vec::new();
-        match mode {
-            ScaleMode::Uniscale => {
-                scales.push((0, series.values().to_vec()));
-            }
-            ScaleMode::ApproximatedMultiscale | ScaleMode::FullMultiscale => {
-                sink.enter(ExtractStage::Scale);
-                let rep = MultiscaleRepresentation::build(series, options)
-                    .expect("multiscale construction cannot fail on non-empty series");
-                sink.exit(ExtractStage::Scale);
-                if mode == ScaleMode::FullMultiscale {
-                    scales.push((0, rep.original.values().to_vec()));
-                }
-                for (i, t) in rep.approximations.iter().enumerate() {
-                    scales.push((i + 1, t.values().to_vec()));
-                }
-                // degenerate case: series too short to downscale — AMVG falls
-                // back to the original so the representation is never empty
-                if scales.is_empty() {
-                    scales.push((0, series.values().to_vec()));
-                }
-            }
-        }
+        let scales = scale_values_with_sink(series, mode, options, sink);
         let mut graphs = Vec::with_capacity(scales.len() * kinds.len());
         for (scale, values) in &scales {
             for &kind in kinds {
@@ -135,6 +113,41 @@ impl SeriesGraphs {
         s.dedup();
         s
     }
+}
+
+/// The scale-indexed value vectors a mode produces for one series — the
+/// single source the graph builder and the pruned extractor share, so both
+/// see the exact same cascade (including the AMVG short-series fallback).
+pub(crate) fn scale_values_with_sink(
+    series: &TimeSeries,
+    mode: ScaleMode,
+    options: MultiscaleOptions,
+    sink: &mut impl TraceSink,
+) -> Vec<(usize, Vec<f64>)> {
+    let mut scales: Vec<(usize, Vec<f64>)> = Vec::new();
+    match mode {
+        ScaleMode::Uniscale => {
+            scales.push((0, series.values().to_vec()));
+        }
+        ScaleMode::ApproximatedMultiscale | ScaleMode::FullMultiscale => {
+            sink.enter(ExtractStage::Scale);
+            let rep = MultiscaleRepresentation::build(series, options)
+                .expect("multiscale construction cannot fail on non-empty series");
+            sink.exit(ExtractStage::Scale);
+            if mode == ScaleMode::FullMultiscale {
+                scales.push((0, rep.original.values().to_vec()));
+            }
+            for (i, t) in rep.approximations.iter().enumerate() {
+                scales.push((i + 1, t.values().to_vec()));
+            }
+            // degenerate case: series too short to downscale — AMVG falls
+            // back to the original so the representation is never empty
+            if scales.is_empty() {
+                scales.push((0, series.values().to_vec()));
+            }
+        }
+    }
+    scales
 }
 
 #[cfg(test)]

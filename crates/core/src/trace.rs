@@ -20,6 +20,9 @@ pub enum ExtractStage {
     GraphBuild,
     /// Motif census over one built graph.
     MotifCount,
+    /// The per-series statistical layer of the catalogue (quantiles,
+    /// trend, peaks, autocorrelation, DFT magnitudes).
+    Statistical,
 }
 
 /// Observer of extraction sub-stages. `enter`/`exit` bracket each stage;
@@ -103,5 +106,25 @@ mod tests {
         let n_graphs = config.n_scales_for_length(128) * config.kinds.len();
         assert_eq!(enters(ExtractStage::GraphBuild), n_graphs);
         assert_eq!(enters(ExtractStage::MotifCount), n_graphs);
+        // the statistical layer is disabled in the paper's configuration
+        assert_eq!(enters(ExtractStage::Statistical), 0);
+    }
+
+    #[test]
+    fn statistical_stage_brackets_the_catalogue_layer_once() {
+        use crate::{extract_series_features_traced, FeatureConfig};
+        use tsg_graph::motifs::MotifWorkspace;
+        use tsg_ts::TimeSeries;
+
+        let series = TimeSeries::new((0..128).map(|i| ((i as f64) * 0.21).sin()).collect());
+        let mut workspace = MotifWorkspace::default();
+        let mut sink = CountingSink::default();
+        extract_series_features_traced(&series, &FeatureConfig::wide(), &mut workspace, &mut sink);
+        let statistical = sink
+            .events
+            .iter()
+            .filter(|&&(e, entered)| e == ExtractStage::Statistical && entered)
+            .count();
+        assert_eq!(statistical, 1);
     }
 }

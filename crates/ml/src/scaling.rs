@@ -11,6 +11,23 @@ use crate::error::MlError;
 use crate::Result;
 use serde::{Deserialize, Serialize};
 
+/// Rejects NaN / ±inf anywhere in `what`, naming the first offending
+/// column. Without this, `f64::min`/`max` silently *skip* NaN during `fit`
+/// and `NaN.clamp(..)` stays NaN through `transform`, so one bad feature
+/// poisons every downstream model without an error.
+fn reject_non_finite(x: &FeatureMatrix, what: &str) -> Result<()> {
+    for (i, row) in x.rows().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(MlError::InvalidData(format!(
+                    "non-finite value {v} in {what} (feature column {j}, row {i})"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Min-max scaler mapping each feature into `[0, 1]`.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct MinMaxScaler {
@@ -26,6 +43,7 @@ impl MinMaxScaler {
                 "cannot fit scaler on empty matrix".into(),
             ));
         }
+        reject_non_finite(x, "min-max scaler fit input")?;
         let mut mins = vec![f64::INFINITY; x.n_cols()];
         let mut maxs = vec![f64::NEG_INFINITY; x.n_cols()];
         for row in x.rows() {
@@ -43,7 +61,8 @@ impl MinMaxScaler {
     }
 
     /// Applies the fitted scaling. Constant features map to `0.5`; values
-    /// outside the training range are clipped to `[0, 1]`.
+    /// outside the training range are clipped to `[0, 1]`. Non-finite
+    /// inputs are rejected (NaN would survive the clamp otherwise).
     pub fn transform(&self, x: &FeatureMatrix) -> Result<FeatureMatrix> {
         if x.n_cols() != self.mins.len() {
             return Err(MlError::InvalidData(format!(
@@ -52,6 +71,7 @@ impl MinMaxScaler {
                 x.n_cols()
             )));
         }
+        reject_non_finite(x, "min-max scaler transform input")?;
         let mut out = x.clone();
         for i in 0..x.n_rows() {
             for j in 0..x.n_cols() {
@@ -107,6 +127,7 @@ impl StandardScaler {
                 "cannot fit scaler on empty matrix".into(),
             ));
         }
+        reject_non_finite(x, "standard scaler fit input")?;
         let n = x.n_rows() as f64;
         let mut means = vec![0.0; x.n_cols()];
         for row in x.rows() {
@@ -128,6 +149,7 @@ impl StandardScaler {
     }
 
     /// Applies the fitted scaling; constant features map to zero.
+    /// Non-finite inputs are rejected, mirroring [`MinMaxScaler`].
     pub fn transform(&self, x: &FeatureMatrix) -> Result<FeatureMatrix> {
         if x.n_cols() != self.means.len() {
             return Err(MlError::InvalidData(format!(
@@ -136,6 +158,7 @@ impl StandardScaler {
                 x.n_cols()
             )));
         }
+        reject_non_finite(x, "standard scaler transform input")?;
         let mut out = x.clone();
         for i in 0..x.n_rows() {
             for j in 0..x.n_cols() {
@@ -203,5 +226,38 @@ mod tests {
         assert!(scaler.transform(&bad).is_err());
         assert!(MinMaxScaler::fit(&FeatureMatrix::default()).is_err());
         assert!(StandardScaler::fit(&FeatureMatrix::default()).is_err());
+    }
+
+    // Regression: `f64::min`/`max` skip NaN, so a NaN column used to fit
+    // "successfully" (mins stayed +inf) and `NaN.clamp(0, 1)` stayed NaN
+    // through transform — the fitted model then consumed NaN silently.
+    #[test]
+    fn non_finite_fit_input_is_rejected_with_named_column() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let x = FeatureMatrix::from_rows(&[vec![0.0, 1.0, 2.0], vec![1.0, bad, 3.0]]).unwrap();
+            let err = MinMaxScaler::fit(&x).unwrap_err().to_string();
+            assert!(err.contains("feature column 1"), "{err}");
+            assert!(err.contains("row 1"), "{err}");
+            let err = StandardScaler::fit(&x).unwrap_err().to_string();
+            assert!(err.contains("feature column 1"), "{err}");
+        }
+    }
+
+    #[test]
+    fn non_finite_transform_input_is_rejected() {
+        let x = toy();
+        let minmax = MinMaxScaler::fit(&x).unwrap();
+        let standard = StandardScaler::fit(&x).unwrap();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let t = FeatureMatrix::from_rows(&[vec![1.0, 2.0, bad]]).unwrap();
+            let err = minmax.transform(&t).unwrap_err().to_string();
+            assert!(err.contains("feature column 2"), "{err}");
+            let err = standard.transform(&t).unwrap_err().to_string();
+            assert!(err.contains("feature column 2"), "{err}");
+        }
+        // finite out-of-range data still transforms (clipped), as before
+        let ok = FeatureMatrix::from_rows(&[vec![1e12, -1e12, 0.0]]).unwrap();
+        assert!(minmax.transform(&ok).is_ok());
+        assert!(standard.transform(&ok).is_ok());
     }
 }

@@ -137,6 +137,7 @@ fn request_stage(stage: ExtractStage) -> Stage {
         ExtractStage::Scale => Stage::Scale,
         ExtractStage::GraphBuild => Stage::GraphBuild,
         ExtractStage::MotifCount => Stage::MotifCount,
+        ExtractStage::Statistical => Stage::Statistical,
     }
 }
 

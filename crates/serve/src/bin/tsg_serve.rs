@@ -3,8 +3,8 @@
 //! ```sh
 //! tsg-serve [--addr 127.0.0.1:7878] [--threads N] [--max-batch 32]
 //!           [--max-wait-ms 2] [--queue-depth 256]
-//!           [--preload NAME[,NAME...]] [--config fast|paper|uvg-fast]
-//!           [--max-instances N] [--max-length N] [--seed N]
+//!           [--preload NAME[,NAME...]] [--config fast|paper|uvg-fast|wide]
+//!           [--prune K] [--max-instances N] [--max-length N] [--seed N]
 //!           [--snapshot-dir DIR] [--request-budget-ms N]
 //!           [--trace-capacity N]
 //! ```
@@ -30,6 +30,7 @@ struct Args {
     preload: Vec<String>,
     config_name: String,
     seed: u64,
+    prune: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +39,7 @@ fn parse_args() -> Result<Args, String> {
         preload: Vec::new(),
         config_name: "fast".to_string(),
         seed: 7,
+        prune: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -80,6 +82,15 @@ fn parse_args() -> Result<Args, String> {
                     .extend(value(&mut i)?.split(',').map(|s| s.trim().to_string()));
             }
             "--config" => args.config_name = value(&mut i)?,
+            "--prune" => {
+                args.prune = Some(
+                    value(&mut i)?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&k| k >= 1)
+                        .ok_or_else(|| "--prune expects a positive number".to_string())?,
+                );
+            }
             "--max-instances" => {
                 let n: usize = value(&mut i)?
                     .parse()
@@ -126,7 +137,8 @@ fn parse_args() -> Result<Args, String> {
                      --max-wait-ms N     max co-batching wait for the oldest request (default 2)\n  \
                      --queue-depth N     queued series before 429 backpressure (default 256)\n  \
                      --preload A,B,...   fit catalogue datasets before serving\n  \
-                     --config NAME       preset for preloads: fast | paper | uvg-fast (default fast)\n  \
+                     --config NAME       preset for preloads: fast | paper | uvg-fast | wide (default fast)\n  \
+                     --prune K           preloads: fit wide, keep the K most important features, refit\n  \
                      --max-instances N   dataset budget for catalogue fits\n  \
                      --max-length N      series length budget for catalogue fits\n  \
                      --seed N            fit seed (default 7)\n  \
@@ -179,13 +191,20 @@ fn main() {
             dataset: name.clone(),
             options: args.serve.archive,
         };
-        match server
-            .registry()
-            .fit(name, source, &args.config_name, args.seed)
-        {
+        let fit = match args.prune {
+            None => server
+                .registry()
+                .fit(name, source, &args.config_name, args.seed),
+            Some(k) => server
+                .registry()
+                .fit_pruned(name, source, &args.config_name, args.seed, k),
+        };
+        match fit {
             Ok(info) => println!(
-                "fitted model `{name}` ({} config, {} train series, {} classes, {} features) in {:.2} s",
-                info.config, info.n_train, info.n_classes, info.n_features, info.fit_seconds
+                "fitted model `{name}` ({} config{}, {} train series, {} classes, {} features) in {:.2} s",
+                info.config,
+                if info.features.is_some() { ", pruned" } else { "" },
+                info.n_train, info.n_classes, info.n_features, info.fit_seconds
             ),
             Err(e) => {
                 eprintln!("error: preload of `{name}` failed: {e}");

@@ -55,6 +55,12 @@ pub fn config_named(name: &str, seed: u64, n_threads: usize) -> Option<MvgConfig
             n_threads: 0,
             seed: 0,
         },
+        // the full tiered catalogue (graph features + statistical layer)
+        // with a small fixed booster: the fit-wide-then-prune starting point
+        "wide" => MvgConfig {
+            features: FeatureConfig::wide(),
+            ..MvgConfig::fast()
+        },
         _ => return None,
     };
     Some(MvgConfig {
@@ -65,7 +71,7 @@ pub fn config_named(name: &str, seed: u64, n_threads: usize) -> Option<MvgConfig
 }
 
 /// Names of the presets accepted by [`config_named`].
-pub const CONFIG_PRESETS: [&str; 3] = ["fast", "paper", "uvg-fast"];
+pub const CONFIG_PRESETS: [&str; 4] = ["fast", "paper", "uvg-fast", "wide"];
 
 /// Where a model's training data came from.
 #[derive(Debug, Clone)]
@@ -104,6 +110,11 @@ pub struct ModelInfo {
     /// Where the training split came from: `synthetic`, `cached`, `real`
     /// (a UCR directory via `TSG_UCR_DIR`) or `inline`.
     pub provenance: String,
+    /// The importance-selected feature subset a pruned model extracts, in
+    /// wide-vector order; `None` for unpruned models (full catalogue of the
+    /// preset). Persisted in snapshots (format v2) and validated against
+    /// the running catalogue on restore.
+    pub features: Option<Vec<String>>,
 }
 
 /// A fitted model resolved from the registry. The entry owns an `Arc` to its
@@ -242,6 +253,34 @@ impl ModelRegistry {
         config_name: &str,
         seed: u64,
     ) -> Result<ModelInfo, RegistryError> {
+        self.fit_impl(name, source, config_name, seed, None)
+    }
+
+    /// [`ModelRegistry::fit`] with importance-driven pruning: fits the full
+    /// preset once, selects the `k` most important features from that wide
+    /// fit, then refits on the pruned configuration and registers *that*
+    /// model. The served model extracts only the selected columns, so its
+    /// classify latency drops with the catalogue width. The selected names
+    /// land in [`ModelInfo::features`] (and in the snapshot, format v2).
+    pub fn fit_pruned(
+        &self,
+        name: &str,
+        source: TrainingSource,
+        config_name: &str,
+        seed: u64,
+        k: usize,
+    ) -> Result<ModelInfo, RegistryError> {
+        self.fit_impl(name, source, config_name, seed, Some(k))
+    }
+
+    fn fit_impl(
+        &self,
+        name: &str,
+        source: TrainingSource,
+        config_name: &str,
+        seed: u64,
+        prune: Option<usize>,
+    ) -> Result<ModelInfo, RegistryError> {
         let config = config_named(config_name, seed, self.n_threads)
             .ok_or_else(|| RegistryError::UnknownConfig(config_name.to_string()))?;
         let (train, dataset_name, provenance) = match source {
@@ -267,6 +306,32 @@ impl ModelRegistry {
         let mut clf = MvgClassifier::new(config);
         clf.fit(&train)
             .map_err(|e| RegistryError::Fit(e.to_string()))?;
+        // prune-and-refit: derive the top-k selection from the wide fit's
+        // importances, then train the model that will actually serve on the
+        // pruned configuration. fit_seconds deliberately covers both fits.
+        let features = match prune {
+            None => None,
+            Some(k) => {
+                let pruned = clf
+                    .pruned_config(k)
+                    .map_err(|e| RegistryError::Fit(e.to_string()))?;
+                let names = pruned
+                    .features
+                    .selection
+                    .as_ref()
+                    .ok_or_else(|| {
+                        RegistryError::Fit("pruned configuration carries no selection".into())
+                    })?
+                    .names()
+                    .to_vec();
+                let mut pruned_clf = MvgClassifier::new(pruned);
+                pruned_clf
+                    .fit(&train)
+                    .map_err(|e| RegistryError::Fit(e.to_string()))?;
+                clf = pruned_clf;
+                Some(names)
+            }
+        };
         // the version is stamped only after a *successful* fit, so failed
         // fits never consume a version a client could be pinned against
         let version = self.next_version.fetch_add(1, Ordering::Relaxed);
@@ -280,6 +345,7 @@ impl ModelRegistry {
             n_features: clf.feature_names().len(),
             fit_seconds: started.elapsed().as_secs_f64(),
             provenance,
+            features,
         };
         let entry = Arc::new(ModelEntry {
             info: info.clone(),
@@ -358,11 +424,27 @@ impl ModelRegistry {
     fn restore_one(&self, path: &std::path::Path) -> Result<ModelInfo, String> {
         let (info, seed, payload) =
             crate::snapshot::read_snapshot(path).map_err(|e| e.to_string())?;
-        let config = config_named(&info.config, seed, self.n_threads)
+        let mut config = config_named(&info.config, seed, self.n_threads)
             .ok_or_else(|| format!("unknown config preset `{}`", info.config))?;
+        if let Some(names) = &info.features {
+            // a pruned snapshot is only usable if every selected feature
+            // still exists in the running catalogue; a snapshot from a
+            // newer/older build that selected features we do not compute
+            // must degrade to a refit, never restore a misaligned model
+            let selection = tsg_core::FeatureSelection::new(names.clone());
+            selection
+                .validate(&config.features)
+                .map_err(|e| format!("stored feature selection is invalid: {e}"))?;
+            config.features.selection = Some(selection);
+        }
         let clf = MvgClassifier::from_snapshot(config, &payload).map_err(|e| e.to_string())?;
         if clf.n_classes() != info.n_classes || clf.feature_names().len() != info.n_features {
             return Err("stored metadata does not match the restored model".into());
+        }
+        if let Some(names) = &info.features {
+            if clf.feature_names() != names.as_slice() {
+                return Err("stored feature list does not match the restored model".into());
+            }
         }
         let entry = Arc::new(ModelEntry {
             info: info.clone(),
@@ -620,6 +702,109 @@ mod tests {
         assert!(third.remove("other"));
         assert!(!crate::snapshot::snapshot_path(&dir, "other").exists());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pruned_fit_serves_fewer_features_and_survives_warm_restart() {
+        static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "tsg-registry-prune-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut r = registry();
+        r.set_snapshot_dir(dir.clone());
+        let wide = r.fit("full", catalogue_source(), "uvg-fast", 3).unwrap();
+        assert_eq!(wide.features, None, "unpruned fits carry no feature list");
+        let k = 8;
+        let pruned = r
+            .fit_pruned("pruned", catalogue_source(), "uvg-fast", 3, k)
+            .unwrap();
+        let names = pruned.features.clone().expect("pruned fit records names");
+        assert_eq!(names.len(), k);
+        assert_eq!(pruned.n_features, k);
+        assert!(pruned.n_features < wide.n_features);
+        // the registered model really extracts only the selection
+        let entry = r.get("pruned").unwrap();
+        assert_eq!(entry.classifier().feature_names(), names.as_slice());
+        let probe = Dataset::from_series(
+            "probe",
+            vec![TimeSeries::new((0..64).map(|t| (t as f64).sin()).collect())],
+        );
+        let expected = entry.classifier().predict_proba(&probe).unwrap();
+        drop(r);
+
+        // warm restart: the pruned model comes back bit-identical, with its
+        // feature list intact (snapshot format v2)
+        let metrics = Arc::new(ServerMetrics::default());
+        let mut second =
+            ModelRegistry::new(1, BatchConfig::default(), Arc::clone(&metrics)).unwrap();
+        second.set_snapshot_dir(dir.clone());
+        assert_eq!(second.warm_restart(), 2);
+        assert_eq!(metrics.snapshot_load_failures_total.get(), 0);
+        let restored = second.get("pruned").unwrap();
+        assert_eq!(restored.info.features.as_deref(), Some(names.as_slice()));
+        assert_eq!(restored.classifier().feature_names(), names.as_slice());
+        let got = restored.classifier().predict_proba(&probe).unwrap();
+        for (a, b) in expected.iter().zip(got.iter()) {
+            for (va, vb) in a.iter().zip(b.iter()) {
+                assert_eq!(va.to_bits(), vb.to_bits(), "pruned model drifted");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_claiming_unknown_features_is_skipped_not_served() {
+        static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "tsg-registry-badfeat-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut r = registry();
+        r.set_snapshot_dir(dir.clone());
+        let info = r.fit("good", catalogue_source(), "uvg-fast", 3).unwrap();
+        // forge a snapshot whose feature list names a feature the running
+        // catalogue does not compute (as if written by a different build)
+        let payload = r
+            .get("good")
+            .unwrap()
+            .classifier()
+            .snapshot_bytes()
+            .unwrap();
+        let mut forged = info.clone();
+        forged.name = "stale".into();
+        forged.features = Some(vec!["T0 VG density".into(), "stat not_a_feature".into()]);
+        crate::snapshot::write_snapshot(&dir, &forged, 3, &payload).unwrap();
+
+        let metrics = Arc::new(ServerMetrics::default());
+        let mut second =
+            ModelRegistry::new(1, BatchConfig::default(), Arc::clone(&metrics)).unwrap();
+        second.set_snapshot_dir(dir.clone());
+        // only the honest snapshot restores; the stale one is counted and
+        // skipped — never a panic, never a misaligned model
+        assert_eq!(second.warm_restart(), 1);
+        assert_eq!(metrics.snapshot_load_failures_total.get(), 1);
+        assert!(second.get("good").is_ok());
+        assert!(second.get("stale").is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pruned_fit_error_paths_do_not_register_a_model() {
+        let r = registry();
+        assert!(matches!(
+            r.fit_pruned("m", catalogue_source(), "uvg-fast", 1, 0),
+            Err(RegistryError::Fit(_))
+        ));
+        assert!(matches!(
+            r.fit_pruned("m", catalogue_source(), "nope", 1, 4),
+            Err(RegistryError::UnknownConfig(_))
+        ));
+        assert!(r.get("m").is_err(), "failed pruned fits register nothing");
     }
 
     #[test]

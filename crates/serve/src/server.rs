@@ -266,6 +266,13 @@ fn model_info_json(info: &crate::registry::ModelInfo) -> Json {
         ("n_features", Json::Num(info.n_features as f64)),
         ("fit_seconds", Json::Num(info.fit_seconds)),
         ("provenance", Json::Str(info.provenance.clone())),
+        (
+            "features",
+            info.features
+                .as_ref()
+                .map(|names| Json::Arr(names.iter().map(|n| Json::Str(n.clone())).collect()))
+                .unwrap_or(Json::Null),
+        ),
     ])
 }
 
@@ -421,6 +428,16 @@ fn fit_model(
             }),
         }
     };
+    // optional importance-driven pruning: fit the preset wide, keep only
+    // the top-k features, refit and serve the pruned model
+    let prune = match numeric_field("prune") {
+        Ok(None) => None,
+        Ok(Some(0)) => {
+            return Routed::Immediate(Response::error(400, "`prune` must be at least 1"))
+        }
+        Ok(Some(k)) => Some(k),
+        Err(response) => return Routed::Immediate(response),
+    };
     let source = if let Some(dataset) = body.get("dataset").and_then(|d| d.as_str()) {
         let mut options = state.archive;
         options.seed = seed;
@@ -468,8 +485,11 @@ fn fit_model(
     let job: OpsJob = Box::new(move || {
         // panic-isolated: a panicking fit must neither kill the ops worker
         // nor leave the connection waiting on a response that never comes
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            state.registry.fit(&name, source, &config_name, seed)
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match prune {
+            None => state.registry.fit(&name, source, &config_name, seed),
+            Some(k) => state
+                .registry
+                .fit_pruned(&name, source, &config_name, seed, k),
         }));
         let response = match outcome {
             Ok(Ok(info)) => Response::json(200, &model_info_json(&info)),

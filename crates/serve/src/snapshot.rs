@@ -7,13 +7,19 @@
 //! self-validating end to end:
 //!
 //! ```text
-//! magic   "TSGSNAP1"                      8 bytes
-//! version u32 = 1                         little-endian
-//! seed    u64                             fit seed (rebuilds the config)
-//! info    ModelInfo fields                length-prefixed strings, f64 bits
-//! payload u32-length-prefixed blob        MvgClassifier::snapshot_bytes
-//! hash    u64 FNV-1a                      over every byte above
+//! magic    "TSGSNAP1"                      8 bytes
+//! version  u32 = 2                         little-endian
+//! seed     u64                             fit seed (rebuilds the config)
+//! info     ModelInfo fields                length-prefixed strings, f64 bits
+//! features u8 flag [+ u32 count + strings] v2 only: pruned feature subset
+//! payload  u32-length-prefixed blob        MvgClassifier::snapshot_bytes
+//! hash     u64 FNV-1a                      over every byte above
 //! ```
+//!
+//! Format v2 appended the optional `features` field (the importance-selected
+//! subset a pruned model extracts). Readers still accept v1 files — they
+//! simply carry no feature list — so snapshots written before the catalogue
+//! landed keep restoring across the upgrade.
 //!
 //! Readers verify magic, version and the content hash before touching the
 //! payload, and the payload itself re-verifies its config fingerprint and
@@ -31,8 +37,12 @@ use tsg_ml::snapshot::{put_blob, put_f64, put_str, put_u32, put_u64, put_u8, Sna
 /// Format magic; the trailing byte doubles as the major format generation.
 const MAGIC: &[u8; 8] = b"TSGSNAP1";
 
-/// Layout version under the magic; bump on any field change.
-const FORMAT_VERSION: u32 = 1;
+/// Layout version under the magic; bump on any field change. v1 had no
+/// `features` field; [`read_snapshot`] accepts both generations.
+const FORMAT_VERSION: u32 = 2;
+
+/// The previous layout (no `features` field), still readable.
+const FORMAT_VERSION_V1: u32 = 1;
 
 /// FNV-1a over `bytes` — the integrity trailer. A deliberately simple,
 /// dependency-free hash: the threat model is torn writes and bit rot, not an
@@ -102,6 +112,16 @@ pub(crate) fn write_snapshot(
     put_u64(&mut bytes, info.n_features as u64);
     put_f64(&mut bytes, info.fit_seconds);
     put_str(&mut bytes, &info.provenance);
+    match &info.features {
+        None => put_u8(&mut bytes, 0),
+        Some(names) => {
+            put_u8(&mut bytes, 1);
+            put_u32(&mut bytes, names.len() as u32);
+            for n in names {
+                put_str(&mut bytes, n);
+            }
+        }
+    }
     put_blob(&mut bytes, payload);
     let hash = fnv1a(&bytes);
     put_u64(&mut bytes, hash);
@@ -156,7 +176,7 @@ pub(crate) fn read_snapshot(path: &Path) -> io::Result<(ModelInfo, u64, Vec<u8>)
         return Err(corrupt("content hash mismatch (torn or corrupt file)"));
     }
     let version = r.u32().ok_or_else(|| corrupt("truncated version"))?;
-    if version != FORMAT_VERSION {
+    if version != FORMAT_VERSION && version != FORMAT_VERSION_V1 {
         return Err(corrupt("unsupported format version"));
     }
     let truncated = || corrupt("truncated field");
@@ -174,6 +194,22 @@ pub(crate) fn read_snapshot(path: &Path) -> io::Result<(ModelInfo, u64, Vec<u8>)
     let n_features = r.u64().ok_or_else(truncated)? as usize;
     let fit_seconds = r.f64().ok_or_else(truncated)?;
     let provenance = r.str().ok_or_else(truncated)?;
+    let features = if version >= 2 {
+        match r.u8().ok_or_else(truncated)? {
+            0 => None,
+            1 => {
+                let count = r.u32().ok_or_else(truncated)? as usize;
+                let mut names = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    names.push(r.str().ok_or_else(truncated)?);
+                }
+                Some(names)
+            }
+            _ => return Err(corrupt("bad features flag")),
+        }
+    } else {
+        None // v1 predates pruning: full-catalogue model
+    };
     let payload = r.blob().ok_or_else(truncated)?.to_vec();
     if !r.is_empty() {
         return Err(corrupt("trailing bytes"));
@@ -188,6 +224,7 @@ pub(crate) fn read_snapshot(path: &Path) -> io::Result<(ModelInfo, u64, Vec<u8>)
         n_features,
         fit_seconds,
         provenance,
+        features,
     };
     Ok((info, seed, payload))
 }
@@ -207,6 +244,7 @@ mod tests {
             n_features: 27,
             fit_seconds: 0.125,
             provenance: "cached".into(),
+            features: None,
         }
     }
 
@@ -241,6 +279,59 @@ mod tests {
         inline.dataset = None;
         let p2 = write_snapshot(&dir, &inline, 1, &[]).unwrap();
         assert_eq!(read_snapshot(&p2).unwrap().0.dataset, None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pruned_feature_list_roundtrips_in_order() {
+        let dir = temp_dir("features");
+        let mut info = sample_info();
+        info.name = "pruned".into();
+        info.features = Some(vec![
+            "T0 HVG P(M44)".into(),
+            "stat acf_3".into(),
+            "stat fft_mag_1".into(),
+        ]);
+        info.n_features = 3;
+        let path = write_snapshot(&dir, &info, 5, &[7u8; 16]).unwrap();
+        let (back, _, _) = read_snapshot(&path).unwrap();
+        assert_eq!(back.features, info.features, "order and content preserved");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // A format-v1 file (written before the `features` field existed) must
+    // still read back, with `features: None`. The bytes are hand-assembled
+    // to the exact v1 layout — this is the compatibility contract.
+    #[test]
+    fn format_v1_snapshots_still_load_without_features() {
+        let dir = temp_dir("v1-compat");
+        let payload = vec![3u8, 1, 4, 1, 5];
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        put_u32(&mut bytes, FORMAT_VERSION_V1);
+        put_u64(&mut bytes, 9); // seed
+        put_str(&mut bytes, "legacy");
+        put_u64(&mut bytes, 7); // model version
+        put_u8(&mut bytes, 1);
+        put_str(&mut bytes, "BeetleFly");
+        put_str(&mut bytes, "uvg-fast");
+        put_u64(&mut bytes, 16); // n_train
+        put_u64(&mut bytes, 2); // n_classes
+        put_u64(&mut bytes, 27); // n_features
+        put_f64(&mut bytes, 0.5);
+        put_str(&mut bytes, "cached");
+        // v1 ends here: no features flag before the payload
+        put_blob(&mut bytes, &payload);
+        let hash = fnv1a(&bytes);
+        put_u64(&mut bytes, hash);
+        let path = dir.join("legacy.snap");
+        std::fs::write(&path, &bytes).unwrap();
+        let (info, seed, body) = read_snapshot(&path).unwrap();
+        assert_eq!(info.name, "legacy");
+        assert_eq!(info.version, 7);
+        assert_eq!(info.features, None, "v1 carries no feature list");
+        assert_eq!(seed, 9);
+        assert_eq!(body, payload);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -54,6 +54,8 @@ pub enum Stage {
     GraphBuild,
     /// Motif census over the built graphs, per series.
     MotifCount,
+    /// Per-series statistical feature layer of the tiered catalogue.
+    Statistical,
     /// Model inference over the batch's feature rows.
     Predict,
     /// Response body construction + HTTP serialization.
@@ -64,7 +66,7 @@ pub enum Stage {
 
 impl Stage {
     /// Number of stages (the length of every per-trace stage array).
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 10;
 
     /// All stages in lifecycle order — the canonical iteration order for
     /// rendering (`/metrics` labels, `/debug/traces` JSON).
@@ -75,6 +77,7 @@ impl Stage {
         Stage::Scale,
         Stage::GraphBuild,
         Stage::MotifCount,
+        Stage::Statistical,
         Stage::Predict,
         Stage::Serialize,
         Stage::WriteOut,
@@ -90,6 +93,7 @@ impl Stage {
             Stage::Scale => "scale",
             Stage::GraphBuild => "graph_build",
             Stage::MotifCount => "motif_count",
+            Stage::Statistical => "statistical",
             Stage::Predict => "predict",
             Stage::Serialize => "serialize",
             Stage::WriteOut => "write_out",
@@ -414,6 +418,7 @@ mod tests {
                 "scale",
                 "graph_build",
                 "motif_count",
+                "statistical",
                 "predict",
                 "serialize",
                 "write_out"

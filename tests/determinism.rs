@@ -81,6 +81,53 @@ fn feature_extraction_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn catalogue_wide_and_pruned_extraction_are_bit_identical_across_thread_counts() {
+    // The tiered catalogue adds a statistical layer to the wide vector and
+    // a column-pruned extraction path; both must stay bit-identical for
+    // every thread count, and the pruned columns must be the *same bits*
+    // as the corresponding wide columns.
+    use tsc_mvg::mvg::FeatureSelection;
+    let (train, _) = generate_by_name_scaled("BeetleFly", ArchiveOptions::bounded(10, 128, 5))
+        .expect("catalogue dataset");
+    let wide = FeatureConfig::wide();
+    let (wide_ref, wide_names) = extract_dataset_features(&train, &wide, 1);
+    assert!(wide_names.iter().any(|n| n.starts_with("stat ")));
+
+    let selected: Vec<String> = wide_names.iter().step_by(7).cloned().collect();
+    let mut pruned = wide.clone();
+    pruned.selection = Some(FeatureSelection::new(selected.clone()));
+    let (pruned_ref, pruned_names) = extract_dataset_features(&train, &pruned, 1);
+    assert_eq!(pruned_names, selected);
+
+    // pruned columns are the wide columns, bit for bit
+    for (j, name) in pruned_names.iter().enumerate() {
+        let wide_j = wide_names.iter().position(|n| n == name).unwrap();
+        for i in 0..wide_ref.n_rows() {
+            assert_eq!(
+                pruned_ref.get(i, j).to_bits(),
+                wide_ref.get(i, wide_j).to_bits(),
+                "row {i}, column `{name}`"
+            );
+        }
+    }
+
+    for n_threads in THREAD_COUNTS {
+        let (w, _) = extract_dataset_features(&train, &wide, n_threads);
+        assert_eq!(
+            matrix_bits(&w),
+            matrix_bits(&wide_ref),
+            "wide, n_threads = {n_threads}"
+        );
+        let (p, _) = extract_dataset_features(&train, &pruned, n_threads);
+        assert_eq!(
+            matrix_bits(&p),
+            matrix_bits(&pruned_ref),
+            "pruned, n_threads = {n_threads}"
+        );
+    }
+}
+
+#[test]
 fn workspace_reuse_is_bit_identical_to_fresh_workspaces() {
     // The extraction path reuses one MotifWorkspace per pool worker across
     // its whole chunk of series. Scratch reuse may never leak into results:
